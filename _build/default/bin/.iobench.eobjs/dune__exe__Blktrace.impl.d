@@ -1,0 +1,1 @@
+bin/blktrace.ml: Arg Clusterfs Cmd Cmdliner Disk List Printf Sim String Term Workload

@@ -1,0 +1,1 @@
+bin/fsck.ml: Arg Bytes Cmd Cmdliner Disk Format Sim Term Ufs Vfs

@@ -1,0 +1,1 @@
+bin/fsck.mli:

@@ -1,0 +1,1 @@
+bin/iobench.ml: Arg Clusterfs Cmd Cmdliner Disk List Option Printf Sim String Term Ufs Workload

@@ -1,0 +1,1 @@
+bin/mkfs.ml: Arg Bytes Cmd Cmdliner Disk Format Sim Term Ufs

@@ -1,0 +1,83 @@
+(* blktrace — run a workload on a simulated machine and dump the disk's
+   request trace as CSV (virtual time, kind, sector, count, track-buffer
+   hit), for studying the I/O patterns the paper draws as figures.
+
+   Examples:
+     dune exec bin/blktrace.exe -- --config a --workload fsw | head
+     dune exec bin/blktrace.exe -- --config d --workload fsr --file-mb 2 *)
+
+open Cmdliner
+
+let base_config name =
+  match String.lowercase_ascii name with
+  | "a" -> Ok Clusterfs.Config.config_a
+  | "b" -> Ok Clusterfs.Config.config_b
+  | "c" -> Ok Clusterfs.Config.config_c
+  | "d" -> Ok Clusterfs.Config.config_d
+  | other -> Error (Printf.sprintf "unknown config %S (want a|b|c|d)" other)
+
+let run config_name workload file_mb =
+  match base_config config_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok config ->
+      let m = Clusterfs.Machine.create config in
+      let dev = m.Clusterfs.Machine.dev in
+      let cfg =
+        { Workload.Iobench.default_config with Workload.Iobench.file_mb }
+      in
+      let body (m : Clusterfs.Machine.t) =
+        let fs = m.Clusterfs.Machine.fs in
+        match String.lowercase_ascii workload with
+        | "fsw" ->
+            Sim.Trace.enable (Disk.Device.trace dev) true;
+            ignore (Workload.Iobench.run_phase fs cfg Workload.Iobench.FSW)
+        | "fsr" ->
+            Workload.Iobench.prepare fs cfg;
+            Sim.Trace.enable (Disk.Device.trace dev) true;
+            ignore (Workload.Iobench.run_phase fs cfg Workload.Iobench.FSR)
+        | "fru" ->
+            Workload.Iobench.prepare fs cfg;
+            Sim.Trace.enable (Disk.Device.trace dev) true;
+            ignore (Workload.Iobench.run_phase fs cfg Workload.Iobench.FRU)
+        | "rm" ->
+            ignore (Workload.Metaops.create_many fs ~dir:"/many" ~n:100 ());
+            Sim.Trace.enable (Disk.Device.trace dev) true;
+            ignore (Workload.Metaops.remove_all fs ~dir:"/many")
+        | other -> failwith (Printf.sprintf "unknown workload %S" other)
+      in
+      (match Clusterfs.Machine.run m body with
+      | () ->
+          print_endline "time_us,kind,sector,count,track_buffer_hit";
+          List.iter
+            (fun (e : Disk.Device.event) ->
+              Printf.printf "%d,%s,%d,%d,%b\n" e.Disk.Device.at
+                (match e.Disk.Device.kind with
+                | Disk.Request.Read -> "R"
+                | Disk.Request.Write -> "W")
+                e.Disk.Device.sector e.Disk.Device.count
+                e.Disk.Device.buffered_hit)
+            (Sim.Trace.to_list (Disk.Device.trace dev))
+      | exception Failure msg ->
+          prerr_endline msg;
+          exit 1);
+      0
+
+let config_t =
+  Arg.(value & opt string "a" & info [ "config"; "c" ] ~doc:"Paper config: a, b, c or d.")
+
+let workload_t =
+  Arg.(
+    value & opt string "fsw"
+    & info [ "workload"; "w" ] ~doc:"One of fsw, fsr, fru, rm.")
+
+let file_mb_t =
+  Arg.(value & opt int 4 & info [ "file-mb" ] ~doc:"Benchmark file size in MB.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "blktrace" ~doc:"Dump a simulated disk's request trace as CSV")
+    Term.(const run $ config_t $ workload_t $ file_mb_t)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,53 @@
+(* fsck — check a UFS image file.
+
+   Example:
+     dune exec bin/fsck.exe -- /tmp/disk.img *)
+
+open Cmdliner
+
+let run path =
+  let store = Disk.Store.load path in
+  (* wrap the image in a device of matching capacity *)
+  let bytes_per_cyl = 14 * 48 * 512 in
+  let cyls = Disk.Store.size store / bytes_per_cyl in
+  let geom =
+    Disk.Geom.create ~rpm:4316 ~nheads:14
+      ~zones:[ { Disk.Geom.cyls = max 1 cyls; spt = 48 } ]
+      ()
+  in
+  let engine = Sim.Engine.create () in
+  let dev =
+    Disk.Device.create engine { Disk.Device.default_config with Disk.Device.geom }
+  in
+  (if Disk.Geom.capacity_bytes geom = Disk.Store.size store then
+     Disk.Store.copy_into store (Disk.Device.store dev)
+   else begin
+     (* sizes differ by the truncated partial cylinder: copy what fits *)
+     let buf = Bytes.create 65536 in
+     let n = min (Disk.Geom.capacity_bytes geom) (Disk.Store.size store) in
+     let rec loop off =
+       if off < n then begin
+         let len = min 65536 (n - off) in
+         Disk.Store.read store ~off ~len buf 0;
+         Disk.Store.write (Disk.Device.store dev) ~off ~len buf 0;
+         loop (off + len)
+       end
+     in
+     loop 0
+   end);
+  match Ufs.Fsck.check dev with
+  | report ->
+      Format.printf "%a@." Ufs.Fsck.pp report;
+      if Ufs.Fsck.ok report then 0 else 2
+  | exception Vfs.Errno.Error (code, msg) ->
+      Format.eprintf "fsck: cannot read file system: %a (%s)@." Vfs.Errno.pp
+        code msg;
+      2
+
+let path_t =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE" ~doc:"Disk image to check.")
+
+let cmd =
+  Cmd.v (Cmd.info "fsck" ~doc:"Check a simulated-UFS disk image") Term.(const run $ path_t)
+
+let () = exit (Cmd.eval' cmd)

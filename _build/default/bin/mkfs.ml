@@ -1,0 +1,60 @@
+(* mkfs — build a UFS image file.
+
+   Examples:
+     dune exec bin/mkfs.exe -- /tmp/disk.img
+     dune exec bin/mkfs.exe -- /tmp/disk.img --size-mb 100 --rotdelay 0 --maxcontig 15 *)
+
+open Cmdliner
+
+let run path size_mb rotdelay maxcontig maxbpg minfree fpg ipg =
+  let cyls =
+    (* 14 heads x 48 spt x 512B = 344064 bytes per cylinder *)
+    max 10 (size_mb * 1_000_000 / (14 * 48 * 512))
+  in
+  let geom =
+    Disk.Geom.create ~rpm:4316 ~nheads:14 ~zones:[ { Disk.Geom.cyls; spt = 48 } ] ()
+  in
+  let engine = Sim.Engine.create () in
+  let dev =
+    Disk.Device.create engine { Disk.Device.default_config with Disk.Device.geom }
+  in
+  let opts =
+    {
+      Ufs.Fs.rotdelay_ms = rotdelay;
+      maxcontig;
+      maxbpg;
+      minfree_pct = minfree;
+      fpg;
+      ipg;
+    }
+  in
+  Ufs.Fs.mkfs dev ~opts ();
+  Disk.Store.save (Disk.Device.store dev) path;
+  let b = Bytes.create Ufs.Layout.bsize in
+  Disk.Store.read (Disk.Device.store dev)
+    ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
+    ~len:Ufs.Layout.bsize b 0;
+  Format.printf "%a@.image written to %s (%d MB)@."
+    Ufs.Superblock.pp (Ufs.Superblock.decode b) path
+    (Disk.Geom.capacity_bytes geom / 1_000_000);
+  0
+
+let path_t =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE" ~doc:"Output image file.")
+
+let size_t = Arg.(value & opt int 400 & info [ "size-mb" ] ~doc:"Device size in MB.")
+let rotdelay_t = Arg.(value & opt int 4 & info [ "rotdelay" ] ~doc:"Rotational delay (ms).")
+let maxcontig_t = Arg.(value & opt int 1 & info [ "maxcontig" ] ~doc:"Cluster size in blocks.")
+let maxbpg_t = Arg.(value & opt int 256 & info [ "maxbpg" ] ~doc:"Max blocks per file per group.")
+let minfree_t = Arg.(value & opt int 10 & info [ "minfree" ] ~doc:"Reserved space (percent).")
+let fpg_t = Arg.(value & opt int 16384 & info [ "fpg" ] ~doc:"Fragments per cylinder group.")
+let ipg_t = Arg.(value & opt int 2048 & info [ "ipg" ] ~doc:"Inodes per cylinder group.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mkfs" ~doc:"Create a simulated-UFS disk image")
+    Term.(
+      const run $ path_t $ size_t $ rotdelay_t $ maxcontig_t $ maxbpg_t
+      $ minfree_t $ fpg_t $ ipg_t)
+
+let () = exit (Cmd.eval' cmd)

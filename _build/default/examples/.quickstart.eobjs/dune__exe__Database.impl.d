@@ -1,0 +1,1 @@
+examples/database.ml: Bytes Clusterfs List Printf Sim Ufs Vm

@@ -1,0 +1,1 @@
+examples/fragmentation.ml: Bytes Clusterfs Disk Printf Sim Ufs Vm Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Clusterfs Format List Printf Sim Ufs Vm

@@ -1,0 +1,1 @@
+examples/timesharing.ml: Clusterfs List Printf Sim Workload

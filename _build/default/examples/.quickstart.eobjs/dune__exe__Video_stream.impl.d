@@ -1,0 +1,1 @@
+examples/video_stream.ml: Bytes Clusterfs List Printf Sim Ufs Vm

@@ -1,0 +1,51 @@
+(* The MusBus lesson: a time-sharing workload of small programs barely
+   notices clustering, because it never moves more than a block of data
+   at a time — "MusBus didn't move any substantial amount of data."
+
+   Eight simulated users think, run small programs, and do small-file
+   work, on the old and the new file system.
+
+   Run with:  dune exec examples/timesharing.exe *)
+
+let () =
+  let cfg =
+    { Workload.Musbus.default_config with Workload.Musbus.users = 8; iterations = 30 }
+  in
+  Printf.printf
+    "MusBus-like timesharing: %d users x %d work units (think, compute,\n\
+     create/write/read/delete a %dKB file, list a directory)\n\n"
+    cfg.Workload.Musbus.users cfg.Workload.Musbus.iterations
+    (cfg.Workload.Musbus.small_file_bytes / 1024);
+  let results =
+    List.map
+      (fun (label, config) ->
+        let m = Clusterfs.Machine.create config in
+        let r =
+          Clusterfs.Machine.run m (fun m ->
+              Workload.Musbus.run m.Clusterfs.Machine.fs cfg)
+        in
+        (label, r))
+      [
+        ("old UFS (D)", Clusterfs.Config.config_d);
+        ("clustered UFS (A)", Clusterfs.Config.config_a);
+      ]
+  in
+  Printf.printf "%-18s %14s %12s %12s\n" "configuration" "work-units/s"
+    "elapsed" "sys CPU";
+  List.iter
+    (fun (label, (r : Workload.Musbus.result)) ->
+      Printf.printf "%-18s %14.2f %12s %12s\n" label
+        r.Workload.Musbus.units_per_sec
+        (Sim.Time.to_string r.Workload.Musbus.elapsed)
+        (Sim.Time.to_string r.Workload.Musbus.sys_cpu))
+    results;
+  match results with
+  | [ (_, old_r); (_, new_r) ] ->
+      Printf.printf
+        "\nimprovement: %.1f%% — the paper found the same: \"the time-sharing\n\
+         benchmarks improved only slightly\"\n"
+        (100.
+        *. (new_r.Workload.Musbus.units_per_sec
+            /. old_r.Workload.Musbus.units_per_sec
+           -. 1.))
+  | _ -> ()

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Bytes Config Disk Efs List Machine Option Printf Sim Ufs Vfs Vm Workload

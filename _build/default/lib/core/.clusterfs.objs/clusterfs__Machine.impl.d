@@ -1,0 +1,1 @@
+lib/core/machine.ml: Config Disk Printexc Sim Ufs Vm

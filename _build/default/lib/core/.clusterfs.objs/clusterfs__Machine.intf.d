@@ -1,0 +1,1 @@
+lib/core/machine.mli: Config Disk Sim Ufs Vm

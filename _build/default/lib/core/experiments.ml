@@ -1,0 +1,575 @@
+type iobench_row = {
+  config : string;
+  fsr : float;
+  fsu : float;
+  fsw : float;
+  frr : float;
+  fru : float;
+}
+
+let paper_figure10 =
+  [
+    { config = "A"; fsr = 1610.; fsu = 1364.; fsw = 1359.; frr = 383.; fru = 452. };
+    { config = "B"; fsr = 805.; fsu = 799.; fsw = 790.; frr = 369.; fru = 431. };
+    { config = "C"; fsr = 749.; fsu = 783.; fsw = 784.; frr = 366.; fru = 428. };
+    { config = "D"; fsr = 749.; fsu = 722.; fsw = 718.; frr = 370.; fru = 545. };
+  ]
+
+let run_iobench (config : Config.t) ~file_mb ~random_ops =
+  let m = Machine.create config in
+  let cfg =
+    { Workload.Iobench.default_config with Workload.Iobench.file_mb; random_ops }
+  in
+  let results = Machine.run m (fun m -> Workload.Iobench.run_all m.Machine.fs cfg) in
+  let rate k =
+    match
+      List.find_opt (fun r -> r.Workload.Iobench.kind = k) results
+    with
+    | Some r -> r.Workload.Iobench.kb_per_sec
+    | None -> nan
+  in
+  {
+    config = config.Config.name;
+    fsr = rate Workload.Iobench.FSR;
+    fsu = rate Workload.Iobench.FSU;
+    fsw = rate Workload.Iobench.FSW;
+    frr = rate Workload.Iobench.FRR;
+    fru = rate Workload.Iobench.FRU;
+  }
+
+let figure10 ?(file_mb = 16) ?(random_ops = 512) () =
+  List.map
+    (fun c -> run_iobench c ~file_mb ~random_ops)
+    Config.all_figure9
+
+let ratio_row ~label (a : iobench_row) (b : iobench_row) =
+  {
+    config = label;
+    fsr = a.fsr /. b.fsr;
+    fsu = a.fsu /. b.fsu;
+    fsw = a.fsw /. b.fsw;
+    frr = a.frr /. b.frr;
+    fru = a.fru /. b.fru;
+  }
+
+let ratios rows ~base ~others =
+  let find name = List.find (fun r -> r.config = name) rows in
+  let a = find base in
+  List.map
+    (fun o -> (base ^ "/" ^ o, ratio_row ~label:(base ^ "/" ^ o) a (find o)))
+    others
+
+let cpu_utilization ?(file_mb = 16) () =
+  List.map
+    (fun (config : Config.t) ->
+      let m = Machine.create config in
+      Machine.run m (fun m ->
+          let fs = m.Machine.fs in
+          let cfg =
+            { Workload.Iobench.default_config with Workload.Iobench.file_mb }
+          in
+          Workload.Iobench.prepare fs cfg;
+          let r = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSR in
+          ( config.Config.name,
+            r.Workload.Iobench.kb_per_sec,
+            float_of_int r.Workload.Iobench.sys_cpu
+            /. float_of_int r.Workload.Iobench.elapsed )))
+    [ Config.config_a; Config.config_d ]
+
+(* ---------- Figure 12 ---------- *)
+
+type cpu_row = { label : string; sys_cpu_s : float; io_kb_per_sec : float }
+
+let paper_figure12 =
+  [
+    { label = "4.1.1 UFS, no rotdelays, 16MB mmap read"; sys_cpu_s = 2.6; io_kb_per_sec = nan };
+    { label = "4.1 UFS, rotdelays, 16MB mmap read"; sys_cpu_s = 3.4; io_kb_per_sec = nan };
+  ]
+
+let mmap_cpu (config : Config.t) ~file_mb =
+  let m = Machine.create config in
+  Machine.run m (fun m ->
+      let fs = m.Machine.fs in
+      let cfg =
+        { Workload.Iobench.default_config with Workload.Iobench.file_mb }
+      in
+      Workload.Iobench.prepare fs cfg;
+      Workload.Mmap_bench.run fs ~path:cfg.Workload.Iobench.path ~file_mb)
+
+let figure12 ?(file_mb = 16) () =
+  let new_ufs = mmap_cpu Config.config_a ~file_mb in
+  let old_ufs = mmap_cpu Config.config_d ~file_mb in
+  let row label (r : Workload.Mmap_bench.result) =
+    {
+      label;
+      sys_cpu_s = Sim.Time.to_sec_float r.Workload.Mmap_bench.sys_cpu;
+      io_kb_per_sec = r.Workload.Mmap_bench.kb_per_sec;
+    }
+  in
+  [
+    row "new UFS (A layout), 16MB mmap read" new_ufs;
+    row "old UFS (D layout), 16MB mmap read" old_ufs;
+  ]
+
+(* ---------- Allocator extents ---------- *)
+
+let allocator_best_case ?(mb = 13) () =
+  let m = Machine.create Config.config_a in
+  Machine.run m (fun m ->
+      Workload.Extents.write_and_measure m.Machine.fs ~path:"/big" ~mb)
+
+(* A small (100 MB) drive so the ageing churn stays cheap. *)
+let small_disk_config =
+  {
+    Config.config_a with
+    Config.name = "A/small-disk";
+    disk =
+      {
+        Disk.Device.default_config with
+        Disk.Device.geom =
+          Disk.Geom.create ~nheads:9 ~zones:[ { Disk.Geom.cyls = 400; spt = 54 } ] ();
+      };
+  }
+
+let allocator_worst_case () =
+  let m = Machine.create small_disk_config in
+  Machine.run m (fun m ->
+      let fs = m.Machine.fs in
+      let rng = Sim.Rng.create ~seed:1991 in
+      let opts =
+        { Ufs.Ager.defaults with Ufs.Ager.target_util = 0.82; churn_rounds = 3 }
+      in
+      ignore (Ufs.Ager.age fs ~rng ~opts ());
+      (* now squeeze one more large file into what's left *)
+      Workload.Extents.write_and_measure fs ~path:"/aged-big" ~mb:16)
+
+(* ---------- I/O patterns ---------- *)
+
+type io_pattern = {
+  label : string;
+  disk_reads : int;
+  disk_writes : int;
+  blocks_per_read : float;
+  blocks_per_write : float;
+}
+
+let io_pattern_of (config : Config.t) ~file_mb =
+  let m = Machine.create config in
+  Machine.run m (fun m ->
+      let fs = m.Machine.fs in
+      let cfg =
+        { Workload.Iobench.default_config with Workload.Iobench.file_mb }
+      in
+      ignore (Workload.Iobench.run_phase fs cfg Workload.Iobench.FSW);
+      ignore (Workload.Iobench.run_phase fs cfg Workload.Iobench.FSR);
+      let s = fs.Ufs.Types.stats in
+      let reads = s.Ufs.Types.pgin_ios + s.Ufs.Types.ra_ios in
+      let read_blocks = s.Ufs.Types.pgin_blocks + s.Ufs.Types.ra_blocks in
+      {
+        label = config.Config.name;
+        disk_reads = reads;
+        disk_writes = s.Ufs.Types.push_ios;
+        blocks_per_read =
+          (if reads = 0 then 0. else float_of_int read_blocks /. float_of_int reads);
+        blocks_per_write =
+          (if s.Ufs.Types.push_ios = 0 then 0.
+           else
+             float_of_int s.Ufs.Types.push_blocks
+             /. float_of_int s.Ufs.Types.push_ios);
+      })
+
+let io_patterns ?(file_mb = 16) () =
+  [
+    io_pattern_of Config.config_a ~file_mb;
+    io_pattern_of Config.config_d ~file_mb;
+  ]
+
+(* ---------- ablations ---------- *)
+
+let seq_rates (config : Config.t) ~file_mb =
+  let m = Machine.create config in
+  Machine.run m (fun m ->
+      let fs = m.Machine.fs in
+      let cfg =
+        { Workload.Iobench.default_config with Workload.Iobench.file_mb }
+      in
+      let w = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSW in
+      let r = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSR in
+      (r.Workload.Iobench.kb_per_sec, w.Workload.Iobench.kb_per_sec))
+
+let cluster_size_sweep ?(file_mb = 16)
+    ?(sizes_kb = [ 8; 16; 32; 56; 120; 240 ]) () =
+  List.map
+    (fun kb ->
+      let r, w = seq_rates (Config.with_cluster_kb Config.config_a kb) ~file_mb in
+      (kb, r, w))
+    sizes_kb
+
+let write_limit_sweep ?(file_mb = 16)
+    ?(limits =
+      [ Some 16384; Some 65536; Some 245760; Some 983040; None ]) () =
+  List.map
+    (fun limit ->
+      (* a large-memory machine, so queue depth is set by the limit
+         alone rather than capped by dirty-page back-pressure — this
+         isolates the paper's disksort-window argument *)
+      let config =
+        Config.with_memory_mb (Config.with_write_limit Config.config_a limit) 64
+      in
+      let label =
+        match limit with
+        | None -> "unlimited"
+        | Some n -> Printf.sprintf "%dKB" (n / 1024)
+      in
+      let m = Machine.create config in
+      let fru, fsw =
+        Machine.run m (fun m ->
+            let fs = m.Machine.fs in
+            let cfg =
+              { Workload.Iobench.default_config with Workload.Iobench.file_mb }
+            in
+            let w = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSW in
+            let u = Workload.Iobench.run_phase fs cfg Workload.Iobench.FRU in
+            (u.Workload.Iobench.kb_per_sec, w.Workload.Iobench.kb_per_sec))
+      in
+      (label, fru, fsw))
+    limits
+
+let free_behind_ablation ?(file_mb = 16) () =
+  List.map
+    (fun fb ->
+      let config =
+        Config.with_name
+          (Config.with_free_behind Config.config_a fb)
+          (if fb then "free-behind on" else "free-behind off")
+      in
+      let m = Machine.create config in
+      let fsr, scans, freed =
+        Machine.run m (fun m ->
+            let fs = m.Machine.fs in
+            let cfg =
+              { Workload.Iobench.default_config with Workload.Iobench.file_mb }
+            in
+            Workload.Iobench.prepare fs cfg;
+            let r = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSR in
+            let ps = Vm.Pageout.stats m.Machine.pageout in
+            ( r.Workload.Iobench.kb_per_sec,
+              ps.Vm.Pageout.scans,
+              ps.Vm.Pageout.freed ))
+      in
+      (config.Config.name, fsr, scans, freed))
+    [ true; false ]
+
+let rotdelay_tuning ?(file_mb = 16) () =
+  List.map
+    (fun (label, rd) ->
+      let config =
+        Config.with_name
+          (Config.with_rotdelay Config.config_d rd)
+          label
+      in
+      let r, w = seq_rates config ~file_mb in
+      (label, r, w))
+    [ ("rotdelay 4ms (stock 4.1)", 4); ("rotdelay 0 (tuned, no clustering)", 0) ]
+
+let driver_clustering_ablation ?(file_mb = 16) () =
+  let run (label, config) =
+    let m = Machine.create config in
+    Machine.run m (fun m ->
+        let fs = m.Machine.fs in
+        let cfg =
+          { Workload.Iobench.default_config with Workload.Iobench.file_mb }
+        in
+        let w = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSW in
+        let r = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSR in
+        let coalesced = (Disk.Device.stats m.Machine.dev).Disk.Device.coalesced in
+        ( label,
+          r.Workload.Iobench.kb_per_sec,
+          w.Workload.Iobench.kb_per_sec,
+          coalesced ))
+  in
+  List.map run
+    [
+      ("no clustering (D)", Config.config_d);
+      ( "driver clustering (D + rotdelay 0 + coalescing)",
+        Config.with_driver_clustering
+          (Config.with_rotdelay Config.config_d 0)
+          true );
+      ("file system clustering (A)", Config.config_a);
+    ]
+
+let musbus_comparison () =
+  let run (config : Config.t) =
+    let m = Machine.create config in
+    Machine.run m (fun m ->
+        let r = Workload.Musbus.run m.Machine.fs Workload.Musbus.default_config in
+        ( config.Config.name,
+          r.Workload.Musbus.units_per_sec,
+          Sim.Time.to_sec_float r.Workload.Musbus.sys_cpu ))
+  in
+  [ run Config.config_a; run Config.config_d ]
+
+let border_ablation ?(nfiles = 200) () =
+  let run label features =
+    let config =
+      Config.with_name (Config.with_features Config.config_a features) label
+    in
+    let m = Machine.create config in
+    Machine.run m (fun m ->
+        let fs = m.Machine.fs in
+        let c = Workload.Metaops.create_many fs ~dir:"/many" ~n:nfiles () in
+        let r = Workload.Metaops.remove_all fs ~dir:"/many" in
+        ( label,
+          (c.Workload.Metaops.ms_per_op, c.Workload.Metaops.ms_per_op_synced),
+          (r.Workload.Metaops.ms_per_op, r.Workload.Metaops.ms_per_op_synced) ))
+  in
+  [
+    run "synchronous metadata (stock UFS)" Ufs.Types.features_clustered;
+    run "B_ORDER: async ordered metadata"
+      { Ufs.Types.features_clustered with Ufs.Types.ordered_metadata = true };
+  ]
+
+let extent_fs_comparison ?(file_mb = 16) ?(extent_sizes_kb = [ 8; 56; 120; 1024 ])
+    () =
+  let efs_run extent_kb =
+    let engine = Sim.Engine.create () in
+    let cpu = Sim.Cpu.create engine in
+    let pool = Vm.Pool.create engine (Vm.Param.default ~memory_mb:8 ()) in
+    let _daemon = Vm.Pageout.start pool cpu in
+    let dev = Disk.Device.create engine Disk.Device.default_config in
+    let efs = Efs.create engine cpu pool dev ~extent_kb () in
+    let result = ref None in
+    Sim.Engine.spawn engine (fun () ->
+        let f = Efs.creat efs "bench" in
+        let total = file_mb * 1024 * 1024 in
+        let buf = Bytes.make Ufs.Layout.bsize 'e' in
+        let t0 = Sim.Engine.now engine in
+        let rec wloop off =
+          if off < total then begin
+            Efs.write efs f ~off ~buf ~len:Ufs.Layout.bsize;
+            wloop (off + Ufs.Layout.bsize)
+          end
+        in
+        wloop 0;
+        Efs.fsync efs f;
+        let wtime = Sim.Engine.now engine - t0 in
+        Efs.reset_readahead efs f;
+        let t1 = Sim.Engine.now engine in
+        let rec rloop off =
+          if off < total then begin
+            ignore (Efs.read efs f ~off ~buf ~len:Ufs.Layout.bsize);
+            rloop (off + Ufs.Layout.bsize)
+          end
+        in
+        rloop 0;
+        let rtime = Sim.Engine.now engine - t1 in
+        let kb = float_of_int (total / 1024) in
+        result :=
+          Some
+            ( kb /. Sim.Time.to_sec_float rtime,
+              kb /. Sim.Time.to_sec_float wtime ));
+    Sim.Engine.run engine;
+    Option.get !result
+  in
+  let efs_rows =
+    List.map
+      (fun kb ->
+        let r, w = efs_run kb in
+        (Printf.sprintf "extent FS, %dKB extents" kb, r, w))
+      extent_sizes_kb
+  in
+  let ufs_row (config : Config.t) label =
+    let m = Machine.create config in
+    let r, w =
+      Machine.run m (fun m ->
+          let fs = m.Machine.fs in
+          let cfg =
+            { Workload.Iobench.default_config with Workload.Iobench.file_mb }
+          in
+          let w = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSW in
+          let r = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSR in
+          (r.Workload.Iobench.kb_per_sec, w.Workload.Iobench.kb_per_sec))
+    in
+    (label, r, w)
+  in
+  efs_rows
+  @ [
+      ufs_row Config.config_a "clustered UFS (A, 120KB clusters)";
+      ufs_row Config.config_d "old UFS (D)";
+    ]
+
+let request_size_sweep ?(file_mb = 8) ?(sizes_kb = [ 1; 2; 4; 8; 16; 32; 64 ])
+    () =
+  List.map
+    (fun kb ->
+      let m = Machine.create Config.config_a in
+      Machine.run m (fun m ->
+          let fs = m.Machine.fs in
+          let cfg =
+            { Workload.Iobench.default_config with Workload.Iobench.file_mb }
+          in
+          Workload.Iobench.prepare fs cfg;
+          let ip = Ufs.Fs.namei fs cfg.Workload.Iobench.path in
+          let engine = m.Machine.engine in
+          let req = kb * 1024 in
+          let buf = Bytes.create req in
+          let total = file_mb * 1024 * 1024 in
+          let t0 = Sim.Engine.now engine in
+          let c0 = Sim.Cpu.sys_time m.Machine.cpu in
+          let rec loop off =
+            if off < total then begin
+              ignore (Ufs.Fs.read fs ip ~off ~buf ~len:req);
+              loop (off + req)
+            end
+          in
+          loop 0;
+          let dt = Sim.Engine.now engine - t0 in
+          let cpu = Sim.Cpu.sys_time m.Machine.cpu - c0 in
+          Ufs.Iops.iput fs ip;
+          ( kb,
+            float_of_int (total / 1024) /. Sim.Time.to_sec_float dt,
+            Sim.Time.to_sec_float cpu /. float_of_int file_mb )))
+    sizes_kb
+
+(* a small three-zone drive: 72/54/40 sectors per track *)
+let zoned_geom =
+  (* a wider track skew, sized for the fastest (outer) zone's switch
+     time: 1 ms at 72 sectors/track is ~5.2 sectors *)
+  Disk.Geom.create ~rpm:4316 ~nheads:6 ~track_skew:6 ~cyl_skew:16
+    ~zones:
+      [
+        { Disk.Geom.cyls = 120; spt = 72 };
+        { Disk.Geom.cyls = 140; spt = 54 };
+        { Disk.Geom.cyls = 120; spt = 40 };
+      ]
+    ()
+
+let zoned_disk ?(file_mb = 8) () =
+  let config =
+    {
+      Config.config_a with
+      Config.name = "A/zoned";
+      disk = { Disk.Device.default_config with Disk.Device.geom = zoned_geom };
+      mkfs =
+        {
+          Config.config_a.Config.mkfs with
+          Ufs.Fs.fpg = 4096;
+          ipg = 512;
+          (* a small reserve, so the filler can push the test file all
+             the way into the innermost zone *)
+          minfree_pct = 2;
+        };
+    }
+  in
+  let m = Machine.create config in
+  Machine.run m (fun m ->
+      let fs = m.Machine.fs in
+      let dev = m.Machine.dev in
+      let engine = m.Machine.engine in
+      (* raw media rate per zone: stream 2 MB off the device at each
+         zone's start *)
+      let raw_rate sector =
+        let count = 4096 (* 2 MB in sectors *) in
+        let buf = Bytes.create (count * 512) in
+        let t0 = Sim.Engine.now engine in
+        Disk.Device.read_sync dev ~sector ~count ~buf ~buf_off:0;
+        float_of_int (count * 512 / 1024) /. Sim.Time.to_sec_float (Sim.Engine.now engine - t0)
+      in
+      let z0 = raw_rate 0 in
+      let z1 = raw_rate (120 * 6 * 72) in
+      let z2 = raw_rate ((120 * 6 * 72) + (140 * 6 * 54)) in
+      (* FSR of a file in the outer zone (fresh fs allocates low) *)
+      let bench file =
+        let cfg =
+          { Workload.Iobench.default_config with Workload.Iobench.file_mb;
+            path = file }
+        in
+        let ip = Ufs.Fs.creat fs file in
+        let buf = Bytes.make Ufs.Layout.bsize 'z' in
+        for i = 0 to (file_mb * 128) - 1 do
+          Ufs.Fs.write fs ip ~off:(i * Ufs.Layout.bsize) ~buf ~len:Ufs.Layout.bsize
+        done;
+        Ufs.Fs.fsync fs ip;
+        Ufs.Iops.iput fs ip;
+        (Workload.Iobench.run_phase fs cfg Workload.Iobench.FSR)
+          .Workload.Iobench.kb_per_sec
+      in
+      let outer = bench "/outer" in
+      (* consume the outer zones so the next file lands in the inner one *)
+      let filler = Ufs.Fs.creat fs "/filler" in
+      let buf = Bytes.make Ufs.Layout.bsize 'f' in
+      (* leave room for the inner-zone test file (plus slack) above the
+         minfree reserve *)
+      let keep_frags = (file_mb + 1) * 1024 in
+      (try
+         let i = ref 0 in
+         while
+           Ufs.Alloc.total_free_frags fs
+           - Ufs.Superblock.minfree_frags fs.Ufs.Types.sb
+           > keep_frags
+         do
+           Ufs.Fs.write fs filler ~off:(!i * Ufs.Layout.bsize) ~buf
+             ~len:Ufs.Layout.bsize;
+           incr i
+         done
+       with Vfs.Errno.Error (Vfs.Errno.ENOSPC, _) -> ());
+      Ufs.Fs.fsync fs filler;
+      Ufs.Iops.iput fs filler;
+      let inner = bench "/inner" in
+      [
+        ("raw media rate, outer zone (72 spt)", z0);
+        ("raw media rate, middle zone (54 spt)", z1);
+        ("raw media rate, inner zone (40 spt)", z2);
+        ("FSR, file in outer zone", outer);
+        ("FSR, file in inner zone", inner);
+      ])
+
+let future_work_ablation ?(file_mb = 16) () =
+  let mmap_cpu_with label features =
+    let config =
+      Config.with_name (Config.with_features Config.config_a features) label
+    in
+    let r = mmap_cpu config ~file_mb in
+    (label, Sim.Time.to_sec_float r.Workload.Mmap_bench.sys_cpu)
+  in
+  let base = Ufs.Types.features_clustered in
+  let random_big_reads label features =
+    (* 24 KB random reads: the paper's "random clustering" example *)
+    let config =
+      Config.with_name (Config.with_features Config.config_a features) label
+    in
+    let m = Machine.create config in
+    let kbps =
+      Machine.run m (fun m ->
+          let fs = m.Machine.fs in
+          let cfg =
+            { Workload.Iobench.default_config with Workload.Iobench.file_mb }
+          in
+          Workload.Iobench.prepare fs cfg;
+          let ip = Ufs.Fs.namei fs "/iobench" in
+          let rng = Sim.Rng.create ~seed:3 in
+          let req = 24 * 1024 in
+          let buf = Bytes.create req in
+          let span = (file_mb * 1024 * 1024 / req) - 1 in
+          let t0 = Sim.Engine.now m.Machine.engine in
+          let ops = 256 in
+          for _ = 1 to ops do
+            let off = Sim.Rng.int rng span * req in
+            ignore (Ufs.Fs.read fs ip ~off ~buf ~len:req)
+          done;
+          Ufs.Iops.iput fs ip;
+          let dt = Sim.Engine.now m.Machine.engine - t0 in
+          float_of_int (ops * req) /. 1024. /. Sim.Time.to_sec_float dt)
+    in
+    (label, kbps)
+  in
+  [
+    mmap_cpu_with "mmap CPU s: baseline clustered" base;
+    mmap_cpu_with "mmap CPU s: + bmap cache"
+      { base with Ufs.Types.bmap_cache = true };
+    mmap_cpu_with "mmap CPU s: + UFS_HOLE bmap skip"
+      { base with Ufs.Types.skip_bmap_if_no_holes = true };
+    random_big_reads "24KB random read KB/s: no hint" base;
+    random_big_reads "24KB random read KB/s: + getpage hint"
+      { base with Ufs.Types.getpage_hint = true };
+  ]

@@ -1,0 +1,128 @@
+(** Experiment drivers: one function per paper figure/table plus the
+    ablations called out in DESIGN.md.  Each builds fresh machines from
+    {!Config.t} values, runs the workloads, and returns plain data the
+    bench harness formats (paper-reported values are included as
+    constants so every table prints paper-vs-measured). *)
+
+(* ---------- Figures 9/10/11: IObench ---------- *)
+
+type iobench_row = {
+  config : string;
+  fsr : float;
+  fsu : float;
+  fsw : float;
+  frr : float;
+  fru : float;
+}
+
+val paper_figure10 : iobench_row list
+(** The paper's measured KB/s (Figure 10). *)
+
+val figure10 : ?file_mb:int -> ?random_ops:int -> unit -> iobench_row list
+(** Run IObench on configs A-D.  Defaults: 16 MB file, 512 random ops. *)
+
+val cpu_utilization : ?file_mb:int -> unit -> (string * float * float) list
+(** (config, FSR KB/s, CPU utilisation during FSR) for A and D — the
+    paper's motivation: "about half of a 12MIPS CPU was used to get half
+    of the disk bandwidth of a 1.5MB/second disk". *)
+
+val ratios : iobench_row list -> base:string -> others:string list ->
+  (string * iobench_row) list
+(** Figure 11: [base]/[other] ratio rows, labelled "A/B" etc. *)
+
+(* ---------- Figure 12: system CPU ---------- *)
+
+type cpu_row = { label : string; sys_cpu_s : float; io_kb_per_sec : float }
+
+val paper_figure12 : cpu_row list
+
+val figure12 : ?file_mb:int -> unit -> cpu_row list
+(** 16 MB mmap read, new (A) vs old (D) UFS. *)
+
+(* ---------- Allocator extents (E5) ---------- *)
+
+val allocator_best_case : ?mb:int -> unit -> Workload.Extents.measurement
+(** Fresh file system, one 13 MB file. *)
+
+val allocator_worst_case : unit -> Workload.Extents.measurement
+(** Heavily aged small file system filled to ~85%, then one more large
+    file squeezed into the remaining space. *)
+
+(* ---------- Read-ahead / write-cluster I/O patterns (E6/E7) ---------- *)
+
+type io_pattern = {
+  label : string;
+  disk_reads : int;
+  disk_writes : int;
+  blocks_per_read : float;
+  blocks_per_write : float;
+}
+
+val io_patterns : ?file_mb:int -> unit -> io_pattern list
+(** Sequential read + write of a file under configs A and D: how many
+    disk requests it takes and their average size — the figures 3/6/7
+    behaviour as counts. *)
+
+(* ---------- Ablations ---------- *)
+
+val cluster_size_sweep : ?file_mb:int -> ?sizes_kb:int list -> unit ->
+  (int * float * float) list
+(** E11: (cluster KB, FSR KB/s, FSW KB/s). *)
+
+val write_limit_sweep : ?file_mb:int -> ?limits:int option list -> unit ->
+  (string * float * float) list
+(** E9: (limit label, FRU KB/s, FSW KB/s).  [None] = unlimited. *)
+
+val free_behind_ablation : ?file_mb:int -> unit ->
+  (string * float * int * int) list
+(** E10: (label, FSR KB/s, pageout scans, pages freed by daemon) with
+    free-behind on and off, streaming 2x memory. *)
+
+val rotdelay_tuning : ?file_mb:int -> unit -> (string * float * float) list
+(** E12: the rejected "just set rotdelay to 0" tuning — (label, FSR,
+    FSW) for rotdelay 4 ms and rotdelay 0, both without clustering. *)
+
+val driver_clustering_ablation : ?file_mb:int -> unit ->
+  (string * float * float * int) list
+(** E8: (label, FSR, FSW, coalesced-request count) for no clustering,
+    driver-level clustering, and file-system clustering. *)
+
+val musbus_comparison : unit -> (string * float * float) list
+(** E13: (config, work-units/sec, sys CPU seconds) for A and D. *)
+
+val border_ablation :
+  ?nfiles:int -> unit ->
+  (string * (float * float) * (float * float)) list
+(** The B_ORDER further-work item: [(label, (create ms/op, drained),
+    (rm ms/op, drained))] for synchronous directory metadata vs
+    asynchronous ordered writes.  The first of each pair is the
+    user-perceived latency; the second includes the queue drain. *)
+
+val extent_fs_comparison : ?file_mb:int -> ?extent_sizes_kb:int list -> unit ->
+  (string * float * float) list
+(** The title claim, measured: (label, FSR KB/s, FSW KB/s) for a true
+    extent-based file system at several user-chosen extent sizes, next
+    to the clustered UFS (A) and the old UFS (D) on identical hardware.
+    Expect clustered UFS to match the well-tuned extent FS — and the
+    badly-tuned extent sizes to show why exposing the knob is a trap. *)
+
+val request_size_sweep : ?file_mb:int -> ?sizes_kb:int list -> unit ->
+  (int * float * float) list
+(** (request KB, FSR KB/s, CPU seconds per MB) for sequential reads with
+    different read(2) sizes on config A — how per-call overhead
+    amortises above the block size and why 8 KB calls were the paper's
+    norm. *)
+
+val zoned_disk : ?file_mb:int -> unit -> (string * float) list
+(** The variable-geometry argument against user-chosen extents: on a
+    zoned drive the media rate itself changes across the disk, so the
+    same cluster tuning yields different sequential rates at the outer
+    and inner zones — "such a drive may have different values for the
+    optimal extent size at different locations".  Returns labelled
+    KB/s figures: raw media rate per zone and FSR for a file placed in
+    each zone. *)
+
+val future_work_ablation : ?file_mb:int -> unit -> (string * float) list
+(** Bmap cache, UFS_HOLE skip and getpage-hint random clustering:
+    (label, metric) pairs — see the bench output for the metric of each
+    row (CPU seconds or KB/s). *)

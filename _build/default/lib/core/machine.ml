@@ -1,0 +1,56 @@
+type t = {
+  config : Config.t;
+  engine : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  pool : Vm.Pool.t;
+  pageout : Vm.Pageout.t;
+  dev : Disk.Device.t;
+  fs : Ufs.Types.fs;
+}
+
+let build (config : Config.t) ~format ~image =
+  let engine = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create engine in
+  let pool =
+    Vm.Pool.create engine (Vm.Param.default ~memory_mb:config.Config.memory_mb ())
+  in
+  let pageout = Vm.Pageout.start pool cpu in
+  let dev = Disk.Device.create engine config.Config.disk in
+  (match image with
+  | Some src -> Disk.Store.copy_into src (Disk.Device.store dev)
+  | None -> ());
+  if format then Ufs.Fs.mkfs dev ~opts:config.Config.mkfs ();
+  let fs =
+    Ufs.Fs.mount engine cpu pool dev ~features:config.Config.features
+      ~costs:config.Config.costs ()
+  in
+  { config; engine; cpu; pool; pageout; dev; fs }
+
+let create config = build config ~format:true ~image:None
+
+let create_no_format config store =
+  build config ~format:false ~image:(Some store)
+
+let run t f =
+  let result = ref None in
+  Sim.Engine.spawn t.engine ~name:"experiment" (fun () ->
+      match f t with
+      | v -> result := Some (Ok v)
+      | exception e ->
+          result := Some (Error (e, Printexc.get_raw_backtrace ())));
+  Sim.Engine.run t.engine;
+  match !result with
+  | Some (Ok v) -> v
+  | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+  | None ->
+      raise
+        (Sim.Engine.Deadlock
+           "experiment process never completed (blocked forever)")
+
+let snapshot_store t = Disk.Device.store t.dev
+
+let crash t =
+  let src = Disk.Device.store t.dev in
+  let copy = Disk.Store.create ~size:(Disk.Store.size src) in
+  Disk.Store.copy_into src copy;
+  copy

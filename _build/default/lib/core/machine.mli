@@ -1,0 +1,37 @@
+(** A whole simulated machine: engine, CPU, memory pool with pageout
+    daemon, disk, and a mounted UFS.  The unit every experiment runs
+    against. *)
+
+type t = {
+  config : Config.t;
+  engine : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  pool : Vm.Pool.t;
+  pageout : Vm.Pageout.t;
+  dev : Disk.Device.t;
+  fs : Ufs.Types.fs;
+}
+
+val create : Config.t -> t
+(** Build the machine, mkfs the disk and mount it. *)
+
+val create_no_format : Config.t -> Disk.Store.t -> t
+(** Build a machine around an existing disk image (the aged-file-system
+    experiments reuse a store across machines).  The store is copied
+    onto the new machine's disk. *)
+
+val run : t -> (t -> 'a) -> 'a
+(** Run [f] as a simulation process, drive the engine until it (and all
+    I/O it started) completes, and return its result.  An exception
+    raised by [f] is re-raised here with its original backtrace;
+    a deadlock raises {!Sim.Engine.Deadlock}. *)
+
+val snapshot_store : t -> Disk.Store.t
+(** The machine's live backing store (shared, not copied). *)
+
+val crash : t -> Disk.Store.t
+(** Power failure: a deep copy of the disk exactly as it stands —
+    whatever is still in the page cache, the metadata cache or the disk
+    queue is lost.  Run {!Ufs.Fsck.check} over a device built from the
+    copy (or hand it to {!create_no_format}) to study the wreckage.
+    The simulation itself keeps running; crash as often as you like. *)

@@ -1,0 +1,1 @@
+lib/disk/device.ml: Bytes Disksort Geom List Request Seek Sim Store Track_buffer

@@ -1,0 +1,1 @@
+lib/disk/device.mli: Disksort Geom Request Seek Sim Store

@@ -1,0 +1,1 @@
+lib/disk/disksort.ml: List Request

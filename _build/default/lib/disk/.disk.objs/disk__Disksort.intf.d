@@ -1,0 +1,1 @@
+lib/disk/disksort.mli: Request

@@ -1,0 +1,1 @@
+lib/disk/geom.ml: Float List Printf

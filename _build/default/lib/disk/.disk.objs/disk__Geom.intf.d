@@ -1,0 +1,1 @@
+lib/disk/geom.mli: Sim

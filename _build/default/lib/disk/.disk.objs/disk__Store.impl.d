@@ -1,0 +1,1 @@
+lib/disk/store.ml: Bytes Fun Hashtbl List Printf

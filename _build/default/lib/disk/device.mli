@@ -1,0 +1,94 @@
+(** The simulated disk drive: queue + head + platter + controller.
+
+    A dedicated simulation process services the request queue.  For each
+    request it charges, in virtual time: fixed controller command
+    overhead, a seek when the cylinder changes, a head switch within a
+    cylinder, rotational latency to reach the first sector, and the
+    media transfer time of every sector — segment by segment across
+    track boundaries, honouring track/cylinder skew.  Reads wholly
+    inside the buffered track are instead served at SCSI bus speed
+    ({!config.bus_bytes_per_sec}); a mechanical read leaves its last
+    track in the buffer.  Writes are always mechanical (write-through),
+    matching the paper's argument for keeping rotational delays on
+    non-clustered writes.
+
+    Data really moves: a read copies from the {!Store.t} into the
+    request buffer at completion time; a write copies into the store.
+
+    All timing knobs live in {!config} so experiments can run the same
+    file system against drives with and without track buffers, FIFO vs
+    elevator queues, and with driver-level clustering (the paper's
+    rejected alternative). *)
+
+type config = {
+  geom : Geom.t;
+  seek : Seek.t;
+  track_buffer : bool;
+  bus_bytes_per_sec : int;  (** track-buffer hit transfer rate *)
+  cmd_overhead : Sim.Time.t;  (** per-command controller overhead *)
+  head_switch : Sim.Time.t;  (** head change within a cylinder *)
+  policy : Disksort.policy;
+  driver_clustering : bool;
+      (** coalesce physically adjacent queued requests at service time *)
+}
+
+val default_config : config
+(** The paper's testbed drive: {!Geom.sun0400}, elevator sort, track
+    buffer on, 4 MB/s bus, 1 ms command overhead, 1 ms head switch, no
+    driver clustering. *)
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable sectors_read : int;
+  mutable sectors_written : int;
+  mutable busy : Sim.Time.t;  (** time spent servicing requests *)
+  mutable seek_time : Sim.Time.t;
+  mutable rot_wait : Sim.Time.t;
+  mutable transfer_time : Sim.Time.t;
+  mutable coalesced : int;  (** requests absorbed by driver clustering *)
+  read_latency : Sim.Stats.Summary.t;
+  write_latency : Sim.Stats.Summary.t;
+  queue_depth : Sim.Stats.Summary.t;  (** sampled at each enqueue *)
+}
+
+type event = {
+  at : Sim.Time.t;
+  kind : Request.kind;
+  sector : int;
+  count : int;
+  buffered_hit : bool;  (** fully served from the track buffer *)
+}
+
+type t
+
+val create : Sim.Engine.t -> config -> t
+(** Creates the drive and spawns its service process. *)
+
+val config : t -> config
+val store : t -> Store.t
+(** Direct access to the backing bytes — used by mkfs/fsck for offline
+    (un-timed) access and by tests. *)
+
+val engine : t -> Sim.Engine.t
+val sector_bytes : t -> int
+val capacity_bytes : t -> int
+
+val submit : t -> Request.t -> unit
+(** Enqueue; returns immediately.  Completion via
+    {!Request.on_complete} or {!Request.wait}. *)
+
+val read_sync : t -> sector:int -> count:int -> buf:bytes -> buf_off:int -> unit
+(** Convenience: build, submit and wait.  Must run inside a process. *)
+
+val write_sync : t -> sector:int -> count:int -> buf:bytes -> buf_off:int -> unit
+
+val quiesce : t -> unit
+(** Block until the queue is empty and the drive idle (fsync/unmount). *)
+
+val queue_length : t -> int
+val busy : t -> bool
+val stats : t -> stats
+val trace : t -> event Sim.Trace.t
+val track_buffer_stats : t -> int * int
+(** (hits, misses). *)

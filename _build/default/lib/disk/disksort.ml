@@ -1,0 +1,86 @@
+type policy = Fifo | Elevator
+
+type t = { policy : policy; mutable q : Request.t list (* arrival order *) }
+
+let create policy = { policy; q = [] }
+let length t = List.length t.q
+let is_empty t = t.q = []
+let enqueue t r = t.q <- t.q @ [ r ]
+
+(* Requests that may legally be served now: the arrival-order prefix up
+   to (excluding) the first B_ORDER request — or just that ordered
+   request when it is at the head of the queue. *)
+let eligible t =
+  match t.q with
+  | [] -> []
+  | first :: _ when first.Request.ordered -> [ first ]
+  | q ->
+      let rec prefix = function
+        | [] -> []
+        | r :: _ when r.Request.ordered -> []
+        | r :: rest -> r :: prefix rest
+      in
+      prefix q
+
+let remove t r = t.q <- List.filter (fun x -> x.Request.id <> r.Request.id) t.q
+
+let next t ~head_sector =
+  match eligible t with
+  | [] -> None
+  | [ r ] ->
+      remove t r;
+      Some r
+  | candidates ->
+      let chosen =
+        match t.policy with
+        | Fifo -> List.hd candidates
+        | Elevator ->
+            let ahead =
+              List.filter (fun r -> r.Request.sector >= head_sector) candidates
+            in
+            let best_of rs =
+              List.fold_left
+                (fun acc r ->
+                  match acc with
+                  | None -> Some r
+                  | Some b ->
+                      if r.Request.sector < b.Request.sector then Some r
+                      else acc)
+                None rs
+            in
+            let pick =
+              match best_of ahead with Some r -> Some r | None -> best_of candidates
+            in
+            (match pick with Some r -> r | None -> assert false)
+      in
+      remove t chosen;
+      Some chosen
+
+let absorb_contiguous t (r : Request.t) =
+  let chain_lo = ref r.Request.sector
+  and chain_hi = ref (Request.end_sector r) in
+  let absorbed = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let cands = eligible t in
+    let extend c =
+      if c.Request.kind = r.Request.kind then
+        if c.Request.sector = !chain_hi then begin
+          chain_hi := Request.end_sector c;
+          absorbed := c :: !absorbed;
+          remove t c;
+          progress := true
+        end
+        else if Request.end_sector c = !chain_lo then begin
+          chain_lo := c.Request.sector;
+          absorbed := c :: !absorbed;
+          remove t c;
+          progress := true
+        end
+    in
+    List.iter extend cands
+  done;
+  List.sort (fun a b -> compare a.Request.sector b.Request.sector) !absorbed
+
+let iter t f = List.iter f t.q

@@ -1,0 +1,84 @@
+type zone = { cyls : int; spt : int }
+
+type t = {
+  sector_bytes : int;
+  nheads : int;
+  zones : zone list;
+  rpm : int;
+  track_skew : int;
+  cyl_skew : int;
+  total_sectors : int;
+  ncyls : int;
+}
+
+type chs = { cyl : int; head : int; sector : int; spt : int }
+
+let create ?(sector_bytes = 512) ?(rpm = 3600) ?(track_skew = 4) ?(cyl_skew = 13)
+    ~nheads ~zones () =
+  if nheads <= 0 then invalid_arg "Geom.create: nheads";
+  if zones = [] then invalid_arg "Geom.create: no zones";
+  List.iter
+    (fun z ->
+      if z.cyls <= 0 || z.spt <= 0 then invalid_arg "Geom.create: bad zone")
+    zones;
+  let total_sectors =
+    List.fold_left (fun acc z -> acc + (z.cyls * nheads * z.spt)) 0 zones
+  in
+  let ncyls = List.fold_left (fun acc z -> acc + z.cyls) 0 zones in
+  { sector_bytes; nheads; zones; rpm; track_skew; cyl_skew; total_sectors; ncyls }
+
+(* The paper's drive was a 400 MB 3.5-inch IBM SCSI disk (the 0661
+   "Lightning": ~4316 rpm, 14 heads).  48 sectors/track at 4316 rpm
+   gives a ~1.73 MB/s media rate and a 13.9 ms rotation — consistent
+   with the paper's "1.5MB/second disk" and "about 16 milliseconds"
+   rotation figures. *)
+let sun0400 = create ~rpm:4316 ~nheads:14 ~zones:[ { cyls = 1220; spt = 48 } ] ()
+
+let zoned_example =
+  create ~nheads:9 ~track_skew:6 ~cyl_skew:16
+    ~zones:
+      [
+        { cyls = 500; spt = 72 };
+        { cyls = 600; spt = 54 };
+        { cyls = 500; spt = 40 };
+      ]
+    ()
+
+let rotation_time t = 60 * 1_000_000 / t.rpm
+let sector_time t ~spt = rotation_time t / spt
+
+let to_chs t s =
+  if s < 0 || s >= t.total_sectors then
+    invalid_arg (Printf.sprintf "Geom.to_chs: sector %d out of range" s);
+  let rec loop cyl_base sec_base = function
+    | [] -> assert false
+    | z :: rest ->
+        let zone_sectors = z.cyls * t.nheads * z.spt in
+        if s < sec_base + zone_sectors then begin
+          let rel = s - sec_base in
+          let per_cyl = t.nheads * z.spt in
+          let cyl = cyl_base + (rel / per_cyl) in
+          let in_cyl = rel mod per_cyl in
+          { cyl; head = in_cyl / z.spt; sector = in_cyl mod z.spt; spt = z.spt }
+        end
+        else loop (cyl_base + z.cyls) (sec_base + zone_sectors) rest
+  in
+  loop 0 0 t.zones
+
+let capacity_bytes t = t.total_sectors * t.sector_bytes
+
+let track_start_angle t chs =
+  let skew_sectors = (chs.head * t.track_skew) + (chs.cyl * t.cyl_skew) in
+  float_of_int (skew_sectors mod chs.spt) /. float_of_int chs.spt
+
+let sector_angle t chs =
+  let a =
+    track_start_angle t chs +. (float_of_int chs.sector /. float_of_int chs.spt)
+  in
+  a -. Float.of_int (int_of_float a)
+
+let angle_at t now =
+  let rot = rotation_time t in
+  float_of_int (now mod rot) /. float_of_int rot
+
+let sectors_in_track_after _t chs = chs.spt - chs.sector

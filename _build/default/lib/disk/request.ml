@@ -1,0 +1,65 @@
+type kind = Read | Write
+
+type t = {
+  kind : kind;
+  sector : int;
+  count : int;
+  buf : bytes;
+  buf_off : int;
+  ordered : bool;
+  id : int;
+  mutable enq_at : Sim.Time.t;
+  mutable start_at : Sim.Time.t;
+  mutable finish_at : Sim.Time.t;
+  mutable completed : bool;
+  mutable callbacks : (unit -> unit) list;
+  mutable waiters : (unit -> unit) list;
+  mutable absorbed_into : t option;
+}
+
+let next_id = ref 0
+
+let make ?(ordered = false) ~kind ~sector ~count ~buf ~buf_off () =
+  if sector < 0 || count <= 0 then invalid_arg "Request.make: bad extent";
+  if buf_off < 0 || buf_off + (count * 512) > Bytes.length buf then
+    invalid_arg "Request.make: buffer too small";
+  incr next_id;
+  {
+    kind;
+    sector;
+    count;
+    buf;
+    buf_off;
+    ordered;
+    id = !next_id;
+    enq_at = 0;
+    start_at = 0;
+    finish_at = 0;
+    completed = false;
+    callbacks = [];
+    waiters = [];
+    absorbed_into = None;
+  }
+
+let on_complete t f =
+  if t.completed then f () else t.callbacks <- f :: t.callbacks
+
+let wait engine t =
+  if not t.completed then
+    Sim.Engine.suspend engine ~register:(fun resume ->
+        t.waiters <- resume :: t.waiters)
+
+let complete t ~now =
+  assert (not t.completed);
+  t.completed <- true;
+  t.finish_at <- now;
+  let cbs = List.rev t.callbacks and ws = List.rev t.waiters in
+  t.callbacks <- [];
+  t.waiters <- [];
+  List.iter (fun f -> f ()) cbs;
+  List.iter (fun w -> w ()) ws
+
+let set_enq_at t at = t.enq_at <- at
+let set_start_at t at = t.start_at <- at
+let latency t = t.finish_at - t.enq_at
+let end_sector t = t.sector + t.count

@@ -1,0 +1,62 @@
+(** Disk I/O requests.
+
+    A request names a contiguous run of sectors, carries the data buffer
+    it reads into / writes from, and records its lifecycle timestamps
+    for latency accounting.  Completion is observable two ways: by
+    blocking ({!wait}) — the synchronous read path — or by callback
+    ({!on_complete}) — the asynchronous write path, where the callback
+    releases the inode's write-limit semaphore and marks pages clean.
+
+    [ordered] is the paper's proposed [B_ORDER] flag: the queue must not
+    reorder other requests across an ordered one. *)
+
+type kind = Read | Write
+
+type t = private {
+  kind : kind;
+  sector : int;
+  count : int;  (** sectors *)
+  buf : bytes;
+  buf_off : int;
+  ordered : bool;
+  id : int;
+  mutable enq_at : Sim.Time.t;
+  mutable start_at : Sim.Time.t;
+  mutable finish_at : Sim.Time.t;
+  mutable completed : bool;
+  mutable callbacks : (unit -> unit) list;
+  mutable waiters : (unit -> unit) list;
+  mutable absorbed_into : t option;
+      (** set when driver-level clustering folded this request into a
+          neighbouring one; completion then tracks the absorber *)
+}
+
+val make :
+  ?ordered:bool -> kind:kind -> sector:int -> count:int -> buf:bytes ->
+  buf_off:int -> unit -> t
+(** [buf] must have at least [count * 512] bytes available at
+    [buf_off]. *)
+
+val on_complete : t -> (unit -> unit) -> unit
+(** Register a completion callback; called immediately if already
+    complete. *)
+
+val wait : Sim.Engine.t -> t -> unit
+(** Block the calling process until the request completes (no-op if it
+    already has). *)
+
+val complete : t -> now:Sim.Time.t -> unit
+(** Mark complete; fires callbacks then wakes waiters.  Internal to the
+    disk layer. *)
+
+val set_enq_at : t -> Sim.Time.t -> unit
+(** Internal to the disk layer: stamp enqueue time. *)
+
+val set_start_at : t -> Sim.Time.t -> unit
+(** Internal to the disk layer: stamp service-start time. *)
+
+val latency : t -> Sim.Time.t
+(** [finish_at - enq_at]; only meaningful once completed. *)
+
+val end_sector : t -> int
+(** First sector past the request. *)

@@ -1,0 +1,15 @@
+type t = { settle_us : int; coeff_us : float; max_us : int }
+
+let create ?(settle_us = 2000) ?(coeff_us = 480.0) ?(max_us = 30000) () =
+  { settle_us; coeff_us; max_us }
+
+let default = create ()
+
+let time t ~from_cyl ~to_cyl =
+  let d = abs (to_cyl - from_cyl) in
+  if d = 0 then 0
+  else
+    let v = t.settle_us + int_of_float (t.coeff_us *. sqrt (float_of_int d)) in
+    min v t.max_us
+
+let average t ~ncyls = time t ~from_cyl:0 ~to_cyl:(ncyls / 3)

@@ -1,0 +1,24 @@
+(** Head seek-time model.
+
+    The usual three-piece characterisation of a voice-coil actuator:
+    zero for no movement, a settle-dominated minimum for short seeks,
+    and an [a + b*sqrt(distance)] curve (acceleration-limited) capped at
+    a maximum for full-stroke seeks.  Defaults give roughly a 13 ms
+    average seek over a 1600-cylinder drive — period-typical. *)
+
+type t
+
+val create :
+  ?settle_us:int -> ?coeff_us:float -> ?max_us:int -> unit -> t
+(** [settle_us] (default 2000) is charged for any non-zero seek;
+    [coeff_us] (default 480.0) multiplies [sqrt cylinders];
+    [max_us] (default 30000) caps the total. *)
+
+val default : t
+
+val time : t -> from_cyl:int -> to_cyl:int -> Sim.Time.t
+(** Seek duration between two cylinders; zero if equal. *)
+
+val average : t -> ncyls:int -> Sim.Time.t
+(** Mean seek time between two uniformly random cylinders, estimated by
+    the standard third-stroke approximation. *)

@@ -1,0 +1,96 @@
+let chunk_bytes = 8192
+
+type t = { size : int; chunks : (int, bytes) Hashtbl.t }
+
+let create ~size =
+  if size <= 0 then invalid_arg "Store.create: size must be positive";
+  { size; chunks = Hashtbl.create 1024 }
+
+let size t = t.size
+
+let check t off len =
+  if off < 0 || len < 0 || off + len > t.size then
+    invalid_arg
+      (Printf.sprintf "Store: access [%d,%d) outside [0,%d)" off (off + len)
+         t.size)
+
+let read t ~off ~len dst dst_off =
+  check t off len;
+  let pos = ref off and remaining = ref len and d = ref dst_off in
+  while !remaining > 0 do
+    let ci = !pos / chunk_bytes in
+    let coff = !pos mod chunk_bytes in
+    let n = min !remaining (chunk_bytes - coff) in
+    (match Hashtbl.find_opt t.chunks ci with
+    | Some c -> Bytes.blit c coff dst !d n
+    | None -> Bytes.fill dst !d n '\000');
+    pos := !pos + n;
+    d := !d + n;
+    remaining := !remaining - n
+  done
+
+let write t ~off ~len src src_off =
+  check t off len;
+  let pos = ref off and remaining = ref len and s = ref src_off in
+  while !remaining > 0 do
+    let ci = !pos / chunk_bytes in
+    let coff = !pos mod chunk_bytes in
+    let n = min !remaining (chunk_bytes - coff) in
+    let c =
+      match Hashtbl.find_opt t.chunks ci with
+      | Some c -> c
+      | None ->
+          let c = Bytes.make chunk_bytes '\000' in
+          Hashtbl.add t.chunks ci c;
+          c
+    in
+    Bytes.blit src !s c coff n;
+    pos := !pos + n;
+    s := !s + n;
+    remaining := !remaining - n
+  done
+
+let chunks_allocated t = Hashtbl.length t.chunks
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let chunks =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.chunks []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      List.iter
+        (fun (ci, data) ->
+          seek_out oc (ci * chunk_bytes);
+          output_bytes oc data)
+        chunks;
+      (* pin the file length to the full device size *)
+      if pos_out oc < t.size then begin
+        seek_out oc (t.size - 1);
+        output_char oc '\000'
+      end)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      let t = create ~size in
+      let buf = Bytes.create chunk_bytes in
+      let nchunks = (size + chunk_bytes - 1) / chunk_bytes in
+      for ci = 0 to nchunks - 1 do
+        let n = min chunk_bytes (size - (ci * chunk_bytes)) in
+        really_input ic buf 0 n;
+        if n < chunk_bytes then Bytes.fill buf n (chunk_bytes - n) '\000';
+        if not (Bytes.for_all (fun c -> c = '\000') buf) then
+          Hashtbl.replace t.chunks ci (Bytes.sub buf 0 chunk_bytes)
+      done;
+      t)
+
+let copy_into src dst =
+  if src.size <> dst.size then invalid_arg "Store.copy_into: size mismatch";
+  Hashtbl.reset dst.chunks;
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst.chunks k (Bytes.copy v)) src.chunks

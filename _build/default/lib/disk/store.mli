@@ -1,0 +1,39 @@
+(** Sparse backing store for simulated disks.
+
+    Holds the actual bytes of the platter so that the file system above
+    is real: what you write is what you later read, fsck walks real
+    metadata, and data-integrity tests are meaningful.  Storage is a
+    hash table of fixed-size chunks so a 400 MB disk that is mostly
+    zeros costs almost nothing; unwritten regions read back as zeros
+    (which is also what mkfs assumes). *)
+
+type t
+
+val create : size:int -> t
+(** [create ~size] is a zeroed store of [size] bytes. *)
+
+val size : t -> int
+
+val read : t -> off:int -> len:int -> bytes -> int -> unit
+(** [read t ~off ~len dst dst_off] copies [len] bytes starting at byte
+    [off] of the store into [dst] at [dst_off].
+    Raises [Invalid_argument] on out-of-range access. *)
+
+val write : t -> off:int -> len:int -> bytes -> int -> unit
+(** [write t ~off ~len src src_off] copies [len] bytes from [src] at
+    [src_off] into the store at byte [off]. *)
+
+val chunks_allocated : t -> int
+(** Number of materialised chunks (memory accounting for tests). *)
+
+val copy_into : t -> t -> unit
+(** [copy_into src dst] replaces [dst]'s contents with [src]'s.  Sizes
+    must match.  Used to clone disk images between simulated machines. *)
+
+val save : t -> string -> unit
+(** Write the store as a flat disk image file (sparse where the host
+    file system allows: untouched chunks are seeked over). *)
+
+val load : string -> t
+(** Read a flat disk image file produced by {!save} (or any raw image);
+    all-zero chunks are not materialised. *)

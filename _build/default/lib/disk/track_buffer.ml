@@ -1,0 +1,19 @@
+type t = {
+  mutable track : (int * int) option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { track = None; hits = 0; misses = 0 }
+let valid t = t.track <> None
+let holds t ~cyl ~head = t.track = Some (cyl, head)
+let fill t ~cyl ~head = t.track <- Some (cyl, head)
+let invalidate t = t.track <- None
+
+let invalidate_if t ~cyl ~head =
+  if holds t ~cyl ~head then invalidate t
+
+let hits t = t.hits
+let misses t = t.misses
+let record_hit t = t.hits <- t.hits + 1
+let record_miss t = t.misses <- t.misses + 1

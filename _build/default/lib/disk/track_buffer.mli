@@ -1,0 +1,36 @@
+(** Controller track buffer.
+
+    "A track buffer is a memory cache the size of one track commonly
+    found on newer disks...  When a read request for a block is sent to
+    the disk, the entire track is read into the buffer.  If successive
+    blocks are on the same track, they are serviced immediately from the
+    track buffer."  (McVoy & Kleiman, §File system tuning.)
+
+    We model validity/timing only — the data itself always comes from
+    the store.  A mechanical read leaves the whole containing track
+    buffered; a later read wholly inside that track is a hit, served at
+    SCSI-bus speed instead of mechanically.  Writes are write-through
+    and invalidate the buffer when they overlap the buffered track
+    (conservative). *)
+
+type t
+
+val create : unit -> t
+val valid : t -> bool
+
+val holds : t -> cyl:int -> head:int -> bool
+(** Is the given track currently buffered? *)
+
+val fill : t -> cyl:int -> head:int -> unit
+(** Record that the controller has read this whole track. *)
+
+val invalidate : t -> unit
+
+val invalidate_if : t -> cyl:int -> head:int -> unit
+(** Invalidate only if the given track is the buffered one. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val record_hit : t -> unit
+val record_miss : t -> unit

@@ -1,0 +1,23 @@
+type t = {
+  engine : Engine.t;
+  name : string;
+  q : (unit -> unit) Queue.t;
+}
+
+let create engine name = { engine; name; q = Queue.create () }
+
+let wait t =
+  Engine.suspend t.engine ~register:(fun resume -> Queue.push resume t.q)
+
+let signal t = match Queue.take_opt t.q with None -> () | Some r -> r ()
+
+let broadcast t =
+  (* Drain first: a woken process may immediately wait again, and that
+     new waiter must not be woken by this same broadcast. *)
+  let woken = ref [] in
+  Queue.iter (fun r -> woken := r :: !woken) t.q;
+  Queue.clear t.q;
+  List.iter (fun r -> r ()) (List.rev !woken)
+
+let waiters t = Queue.length t.q
+let name t = t.name

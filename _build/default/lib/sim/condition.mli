@@ -1,0 +1,24 @@
+(** Condition variables for simulated processes.
+
+    Unlike kernel condition variables there is no associated mutex: the
+    simulation is cooperatively scheduled, so a process that checks a
+    predicate and then calls {!wait} cannot race with a signaller. *)
+
+type t
+
+val create : Engine.t -> string -> t
+(** [create engine name] makes a condition variable; [name] appears in
+    diagnostics. *)
+
+val wait : t -> unit
+(** Block the calling process until {!signal} or {!broadcast}. *)
+
+val signal : t -> unit
+(** Wake the longest-waiting process, if any.  The woken process resumes
+    at the current virtual time, after the signaller's current event. *)
+
+val broadcast : t -> unit
+(** Wake all waiting processes (in FIFO order). *)
+
+val waiters : t -> int
+val name : t -> string

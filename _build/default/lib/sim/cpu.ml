@@ -1,0 +1,46 @@
+type category = Sys | User
+
+type t = {
+  engine : Engine.t;
+  lock : Mutex.t;
+  mutable sys : Time.t;
+  mutable user : Time.t;
+  labels : (string, Time.t ref) Hashtbl.t;
+}
+
+let create engine =
+  {
+    engine;
+    lock = Mutex.create engine "cpu";
+    sys = 0;
+    user = 0;
+    labels = Hashtbl.create 32;
+  }
+
+let charge t ?(cat = Sys) ?(label = "other") d =
+  if d < 0 then invalid_arg "Cpu.charge: negative duration";
+  if d > 0 then
+    Mutex.with_lock t.lock (fun () ->
+        Engine.sleep t.engine d;
+        (match cat with Sys -> t.sys <- t.sys + d | User -> t.user <- t.user + d);
+        let cell =
+          match Hashtbl.find_opt t.labels label with
+          | Some c -> c
+          | None ->
+              let c = ref 0 in
+              Hashtbl.add t.labels label c;
+              c
+        in
+        cell := !cell + d)
+
+let sys_time t = t.sys
+let user_time t = t.user
+
+let by_label t =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.labels []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let reset t =
+  t.sys <- 0;
+  t.user <- 0;
+  Hashtbl.reset t.labels

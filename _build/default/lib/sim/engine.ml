@@ -1,0 +1,104 @@
+open Effect
+open Effect.Deep
+
+type t = {
+  mutable now : Time.t;
+  mutable seq : int;
+  events : (int * int, unit -> unit) Heap.t;
+  mutable blocked : int; (* processes currently suspended *)
+}
+
+exception Deadlock of string
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let cmp_key (t1, s1) (t2, s2) =
+  let c = compare (t1 : int) t2 in
+  if c <> 0 then c else compare (s1 : int) s2
+
+let create () = { now = 0; seq = 0; events = Heap.create ~cmp:cmp_key; blocked = 0 }
+
+let now t = t.now
+
+let schedule t ?(delay = 0) f =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  t.seq <- t.seq + 1;
+  Heap.push t.events (t.now + delay, t.seq) f
+
+(* Run [f] as a process: effects performed by [f] are interpreted here.
+   A [Suspend register] effect hands the continuation, wrapped as a
+   plain thunk, to [register]; resuming the thunk re-enters the handler. *)
+let spawn t ?name f =
+  let name = Option.value name ~default:"process" in
+  let body () =
+    match_with f ()
+      {
+        retc = (fun () -> ());
+        exnc =
+          (fun e ->
+            raise
+              (Failure
+                 (Printf.sprintf "process %s died: %s" name (Printexc.to_string e))));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    t.blocked <- t.blocked + 1;
+                    let resumed = ref false in
+                    let resume () =
+                      if !resumed then
+                        invalid_arg "Engine: process resumed twice";
+                      resumed := true;
+                      t.blocked <- t.blocked - 1;
+                      schedule t (fun () -> continue k ())
+                    in
+                    register resume)
+            | _ -> None);
+      }
+  in
+  schedule t body
+
+let suspend _t ~register = perform (Suspend register)
+
+let sleep t d =
+  if d < 0 then invalid_arg "Engine.sleep: negative duration";
+  if d = 0 then ()
+  else suspend t ~register:(fun resume -> schedule t ~delay:d resume)
+
+let run t =
+  let rec loop () =
+    match Heap.pop t.events with
+    | None -> ()
+    | Some ((at, _), f) ->
+        assert (at >= t.now);
+        t.now <- at;
+        f ();
+        loop ()
+  in
+  loop ()
+
+let run_for t d =
+  let stop = t.now + d in
+  let rec loop () =
+    match Heap.peek t.events with
+    | Some ((at, _), _) when at <= stop ->
+        (match Heap.pop t.events with
+        | Some ((at, _), f) ->
+            t.now <- at;
+            f ();
+            loop ()
+        | None -> assert false)
+    | Some _ | None -> t.now <- stop
+  in
+  loop ()
+
+let live_processes t = t.blocked
+
+let check_quiescent t =
+  if t.blocked > 0 then
+    raise
+      (Deadlock
+         (Printf.sprintf "%d process(es) still suspended at %s" t.blocked
+            (Time.to_string t.now)))

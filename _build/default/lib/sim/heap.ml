@@ -1,0 +1,69 @@
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  mutable arr : ('k * 'v) array;
+  mutable len : int;
+}
+
+let create ~cmp = { cmp; arr = [||]; len = 0 }
+let length h = h.len
+let is_empty h = h.len = 0
+
+let grow h =
+  let cap = Array.length h.arr in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let narr = Array.make ncap h.arr.(0) in
+  Array.blit h.arr 0 narr 0 h.len;
+  h.arr <- narr
+
+let swap h i j =
+  let t = h.arr.(i) in
+  h.arr.(i) <- h.arr.(j);
+  h.arr.(j) <- t
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp (fst h.arr.(i)) (fst h.arr.(parent)) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.cmp (fst h.arr.(l)) (fst h.arr.(!smallest)) < 0 then
+    smallest := l;
+  if r < h.len && h.cmp (fst h.arr.(r)) (fst h.arr.(!smallest)) < 0 then
+    smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h k v =
+  if h.len = 0 && Array.length h.arr = 0 then h.arr <- Array.make 16 (k, v);
+  if h.len = Array.length h.arr then grow h;
+  h.arr.(h.len) <- (k, v);
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek h = if h.len = 0 then None else Some h.arr.(0)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.arr.(0) <- h.arr.(h.len);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let clear h = h.len <- 0
+
+let to_list h =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (h.arr.(i) :: acc) in
+  loop (h.len - 1) []

@@ -1,0 +1,29 @@
+(** Array-based binary min-heap.
+
+    The event queue of the simulation engine is the hot path of every
+    experiment, so the heap is a plain mutable array of boxed pairs with
+    the usual sift-up/sift-down operations.  Keys are compared with a
+    user-supplied total order; entries with equal keys pop in unspecified
+    order (the engine adds a sequence number to keys to restore FIFO
+    determinism). *)
+
+type ('k, 'v) t
+
+val create : cmp:('k -> 'k -> int) -> ('k, 'v) t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val length : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+
+val push : ('k, 'v) t -> 'k -> 'v -> unit
+
+val peek : ('k, 'v) t -> ('k * 'v) option
+(** Smallest entry without removing it. *)
+
+val pop : ('k, 'v) t -> ('k * 'v) option
+(** Remove and return the smallest entry. *)
+
+val clear : ('k, 'v) t -> unit
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** All entries in unspecified order (for debugging and tests). *)

@@ -1,0 +1,26 @@
+type t = { mutable held : bool; waitq : (unit -> unit) Queue.t; engine : Engine.t }
+
+let create engine _name = { held = false; waitq = Queue.create (); engine }
+
+let lock t =
+  if not t.held then t.held <- true
+  else Engine.suspend t.engine ~register:(fun resume -> Queue.push resume t.waitq)
+(* Ownership transfers directly to the woken waiter: [held] stays true. *)
+
+let unlock t =
+  if not t.held then invalid_arg "Mutex.unlock: not locked";
+  match Queue.take_opt t.waitq with
+  | None -> t.held <- false
+  | Some resume -> resume ()
+
+let locked t = t.held
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | v ->
+      unlock t;
+      v
+  | exception e ->
+      unlock t;
+      raise e

@@ -1,0 +1,13 @@
+(** Mutual exclusion between simulated processes (a binary semaphore with
+    an owner check and a convenience [with_lock]). *)
+
+type t
+
+val create : Engine.t -> string -> t
+val lock : t -> unit
+val unlock : t -> unit
+val locked : t -> bool
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Runs the function with the mutex held; always unlocks, including on
+    exceptions. *)

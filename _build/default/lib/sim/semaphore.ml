@@ -1,0 +1,48 @@
+type waiter = { need : int; resume : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  mutable count : int;
+  q : waiter Queue.t;
+}
+
+let create engine name n =
+  if n < 0 then invalid_arg "Semaphore.create: negative initial value";
+  { engine; name; count = n; q = Queue.create () }
+
+let value t = t.count
+
+(* Wake waiters strictly in FIFO order: the head waiter blocks later
+   (smaller) requests behind it, exactly like a kernel sleep queue, so a
+   large writer cannot be starved by a stream of small ones. *)
+let wake t =
+  let rec loop () =
+    match Queue.peek_opt t.q with
+    | Some w when w.need <= t.count ->
+        ignore (Queue.pop t.q);
+        t.count <- t.count - w.need;
+        w.resume ();
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let acquire t ?(n = 1) () =
+  if n < 0 then invalid_arg "Semaphore.acquire: negative count";
+  if Queue.is_empty t.q && t.count >= n then t.count <- t.count - n
+  else
+    Engine.suspend t.engine ~register:(fun resume ->
+        Queue.push { need = n; resume } t.q)
+
+let try_acquire t ?(n = 1) () =
+  if Queue.is_empty t.q && t.count >= n then begin
+    t.count <- t.count - n;
+    true
+  end
+  else false
+
+let release t ?(n = 1) () =
+  if n < 0 then invalid_arg "Semaphore.release: negative count";
+  t.count <- t.count + n;
+  wake t

@@ -1,0 +1,30 @@
+(** Counting semaphores.
+
+    Used for the paper's per-file write limit: "adding what is
+    essentially a counting semaphore in the inode.  Each process
+    decrements the semaphore when writing and increments it when the
+    write is complete.  If the semaphore falls below zero, the writing
+    process is put to sleep until one of the other writes completes."
+
+    Our [acquire] blocks rather than letting the count go negative; the
+    observable behaviour is the same and the invariant [value >= 0]
+    becomes checkable. *)
+
+type t
+
+val create : Engine.t -> string -> int -> t
+(** [create engine name n] has initial (and maximum observed) value [n].
+    [n] must be non-negative. *)
+
+val value : t -> int
+
+val acquire : t -> ?n:int -> unit -> unit
+(** Take [n] (default 1) units, blocking the calling process until the
+    value is at least [n].  Waiters are served FIFO. *)
+
+val try_acquire : t -> ?n:int -> unit -> bool
+(** Non-blocking variant. *)
+
+val release : t -> ?n:int -> unit -> unit
+(** Return [n] (default 1) units and wake eligible waiters.  May be
+    called from completion callbacks (outside any process). *)

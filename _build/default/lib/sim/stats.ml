@@ -1,0 +1,86 @@
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable mn : float;
+    mutable mx : float;
+    mutable total : float;
+  }
+
+  let create () = { n = 0; mean = 0.; m2 = 0.; mn = nan; mx = nan; total = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if t.n = 1 then begin
+      t.mn <- x;
+      t.mx <- x
+    end
+    else begin
+      if x < t.mn then t.mn <- x;
+      if x > t.mx then t.mx <- x
+    end
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.mn
+  let max t = t.mx
+  let total t = t.total
+end
+
+module Hist = struct
+  (* bucket i holds values v with 2^(i-1) < v <= 2^i; bucket 0 holds 0 and 1 *)
+  type t = { counts : int array; mutable n : int }
+
+  let nbuckets = 63
+
+  let create () = { counts = Array.make nbuckets 0; n = 0 }
+
+  let bucket_of v =
+    if v <= 1 then 0
+    else
+      let rec loop i acc = if acc >= v then i else loop (i + 1) (acc * 2) in
+      loop 1 2
+
+  let add t v =
+    if v < 0 then invalid_arg "Hist.add: negative value";
+    let b = bucket_of v in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.n <- t.n + 1
+
+  let count t = t.n
+
+  let bounds i = if i = 0 then (0, 1) else ((1 lsl (i - 1)) + 1, 1 lsl i)
+
+  let buckets t =
+    let acc = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if t.counts.(i) > 0 then
+        let lo, hi = bounds i in
+        acc := (lo, hi, t.counts.(i)) :: !acc
+    done;
+    !acc
+
+  let pp ppf t =
+    List.iter
+      (fun (lo, hi, n) -> Format.fprintf ppf "[%d..%d]: %d@." lo hi n)
+      (buckets t)
+end
+
+let percentile values p =
+  if Array.length values = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  Array.sort compare values;
+  let n = Array.length values in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then values.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    values.(lo) +. (frac *. (values.(hi) -. values.(lo)))

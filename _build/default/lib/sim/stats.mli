@@ -1,0 +1,46 @@
+(** Streaming statistics and histograms for experiment reporting. *)
+
+module Summary : sig
+  (** Welford streaming mean/variance plus min/max. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0.0 when empty. *)
+
+  val variance : t -> float
+  (** Sample variance; 0.0 with fewer than two observations. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [nan] when empty. *)
+
+  val max : t -> float
+  (** [nan] when empty. *)
+
+  val total : t -> float
+end
+
+module Hist : sig
+  (** Power-of-two bucketed histogram for latencies/sizes. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val count : t -> int
+
+  val buckets : t -> (int * int * int) list
+  (** [(lo, hi, n)] triples for non-empty buckets, ascending;
+      values fall in [lo <= v <= hi]. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val percentile : float array -> float -> float
+(** [percentile values p] for [p] in [0,100]; linear interpolation
+    between closest ranks.  The array is sorted in place.
+    Raises [Invalid_argument] on an empty array. *)

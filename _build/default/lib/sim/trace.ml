@@ -1,0 +1,30 @@
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  mutable on : bool;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; q = Queue.create (); on = false; dropped = 0 }
+
+let enable t b = t.on <- b
+let enabled t = t.on
+
+let emit t f =
+  if t.on then begin
+    if Queue.length t.q >= t.capacity then begin
+      ignore (Queue.pop t.q);
+      t.dropped <- t.dropped + 1
+    end;
+    Queue.push (f ()) t.q
+  end
+
+let to_list t = List.of_seq (Queue.to_seq t.q)
+let length t = Queue.length t.q
+let dropped t = t.dropped
+
+let clear t =
+  Queue.clear t.q;
+  t.dropped <- 0

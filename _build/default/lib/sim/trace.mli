@@ -1,0 +1,29 @@
+(** Bounded event traces.
+
+    Subsystems (disk, getpage, putpage) record typed events here; tests
+    assert on the exact I/O patterns of the paper's figures 3, 6 and 7,
+    and the bench harness counts I/Os per category.  Disabled traces
+    drop events at negligible cost. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Ring buffer; oldest events are dropped past [capacity]
+    (default 65536). *)
+
+val enable : 'a t -> bool -> unit
+val enabled : 'a t -> bool
+
+val emit : 'a t -> (unit -> 'a) -> unit
+(** [emit t f] records [f ()] if the trace is enabled; [f] is not called
+    otherwise. *)
+
+val to_list : 'a t -> 'a list
+(** Events oldest-first (only the retained window). *)
+
+val length : 'a t -> int
+
+val dropped : 'a t -> int
+(** Events lost to ring overflow since the last [clear]. *)
+
+val clear : 'a t -> unit

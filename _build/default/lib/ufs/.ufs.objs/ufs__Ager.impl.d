@@ -1,0 +1,1 @@
+lib/ufs/ager.ml: Alloc Array Bytes Fs Hashtbl Iops Layout List Printf Putpage Sim Superblock Types Vfs

@@ -1,0 +1,1 @@
+lib/ufs/ager.mli: Sim Types

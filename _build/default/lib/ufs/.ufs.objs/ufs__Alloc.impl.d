@@ -1,0 +1,1 @@
+lib/ufs/alloc.ml: Array Cg Costs Dinode Disk Layout List Option Printf Sim Superblock Types Vfs

@@ -1,0 +1,1 @@
+lib/ufs/alloc.mli: Dinode Types

@@ -1,0 +1,1 @@
+lib/ufs/bmap.ml: Alloc Array Bytes Codec Costs Disk Layout List Metabuf Superblock Types Vfs

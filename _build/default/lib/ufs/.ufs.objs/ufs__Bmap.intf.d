@@ -1,0 +1,1 @@
+lib/ufs/bmap.mli: Types

@@ -1,0 +1,1 @@
+lib/ufs/cg.ml: Bytes Codec Layout Printf Superblock Vfs

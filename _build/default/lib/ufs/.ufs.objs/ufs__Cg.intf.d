@@ -1,0 +1,1 @@
+lib/ufs/cg.mli: Superblock

@@ -1,0 +1,1 @@
+lib/ufs/codec.ml: Bytes Char Int32 Int64 String

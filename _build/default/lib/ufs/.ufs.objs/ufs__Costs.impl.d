@@ -1,0 +1,1 @@
+lib/ufs/costs.ml: Sim

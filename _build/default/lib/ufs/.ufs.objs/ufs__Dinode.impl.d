@@ -1,0 +1,1 @@
+lib/ufs/dinode.ml: Array Bytes Codec Layout Printf String Vfs

@@ -1,0 +1,1 @@
+lib/ufs/dir.ml: Bytes Codec Costs Dinode Iops Layout Printf Putpage Rdwr String Types Vfs

@@ -1,0 +1,1 @@
+lib/ufs/dir.mli: Types

@@ -1,0 +1,1 @@
+lib/ufs/fs.ml: Array Bmap Bytes Cg Codec Costs Dinode Dir Disk Hashtbl Io Iops Layout List Metabuf Option Putpage Rdwr Sim String Superblock Types Vfs

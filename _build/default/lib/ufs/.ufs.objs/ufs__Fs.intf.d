@@ -1,0 +1,1 @@
+lib/ufs/fs.mli: Costs Dinode Disk Sim Types Vm

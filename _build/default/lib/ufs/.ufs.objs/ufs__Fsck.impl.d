@@ -1,0 +1,1 @@
+lib/ufs/fsck.ml: Array Bytes Cg Codec Dinode Dir Disk Format Layout List Queue Superblock Types

@@ -1,0 +1,1 @@
+lib/ufs/fsck.mli: Disk Format

@@ -1,0 +1,1 @@
+lib/ufs/getpage.ml: Bmap Costs Io Layout List Sim Types Vm

@@ -1,0 +1,1 @@
+lib/ufs/getpage.mli: Types Vm

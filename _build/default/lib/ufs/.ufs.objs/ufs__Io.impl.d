@@ -1,0 +1,1 @@
+lib/ufs/io.ml: Bmap Bytes Costs Disk Layout List Sim Types Vm

@@ -1,0 +1,1 @@
+lib/ufs/io.mli: Types Vm

@@ -1,0 +1,1 @@
+lib/ufs/iops.ml: Alloc Array Bmap Cg Dinode Getpage Hashtbl Io Layout List Metabuf Printf Putpage Rdwr Sim Types Vfs Vm

@@ -1,0 +1,1 @@
+lib/ufs/iops.mli: Dinode Types Vfs

@@ -1,0 +1,1 @@
+lib/ufs/layout.ml: Vfs

@@ -1,0 +1,1 @@
+lib/ufs/metabuf.ml: Bytes Costs Disk Hashtbl Layout List Sim

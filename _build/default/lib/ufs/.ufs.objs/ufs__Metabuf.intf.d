@@ -1,0 +1,1 @@
+lib/ufs/metabuf.mli: Costs Disk Sim

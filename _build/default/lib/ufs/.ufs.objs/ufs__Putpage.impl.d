@@ -1,0 +1,1 @@
+lib/ufs/putpage.ml: Bmap Costs Io Layout List Sim Types Vfs Vm

@@ -1,0 +1,1 @@
+lib/ufs/putpage.mli: Types Vfs Vm

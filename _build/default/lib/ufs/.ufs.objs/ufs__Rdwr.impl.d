@@ -1,0 +1,1 @@
+lib/ufs/rdwr.ml: Bmap Bytes Costs Dinode Disk Getpage Io Layout Putpage Sim Types Vfs Vm

@@ -1,0 +1,1 @@
+lib/ufs/rdwr.mli: Types Vfs

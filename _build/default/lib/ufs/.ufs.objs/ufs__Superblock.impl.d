@@ -1,0 +1,1 @@
+lib/ufs/superblock.ml: Bytes Codec Format Layout Vfs

@@ -1,0 +1,1 @@
+lib/ufs/superblock.mli: Format

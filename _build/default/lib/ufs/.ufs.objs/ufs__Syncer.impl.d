@@ -1,0 +1,1 @@
+lib/ufs/syncer.ml: Fs Sim Types

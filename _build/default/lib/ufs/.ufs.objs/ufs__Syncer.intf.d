@@ -1,0 +1,1 @@
+lib/ufs/syncer.mli: Sim Types

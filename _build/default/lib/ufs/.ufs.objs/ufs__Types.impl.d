@@ -1,0 +1,1 @@
+lib/ufs/types.ml: Array Cg Costs Dinode Disk Hashtbl Layout Metabuf Printf Sim Superblock Vfs Vm

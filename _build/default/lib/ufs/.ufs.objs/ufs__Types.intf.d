@@ -1,0 +1,1 @@
+lib/ufs/types.mli: Cg Costs Dinode Disk Hashtbl Metabuf Sim Superblock Vfs Vm

@@ -1,0 +1,93 @@
+open Types
+
+type options = {
+  target_util : float;
+  churn_rounds : int;
+  delete_fraction : float;
+  small_max_kb : int;
+  large_max_kb : int;
+  large_file_pct : int;
+  dir_fanout : int;
+}
+
+let defaults =
+  {
+    target_util = 0.85;
+    churn_rounds = 4;
+    delete_fraction = 0.5;
+    small_max_kb = 64;
+    large_max_kb = 1024;
+    large_file_pct = 10;
+    dir_fanout = 100;
+  }
+
+let pick_size rng opts =
+  let kb =
+    if Sim.Rng.int rng 100 < opts.large_file_pct then
+      1 + Sim.Rng.int rng opts.large_max_kb
+    else 1 + Sim.Rng.int rng opts.small_max_kb
+  in
+  kb * 1024
+
+let utilization (fs : fs) =
+  let total = Superblock.data_frags fs.sb in
+  let free = Alloc.total_free_frags fs in
+  float_of_int (total - free) /. float_of_int total
+
+let age fs ~rng ?(opts = defaults) () =
+  (try Fs.mkdir fs "/aged" with Vfs.Errno.Error (Vfs.Errno.EEXIST, _) -> ());
+  let live = ref [] in
+  let counter = ref 0 in
+  let buf = Bytes.make Layout.bsize 'a' in
+  let make_file () =
+    let n = !counter in
+    incr counter;
+    let dir = Printf.sprintf "/aged/d%d" (n / opts.dir_fanout) in
+    if n mod opts.dir_fanout = 0 then (
+      try Fs.mkdir fs dir with Vfs.Errno.Error (Vfs.Errno.EEXIST, _) -> ());
+    let path = Printf.sprintf "%s/f%d" dir n in
+    let size = pick_size rng opts in
+    (try
+       let ip = Fs.creat fs path in
+       let rec fill off =
+         if off < size then begin
+           let len = min Layout.bsize (size - off) in
+           Fs.write fs ip ~off ~buf ~len;
+           fill (off + len)
+         end
+       in
+       fill 0;
+       Putpage.push_delayed fs ip ~sync:false ();
+       Iops.iput fs ip;
+       live := path :: !live;
+       true
+     with Vfs.Errno.Error (Vfs.Errno.ENOSPC, _) -> false)
+  in
+  let fill_to_target () =
+    let continue = ref true in
+    while !continue && utilization fs < opts.target_util do
+      if not (make_file ()) then continue := false
+    done
+  in
+  let delete_some () =
+    let files = Array.of_list !live in
+    Sim.Rng.shuffle rng files;
+    let ndel =
+      int_of_float (float_of_int (Array.length files) *. opts.delete_fraction)
+    in
+    let deleted = Array.sub files 0 ndel in
+    let dead = Hashtbl.create (max 16 ndel) in
+    Array.iter
+      (fun p ->
+        Fs.unlink fs p;
+        Hashtbl.replace dead p ())
+      deleted;
+    live := List.filter (fun p -> not (Hashtbl.mem dead p)) !live
+  in
+  fill_to_target ();
+  for _ = 1 to opts.churn_rounds do
+    delete_some ();
+    fill_to_target ()
+  done;
+  Fs.sync fs;
+  List.length !live

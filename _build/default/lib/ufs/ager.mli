@@ -1,0 +1,24 @@
+(** File system ageing: create/delete churn that fragments the free
+    space, reproducing the paper's allocator stress test ("filling up
+    the last 15% of a heavily fragmented /home partition").
+
+    Each round creates files with a bimodal size distribution (lots of
+    small files, a few large ones — a home-directory mix) until the
+    target utilisation is reached, then deletes a random fraction and
+    refills.  More rounds → a more scrambled free list. *)
+
+type options = {
+  target_util : float;  (** fraction of data capacity to fill, e.g. 0.85 *)
+  churn_rounds : int;  (** delete/refill cycles *)
+  delete_fraction : float;  (** fraction of files deleted per round *)
+  small_max_kb : int;  (** small files are 1..small_max_kb KB *)
+  large_max_kb : int;
+  large_file_pct : int;  (** percentage of files that are large *)
+  dir_fanout : int;  (** files per subdirectory *)
+}
+
+val defaults : options
+
+val age : Types.fs -> rng:Sim.Rng.t -> ?opts:options -> unit -> int
+(** Run the churn (inside a simulation process); returns the number of
+    files left on the file system.  Files live under "/aged". *)

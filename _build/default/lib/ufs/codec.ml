@@ -1,0 +1,31 @@
+let get_u8 b off = Char.code (Bytes.get b off)
+let put_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+let get_u16 b off = Bytes.get_uint16_le b off
+let put_u16 b off v = Bytes.set_uint16_le b off v
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+
+let put_u32 b off v =
+  if v < 0 || v > 0xffffffff then invalid_arg "Codec.put_u32: out of range";
+  Bytes.set_int32_le b off (Int32.of_int v)
+
+let get_u64 b off =
+  let v = Bytes.get_int64_le b off in
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    invalid_arg "Codec.get_u64: out of range";
+  Int64.to_int v
+
+let put_u64 b off v =
+  if v < 0 then invalid_arg "Codec.put_u64: negative";
+  Bytes.set_int64_le b off (Int64.of_int v)
+
+let get_string b off len =
+  let s = Bytes.sub_string b off len in
+  match String.index_opt s '\000' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let put_string b off len s =
+  if String.length s > len then invalid_arg "Codec.put_string: too long";
+  Bytes.fill b off len '\000';
+  Bytes.blit_string s 0 b off (String.length s)

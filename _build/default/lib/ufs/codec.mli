@@ -1,0 +1,25 @@
+(** Little-endian binary encoding helpers for the on-disk structures.
+
+    All multi-byte integers on disk are little-endian.  [get_*]/[put_*]
+    raise [Invalid_argument] on out-of-bounds access (via the underlying
+    [Bytes] primitives), which fsck converts into corruption reports. *)
+
+val get_u8 : bytes -> int -> int
+val put_u8 : bytes -> int -> int -> unit
+val get_u16 : bytes -> int -> int
+val put_u16 : bytes -> int -> int -> unit
+val get_u32 : bytes -> int -> int
+(** Stored as 32 bits; returned as a non-negative OCaml [int]. *)
+
+val put_u32 : bytes -> int -> int -> unit
+(** Raises [Invalid_argument] if the value does not fit in 32 bits. *)
+
+val get_u64 : bytes -> int -> int
+val put_u64 : bytes -> int -> int -> unit
+
+val get_string : bytes -> int -> int -> string
+(** [get_string b off len] reads [len] bytes and trims trailing NULs. *)
+
+val put_string : bytes -> int -> int -> string -> unit
+(** [put_string b off len s] writes [s] NUL-padded to [len]; raises
+    [Invalid_argument] if [s] is longer than [len]. *)

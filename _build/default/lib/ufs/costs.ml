@@ -1,0 +1,36 @@
+type t = {
+  syscall : Sim.Time.t;
+  map_block : Sim.Time.t;
+  fault : Sim.Time.t;
+  getpage : Sim.Time.t;
+  putpage : Sim.Time.t;
+  pagecache_lookup : Sim.Time.t;
+  page_setup : Sim.Time.t;
+  bmap : Sim.Time.t;
+  alloc_block : Sim.Time.t;
+  driver_submit : Sim.Time.t;
+  intr : Sim.Time.t;
+  copy_per_kb : Sim.Time.t;
+  freebehind : Sim.Time.t;
+  dir_op : Sim.Time.t;
+}
+
+let default =
+  {
+    syscall = Sim.Time.us 60;
+    map_block = Sim.Time.us 280;
+    fault = Sim.Time.us 160;
+    getpage = Sim.Time.us 260;
+    putpage = Sim.Time.us 180;
+    pagecache_lookup = Sim.Time.us 30;
+    page_setup = Sim.Time.us 330;
+    bmap = Sim.Time.us 70;
+    alloc_block = Sim.Time.us 250;
+    driver_submit = Sim.Time.us 150;
+    intr = Sim.Time.us 120;
+    copy_per_kb = Sim.Time.us 230;
+    freebehind = Sim.Time.us 60;
+    dir_op = Sim.Time.us 150;
+  }
+
+let copy_cost t ~bytes = (bytes + 1023) / 1024 * t.copy_per_kb

@@ -1,0 +1,43 @@
+(** Calibrated CPU costs of the kernel paths, in microseconds of the
+    simulated ~12 MIPS CPU.
+
+    These are the substitution for the paper's SPARCstation 1: every
+    value approximates the instruction-path length of the corresponding
+    SunOS 4.1 kernel code.  The headline claims depend only on {e which
+    paths run per block vs per cluster}, not on the absolute values:
+
+    - per-{e request} costs ([driver_submit], [intr], [bmap],
+      [start_io]) are paid once per disk I/O, so clustering divides them
+      by the cluster size;
+    - per-{e block} costs ([map_block], [fault], [getpage],
+      [pagecache_lookup]) are paid for every 8 KB regardless;
+    - per-{e byte} costs ([copy_per_kb]) dominate read(2)/write(2) and
+      are identical in both systems — which is why the paper needed the
+      mmap variant of IObench to exhibit the CPU saving (Fig. 12).
+
+    The defaults were tuned so that the unclustered configuration uses
+    roughly half the CPU to move ~750 KB/s, matching "about half of a
+    12 MIPS CPU was used to get half of the disk bandwidth of a
+    1.5 MB/second disk". *)
+
+type t = {
+  syscall : Sim.Time.t;  (** read(2)/write(2) entry/exit *)
+  map_block : Sim.Time.t;  (** map+unmap one block into KAS (rdwr) *)
+  fault : Sim.Time.t;  (** page-fault entry/resolution per page *)
+  getpage : Sim.Time.t;  (** ufs_getpage body per call *)
+  putpage : Sim.Time.t;  (** ufs_putpage body per call *)
+  pagecache_lookup : Sim.Time.t;  (** per page looked up *)
+  page_setup : Sim.Time.t;  (** per page entered/filled from an I/O *)
+  bmap : Sim.Time.t;  (** logical-to-physical translation *)
+  alloc_block : Sim.Time.t;  (** allocator work per block/frag alloc *)
+  driver_submit : Sim.Time.t;  (** build + queue one disk request *)
+  intr : Sim.Time.t;  (** completion interrupt + biodone per request *)
+  copy_per_kb : Sim.Time.t;  (** copyin/copyout, per KB *)
+  freebehind : Sim.Time.t;  (** free-behind per page (cheap: no daemon) *)
+  dir_op : Sim.Time.t;  (** directory scan/insert per entry block *)
+}
+
+val default : t
+
+val copy_cost : t -> bytes:int -> Sim.Time.t
+(** Copy cost of [bytes] at [copy_per_kb], rounded up per KB. *)

@@ -1,0 +1,72 @@
+type kind = Free | Reg | Dir | Lnk
+
+type t = {
+  mutable kind : kind;
+  mutable nlink : int;
+  mutable size : int;
+  mutable blocks : int;
+  mutable gen : int;
+  db : int array;
+  ib : int array;
+  mutable immediate : string;
+}
+
+let immediate_capacity = 34
+
+let empty () =
+  {
+    kind = Free;
+    nlink = 0;
+    size = 0;
+    blocks = 0;
+    gen = 0;
+    db = Array.make Layout.ndaddr 0;
+    ib = Array.make 2 0;
+    immediate = "";
+  }
+
+let kind_code = function Free -> 0 | Reg -> 1 | Dir -> 2 | Lnk -> 3
+
+let kind_of_code = function
+  | 0 -> Free
+  | 1 -> Reg
+  | 2 -> Dir
+  | 3 -> Lnk
+  | n -> Vfs.Errno.raise_err Vfs.Errno.EINVAL (Printf.sprintf "dinode: kind %d" n)
+
+let encode t b off =
+  Bytes.fill b off Layout.dinode_bytes '\000';
+  Codec.put_u16 b off (kind_code t.kind);
+  Codec.put_u16 b (off + 2) t.nlink;
+  Codec.put_u64 b (off + 4) t.size;
+  Codec.put_u32 b (off + 12) t.blocks;
+  Codec.put_u32 b (off + 16) t.gen;
+  Array.iteri (fun i v -> Codec.put_u32 b (off + 20 + (4 * i)) v) t.db;
+  Array.iteri (fun i v -> Codec.put_u32 b (off + 68 + (4 * i)) v) t.ib;
+  Codec.put_u16 b (off + 76 + 16) (String.length t.immediate);
+  Codec.put_string b (off + 94) immediate_capacity t.immediate
+
+let decode b off =
+  let t = empty () in
+  t.kind <- kind_of_code (Codec.get_u16 b off);
+  t.nlink <- Codec.get_u16 b (off + 2);
+  t.size <- Codec.get_u64 b (off + 4);
+  t.blocks <- Codec.get_u32 b (off + 12);
+  t.gen <- Codec.get_u32 b (off + 16);
+  for i = 0 to Layout.ndaddr - 1 do
+    t.db.(i) <- Codec.get_u32 b (off + 20 + (4 * i))
+  done;
+  for i = 0 to 1 do
+    t.ib.(i) <- Codec.get_u32 b (off + 68 + (4 * i))
+  done;
+  let ilen = Codec.get_u16 b (off + 92) in
+  if ilen > immediate_capacity then
+    Vfs.Errno.raise_err Vfs.Errno.EINVAL "dinode: immediate length";
+  t.immediate <- Bytes.sub_string b (off + 94) ilen;
+  t
+
+let kind_to_vnode = function
+  | Reg -> Vfs.Vnode.Reg
+  | Dir -> Vfs.Vnode.Dir
+  | Lnk -> Vfs.Vnode.Lnk
+  | Free -> invalid_arg "Dinode.kind_to_vnode: free inode"

@@ -1,0 +1,35 @@
+(** On-disk inodes ("the inode is initialized when the file is first
+    read from disk from an on-disk structure called the dinode").
+
+    128 bytes each, packed [Layout.inodes_per_block] to a block in each
+    group's inode area.  Block pointers are fragment addresses; 0 means
+    unallocated (a hole).  Fast symlinks store their target in the
+    immediate-data area instead of allocating a block, exactly the trick
+    the paper's "data in the inode" future-work item generalises. *)
+
+type kind = Free | Reg | Dir | Lnk
+
+type t = {
+  mutable kind : kind;
+  mutable nlink : int;
+  mutable size : int;
+  mutable blocks : int;  (** fragments actually allocated (incl. meta) *)
+  mutable gen : int;
+  db : int array;  (** [Layout.ndaddr] direct pointers *)
+  ib : int array;  (** single, double indirect *)
+  mutable immediate : string;
+      (** fast-symlink target; [""] when unused.  Capacity
+          {!immediate_capacity}. *)
+}
+
+val immediate_capacity : int
+
+val empty : unit -> t
+
+val encode : t -> bytes -> int -> unit
+(** [encode t b off] packs into 128 bytes at [off]. *)
+
+val decode : bytes -> int -> t
+
+val kind_to_vnode : kind -> Vfs.Vnode.kind
+(** Raises [Invalid_argument] on [Free]. *)

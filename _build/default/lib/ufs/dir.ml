@@ -1,0 +1,135 @@
+open Types
+
+let entry_size = 64
+let max_name = entry_size - 5 - 1 (* u32 inum + u8 len, NUL-free storage *)
+
+let check_name name =
+  if name = "" || String.length name > max_name || String.contains name '/'
+  then Vfs.Errno.raise_err Vfs.Errno.EINVAL ("bad name: " ^ name)
+
+let read_at fs (ip : inode) ~off ~len ~buf =
+  let uio = Vfs.Uio.make ~rw:Vfs.Uio.Read ~off ~len ~buf ~buf_off:0 in
+  Rdwr.rdwr fs ip uio;
+  len - uio.Vfs.Uio.resid
+
+let write_at fs (ip : inode) ~off ~len ~buf =
+  let uio = Vfs.Uio.make ~rw:Vfs.Uio.Write ~off ~len ~buf ~buf_off:0 in
+  Rdwr.rdwr fs ip uio;
+  assert (uio.Vfs.Uio.resid = 0)
+
+(* Scan entries, returning the offset where [f] says to stop. *)
+let scan fs (ip : inode) f =
+  if ip.kind <> Dinode.Dir then
+    Vfs.Errno.raise_err Vfs.Errno.ENOTDIR (Printf.sprintf "inode %d" ip.inum);
+  let buf = Bytes.create Layout.bsize in
+  let rec block_loop off =
+    if off >= ip.size then None
+    else begin
+      charge fs ~label:"dir" fs.costs.Costs.dir_op;
+      let n = read_at fs ip ~off ~len:(min Layout.bsize (ip.size - off)) ~buf in
+      let rec entry_loop eoff =
+        if eoff + entry_size > n then None
+        else
+          let inum = Codec.get_u32 buf eoff in
+          let name =
+            if inum = 0 then ""
+            else
+              let len = Codec.get_u8 buf (eoff + 4) in
+              Bytes.sub_string buf (eoff + 5) len
+          in
+          match f ~off:(off + eoff) ~inum ~name with
+          | Some r -> Some r
+          | None -> entry_loop (eoff + entry_size)
+      in
+      match entry_loop 0 with Some r -> Some r | None -> block_loop (off + n)
+    end
+  in
+  block_loop 0
+
+let lookup fs ip name =
+  check_name name;
+  scan fs ip (fun ~off:_ ~inum ~name:n ->
+      if inum <> 0 && n = name then Some inum else None)
+
+(* Write one entry at [off] and push it: "a long standing problem with
+   UFS is that it does many operations, such as directory updates,
+   synchronously.  ...  If there was a way to insure the order of
+   critical writes, the file system would be able to do many operations
+   asynchronously."  With the B_ORDER feature the push is asynchronous
+   but ordered; otherwise it is the classic synchronous write. *)
+let write_entry fs (ip : inode) ~off ~inum ~name =
+  let buf = Bytes.make entry_size '\000' in
+  Codec.put_u32 buf 0 inum;
+  Codec.put_u8 buf 4 (String.length name);
+  Bytes.blit_string name 0 buf 5 (String.length name);
+  write_at fs ip ~off ~len:entry_size ~buf;
+  let po = off - (off mod Layout.bsize) in
+  let flags =
+    if fs.feat.ordered_metadata then [ Vfs.Vnode.P_ASYNC; Vfs.Vnode.P_ORDER ]
+    else [ Vfs.Vnode.P_SYNC ]
+  in
+  Putpage.putpage fs ip ~off:po ~len:Layout.bsize ~flags;
+  Iops.iupdat fs ip ~sync:true
+
+let enter fs ip ~name ~inum =
+  check_name name;
+  let existing =
+    scan fs ip (fun ~off ~inum:i ~name:n ->
+        if i <> 0 && n = name then Some (`Exists off)
+        else if i = 0 then Some (`Free off)
+        else None)
+  in
+  (* the scan stops at the first free slot OR the name, whichever comes
+     first; a name later in the directory must still be caught *)
+  let existing =
+    match existing with
+    | Some (`Free _) as free -> (
+        match lookup fs ip name with
+        | Some _ -> Some (`Exists 0)
+        | None -> free)
+    | other -> other
+  in
+  match existing with
+  | Some (`Exists _) -> Vfs.Errno.raise_err Vfs.Errno.EEXIST name
+  | Some (`Free off) -> write_entry fs ip ~off ~inum ~name
+  | None -> write_entry fs ip ~off:ip.size ~inum ~name
+
+let remove fs ip name =
+  check_name name;
+  let found =
+    scan fs ip (fun ~off ~inum ~name:n ->
+        if inum <> 0 && n = name then Some (off, inum) else None)
+  in
+  match found with
+  | None -> Vfs.Errno.raise_err Vfs.Errno.ENOENT name
+  | Some (off, inum) ->
+      write_entry fs ip ~off ~inum:0 ~name:"";
+      inum
+
+let rewrite fs ip ~name ~inum =
+  check_name name;
+  let found =
+    scan fs ip (fun ~off ~inum:i ~name:n ->
+        if i <> 0 && n = name then Some off else None)
+  in
+  match found with
+  | None -> Vfs.Errno.raise_err Vfs.Errno.ENOENT name
+  | Some off -> write_entry fs ip ~off ~inum ~name
+
+let iter fs ip f =
+  ignore
+    (scan fs ip (fun ~off:_ ~inum ~name ->
+         if inum <> 0 then f name inum;
+         (None : unit option)))
+
+let count fs ip =
+  let n = ref 0 in
+  iter fs ip (fun _ _ -> incr n);
+  !n
+
+let is_empty fs ip =
+  let extra =
+    scan fs ip (fun ~off:_ ~inum ~name ->
+        if inum <> 0 && name <> "." && name <> ".." then Some () else None)
+  in
+  extra = None

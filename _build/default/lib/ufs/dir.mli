@@ -1,0 +1,38 @@
+(** Directories.
+
+    A directory file is an array of fixed 64-byte entries:
+    [u32 inum | u8 namelen | name bytes] — inum 0 marks a free slot.
+    (Real FFS uses variable-length records; the fixed layout keeps the
+    on-disk format simple while preserving what the experiments need:
+    directory data goes through the same page-cache path as file data,
+    and every directory {e update} is synchronous — the behaviour whose
+    cost motivates the paper's proposed [B_ORDER] flag.) *)
+
+val entry_size : int
+val max_name : int
+
+val check_name : string -> unit
+(** Raises [EINVAL] on "", "/"-containing, or over-long names. *)
+
+val lookup : Types.fs -> Types.inode -> string -> int option
+(** Scan for a name; charges directory-scan CPU per block examined. *)
+
+val enter : Types.fs -> Types.inode -> name:string -> inum:int -> unit
+(** Add an entry (first free slot, extending the directory if needed)
+    and write it synchronously.  Raises [EEXIST]. *)
+
+val remove : Types.fs -> Types.inode -> string -> int
+(** Delete an entry (synchronously), returning its inum.
+    Raises [ENOENT]. *)
+
+val rewrite : Types.fs -> Types.inode -> name:string -> inum:int -> unit
+(** Point an existing entry at a different inode (rename of ".."). *)
+
+val iter : Types.fs -> Types.inode -> (string -> int -> unit) -> unit
+(** All live entries in directory order. *)
+
+val count : Types.fs -> Types.inode -> int
+(** Live entries, including "." and "..". *)
+
+val is_empty : Types.fs -> Types.inode -> bool
+(** Nothing but "." and "..". *)

@@ -1,0 +1,128 @@
+open Types
+
+let has_holes (ip : inode) =
+  ip.blocks * Layout.fsize < ip.size
+  && ip.blocks < Layout.frags_of_bytes ip.size
+
+let file_blocks (ip : inode) = Layout.blocks_of_size ip.size
+
+(* Cap a cluster so it never runs past EOF. *)
+let cap_blocks ip ~lbn blocks = min blocks (max 0 (file_blocks ip - lbn))
+
+(* Page in [blocks] logical blocks at [lbn]; holes zero-fill.  The bmap
+   result for [lbn] is supplied by the caller. *)
+let read_extent fs ip ~lbn ~frag_opt ~blocks ~sync ~read_ahead =
+  let off = lbn * Layout.bsize in
+  match frag_opt with
+  | None -> Io.zero_fill fs ip ~off ~blocks
+  | Some frag -> Io.page_in fs ip ~off ~frag ~blocks ~sync ~read_ahead
+
+(* Prefetch the cluster starting at block [lbn] (clustered mode). *)
+let prefetch_cluster fs ip ~lbn =
+  let blocks = cap_blocks ip ~lbn 1 in
+  if blocks > 0 then begin
+    let frag_opt, len = Bmap.read fs ip ~lbn in
+    let blocks = cap_blocks ip ~lbn len in
+    if blocks > 0 then
+      read_extent fs ip ~lbn ~frag_opt ~blocks ~sync:false ~read_ahead:true;
+    max blocks 1
+  end
+  else 0
+
+(* One-block read-ahead (classic mode). *)
+let prefetch_block fs ip ~lbn =
+  if cap_blocks ip ~lbn 1 > 0 then begin
+    let id = Io.ident ip (lbn * Layout.bsize) in
+    if Vm.Pool.lookup fs.pool id = None then begin
+      let frag_opt, _ = Bmap.read fs ip ~lbn in
+      read_extent fs ip ~lbn ~frag_opt ~blocks:1 ~sync:false ~read_ahead:true
+    end
+  end
+
+(* The per-page body: find or page in the page at byte offset [po], then
+   run the read-ahead heuristic. *)
+let rec handle_page fs (ip : inode) ~po ~hint =
+  charge fs ~label:"getpage" fs.costs.Costs.pagecache_lookup;
+  let lbn = po / Layout.bsize in
+  let sequential = po = ip.nextr in
+  match Vm.Pool.lookup fs.pool (Io.ident ip po) with
+  | Some p when p.Vm.Page.busy ->
+      (* in transit (read-ahead or pageout): wait and retry *)
+      Vm.Page.wait_unbusy fs.engine p;
+      handle_page fs ip ~po ~hint
+  | Some p when p.Vm.Page.valid ->
+      fs.stats.getpage_hits <- fs.stats.getpage_hits + 1;
+      Sim.Trace.emit fs.trace (fun () -> Ev_getpage { off = po; cached = true });
+      (* figure 2: bmap is consulted even on a hit, to learn whether the
+         page has backing store — unless the UFS_HOLE fast path applies *)
+      if not (fs.feat.skip_bmap_if_no_holes && not (has_holes ip)) then
+        ignore (Bmap.read fs ip ~lbn);
+      after_access fs ip ~po ~sequential;
+      p
+  | Some _ | None ->
+      Sim.Trace.emit fs.trace (fun () -> Ev_getpage { off = po; cached = false });
+      let frag_opt, len = Bmap.read fs ip ~lbn in
+      let hint_blocks =
+        if fs.feat.getpage_hint then hint / Layout.bsize else 0
+      in
+      let blocks =
+        if fs.feat.clustering && sequential then cap_blocks ip ~lbn len
+        else if hint_blocks > 1 then
+          (* "random clustering": a large request is its own evidence of
+             locality — read min(bmap length, request size) at once *)
+          cap_blocks ip ~lbn (min len hint_blocks)
+        else cap_blocks ip ~lbn 1
+      in
+      let blocks = max blocks 1 in
+      read_extent fs ip ~lbn ~frag_opt ~blocks ~sync:true ~read_ahead:false;
+      after_access fs ip ~po ~sequential;
+      (* the page is now valid (or another process raced us in) *)
+      find_ready fs ip ~po ~hint
+
+(* After a synchronous page-in: fetch the page without re-running the
+   heuristics (they already ran for this access). *)
+and find_ready fs ip ~po ~hint =
+  match Vm.Pool.lookup fs.pool (Io.ident ip po) with
+  | Some p when p.Vm.Page.busy ->
+      Vm.Page.wait_unbusy fs.engine p;
+      find_ready fs ip ~po ~hint
+  | Some p when p.Vm.Page.valid -> p
+  | Some _ | None ->
+      (* freed or never entered (raced); start over *)
+      handle_page fs ip ~po ~hint
+
+and after_access fs (ip : inode) ~po ~sequential =
+  if fs.feat.clustering then begin
+    (* figure 6: when the access reaches the start of the last
+       prefetched cluster, prefetch the one after it *)
+    if po = ip.nextrio then begin
+      let lbn = po / Layout.bsize in
+      let cur_len =
+        let _, len = Bmap.read fs ip ~lbn in
+        max 1 (cap_blocks ip ~lbn len)
+      in
+      let next_lbn = lbn + cur_len in
+      if cap_blocks ip ~lbn:next_lbn 1 > 0 then begin
+        ignore (prefetch_cluster fs ip ~lbn:next_lbn);
+        ip.nextrio <- next_lbn * Layout.bsize
+      end
+    end
+  end
+  else if sequential then
+    (* figure 3: one page ahead *)
+    prefetch_block fs ip ~lbn:((po / Layout.bsize) + 1);
+  ip.nextr <- po + Layout.bsize
+
+and getpage fs ip ~off ~len ~hint =
+  if off mod Layout.bsize <> 0 then invalid_arg "Getpage: unaligned offset";
+  fs.stats.getpage_calls <- fs.stats.getpage_calls + 1;
+  charge fs ~label:"getpage" fs.costs.Costs.getpage;
+  let npages = (len + Layout.bsize - 1) / Layout.bsize in
+  let rec loop k acc =
+    if k = npages then List.rev acc
+    else
+      let po = off + (k * Layout.bsize) in
+      let p = handle_page fs ip ~po ~hint in
+      loop (k + 1) (p :: acc)
+  in
+  loop 0 []

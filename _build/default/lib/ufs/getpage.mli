@@ -1,0 +1,34 @@
+(** ufs_getpage: the read side of the paper.
+
+    Without clustering it is the Figure 2/3 algorithm: find the page,
+    page it in if missing, and when the access matches the [nextr]
+    prediction, start a one-block read-ahead on the following page.
+
+    With clustering it is the Figure 6 algorithm: a sequential miss
+    pages in a whole bmap-sized cluster with one disk request, and every
+    time an access lands on [nextrio] (the start of the last prefetched
+    cluster — initially 0, so read-ahead starts at the beginning of the
+    file, the paper's beneficial heuristic) the next cluster is
+    prefetched asynchronously and [nextrio] advances by the current
+    cluster's actual (bmap-returned) size — "the code that sets up the
+    next read bases its calculations on the returned rather than desired
+    cluster size".
+
+    The "random clustering" future-work item is honoured when
+    {!Types.features.getpage_hint} is set: a miss inside a request whose
+    total size ([hint]) spans several blocks clusters even when the
+    sequential predictor disagrees.
+
+    The "UFS_HOLE" item: on a cache hit the bmap call (needed only to
+    detect holes) is skipped when {!Types.features.skip_bmap_if_no_holes}
+    and the file provably has no holes. *)
+
+val getpage :
+  Types.fs -> Types.inode -> off:int -> len:int -> hint:int -> Vm.Page.t list
+(** Return valid pages covering [off, off+len) ([off] page-aligned,
+    range within the file).  Runs the read-ahead heuristics exactly once
+    per covered page, in order.  Must run in a process. *)
+
+val has_holes : Types.inode -> bool
+(** Conservative hole detector: compares allocated fragments with the
+    file size. *)

@@ -1,0 +1,160 @@
+open Types
+
+let ident (ip : inode) off : Vm.Page.ident = { Vm.Page.vid = ip.inum; off }
+
+(* Fragments covered by [blocks] logical blocks starting at [lbn0],
+   accounting for a fragment-allocated tail. *)
+let extent_frags (ip : inode) ~lbn0 ~blocks =
+  let last = lbn0 + blocks - 1 in
+  ((blocks - 1) * Layout.fpb) + Bmap.block_frags ip ~lbn:last ~size:ip.size
+
+let charge_io fs =
+  charge fs ~label:"driver"
+    (fs.costs.Costs.driver_submit + fs.costs.Costs.intr)
+
+let page_in fs (ip : inode) ~off ~frag ~blocks ~sync ~read_ahead =
+  assert (off mod Layout.bsize = 0);
+  let lbn0 = off / Layout.bsize in
+  let nfrags = extent_frags ip ~lbn0 ~blocks in
+  let bytes = nfrags * Layout.fsize in
+  (* claim the missing pages *)
+  let mine = ref [] in
+  for k = 0 to blocks - 1 do
+    let id = ident ip (off + (k * Layout.bsize)) in
+    match Vm.Pool.lookup fs.pool id with
+    | Some _ -> ()
+    | None -> (
+        match Vm.Pool.alloc fs.pool id with
+        | `Fresh p ->
+            charge fs ~label:"getpage" fs.costs.Costs.page_setup;
+            mine := (p, k) :: !mine
+        | `Existing _ -> ())
+  done;
+  match !mine with
+  | [] -> ()
+  | mine ->
+      let buf = Bytes.create bytes in
+      let req =
+        Disk.Request.make ~kind:Disk.Request.Read
+          ~sector:(Layout.frag_to_sector frag)
+          ~count:(nfrags * Layout.sectors_per_frag)
+          ~buf ~buf_off:0 ()
+      in
+      Disk.Request.on_complete req (fun () ->
+          List.iter
+            (fun ((p : Vm.Page.t), k) ->
+              let boff = k * Layout.bsize in
+              let n = min Layout.bsize (bytes - boff) in
+              Bytes.blit buf boff p.Vm.Page.data 0 n;
+              if n < Layout.bsize then
+                Bytes.fill p.Vm.Page.data n (Layout.bsize - n) '\000';
+              Vm.Page.set_valid p true;
+              Vm.Page.unbusy p)
+            mine);
+      charge_io fs;
+      if read_ahead then begin
+        fs.stats.ra_ios <- fs.stats.ra_ios + 1;
+        fs.stats.ra_blocks <- fs.stats.ra_blocks + blocks;
+        Sim.Trace.emit fs.trace (fun () ->
+            Ev_read_ahead { lbn = lbn0; blocks })
+      end
+      else begin
+        fs.stats.pgin_ios <- fs.stats.pgin_ios + 1;
+        fs.stats.pgin_blocks <- fs.stats.pgin_blocks + blocks;
+        Sim.Trace.emit fs.trace (fun () -> Ev_read_sync { lbn = lbn0; blocks })
+      end;
+      Disk.Device.submit fs.dev req;
+      if sync then Disk.Request.wait fs.engine req
+
+let zero_fill fs (ip : inode) ~off ~blocks =
+  for k = 0 to blocks - 1 do
+    let id = ident ip (off + (k * Layout.bsize)) in
+    match Vm.Pool.lookup fs.pool id with
+    | Some _ -> ()
+    | None -> (
+        match Vm.Pool.alloc fs.pool id with
+        | `Fresh p ->
+            charge fs ~label:"getpage" fs.costs.Costs.page_setup;
+            Bytes.fill p.Vm.Page.data 0 Layout.bsize '\000';
+            Vm.Page.set_valid p true;
+            Vm.Page.unbusy p
+        | `Existing _ -> ())
+  done
+
+let push_pages fs (ip : inode) pages ~frag ~off ~sync ~free_after ~throttle
+    ~locked ?(ordered = false) () =
+  assert (pages <> []);
+  assert (off mod Layout.bsize = 0);
+  let blocks = List.length pages in
+  let lbn0 = off / Layout.bsize in
+  let nfrags = extent_frags ip ~lbn0 ~blocks in
+  let bytes = nfrags * Layout.fsize in
+  if not locked then
+    List.iter
+      (fun p ->
+        let ok = Vm.Page.try_lock p in
+        if not ok then invalid_arg "Io.push_pages: page busy")
+      pages;
+  let buf = Bytes.create bytes in
+  List.iteri
+    (fun k (p : Vm.Page.t) ->
+      let boff = k * Layout.bsize in
+      let n = min Layout.bsize (bytes - boff) in
+      Bytes.blit p.Vm.Page.data 0 buf boff n)
+    pages;
+  let throttled =
+    match (throttle, ip.wlimit) with
+    | true, Some sem ->
+        let limit =
+          match fs.feat.write_limit with Some l -> l | None -> max_int
+        in
+        let n = min bytes limit in
+        if not (Sim.Semaphore.try_acquire sem ~n ()) then begin
+          fs.stats.wlimit_sleeps <- fs.stats.wlimit_sleeps + 1;
+          Sim.Semaphore.acquire sem ~n ()
+        end;
+        Some (sem, n)
+    | _ -> None
+  in
+  ip.outstanding_writes <- ip.outstanding_writes + bytes;
+  let req =
+    Disk.Request.make ~ordered ~kind:Disk.Request.Write
+      ~sector:(Layout.frag_to_sector frag)
+      ~count:(nfrags * Layout.sectors_per_frag)
+      ~buf ~buf_off:0 ()
+  in
+  (* Ordered writes carry a snapshot, so the pages can be released right
+     away: a re-dirtied page just issues another ordered write that the
+     queue keeps behind this one.  Plain writes hold the page busy until
+     the I/O lands (writers must not mutate data in flight). *)
+  if ordered then
+    List.iter
+      (fun (p : Vm.Page.t) ->
+        Vm.Page.set_dirty p false;
+        if free_after then Vm.Pool.free_page fs.pool p else Vm.Page.unbusy p)
+      pages;
+  Disk.Request.on_complete req (fun () ->
+      (match throttled with
+      | Some (sem, n) -> Sim.Semaphore.release sem ~n ()
+      | None -> ());
+      ip.outstanding_writes <- ip.outstanding_writes - bytes;
+      if not ordered then
+        List.iter
+          (fun (p : Vm.Page.t) ->
+            Vm.Page.set_dirty p false;
+            if free_after then Vm.Pool.free_page fs.pool p
+            else Vm.Page.unbusy p)
+          pages;
+      Sim.Condition.broadcast ip.iodone);
+  charge_io fs;
+  fs.stats.push_ios <- fs.stats.push_ios + 1;
+  fs.stats.push_blocks <- fs.stats.push_blocks + blocks;
+  Sim.Trace.emit fs.trace (fun () ->
+      Ev_write_push { off; bytes = blocks * Layout.bsize; ios = 1 });
+  Disk.Device.submit fs.dev req;
+  if sync then Disk.Request.wait fs.engine req
+
+let wait_writes _fs (ip : inode) =
+  while ip.outstanding_writes > 0 do
+    Sim.Condition.wait ip.iodone
+  done

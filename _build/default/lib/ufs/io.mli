@@ -1,0 +1,41 @@
+(** Shared page-I/O machinery under ufs_getpage/ufs_putpage: building
+    single disk requests that cover whole clusters of pages, and the
+    completion bookkeeping (validate/clean pages, release the write
+    limit, wake fsync waiters).
+
+    CPU accounting convention: the {e initiating} process is charged
+    [driver_submit + intr] per disk request at submission time — the
+    completion interrupt cannot be charged from a callback without a
+    process context, and attributing it to the requester matches how
+    the paper reasons about per-request overhead. *)
+
+val ident : Types.inode -> int -> Vm.Page.ident
+
+val page_in : Types.fs -> Types.inode -> off:int -> frag:int -> blocks:int ->
+  sync:bool -> read_ahead:bool -> unit
+(** Read [blocks] logical blocks of the file starting at page-aligned
+    byte offset [off], located contiguously on disk at [frag], as one
+    disk request.  Pages already cached inside the range keep their
+    (possibly newer) contents; missing pages are allocated, filled from
+    the request buffer at completion, validated and unbusied.  The tail
+    block's transfer length respects its fragment allocation.
+    When [sync], blocks until the data is in.  [read_ahead] only selects
+    statistics/trace classification. *)
+
+val zero_fill : Types.fs -> Types.inode -> off:int -> blocks:int -> unit
+(** Enter valid zeroed pages for a hole (no I/O). *)
+
+val push_pages :
+  Types.fs -> Types.inode -> Vm.Page.t list -> frag:int -> off:int ->
+  sync:bool -> free_after:bool -> throttle:bool -> locked:bool ->
+  ?ordered:bool -> unit -> unit
+(** Write the given (consecutive, dirty, unlocked) pages as one disk
+    request at [frag].  Marks them busy for the duration; on completion
+    they are cleaned, unbusied (or freed when [free_after]) and the
+    inode's outstanding-write count drops.  When [throttle], blocks on
+    the inode's write-limit semaphore first (the paper's fairness
+    semaphore); pageout-initiated pushes pass [false].  When [sync],
+    waits for the I/O. *)
+
+val wait_writes : Types.fs -> Types.inode -> unit
+(** Block until the inode has no writes in flight (fsync tail). *)

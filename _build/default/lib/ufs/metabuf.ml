@@ -1,0 +1,168 @@
+type stats = {
+  mutable reads : int;
+  mutable read_misses : int;
+  mutable writebacks : int;
+}
+
+type entry = { frag : int; data : bytes; mutable dirty : bool; mutable lru : int }
+
+type t = {
+  engine : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  dev : Disk.Device.t;
+  costs : Costs.t;
+  capacity : int;
+  tbl : (int, entry) Hashtbl.t;
+  lock : Sim.Mutex.t;
+  mutable clock : int;
+  mutable pending_ordered : int;
+  ordered_done : Sim.Condition.t;
+  stats : stats;
+}
+
+let create ?(capacity = 64) engine cpu dev costs =
+  if capacity <= 0 then invalid_arg "Metabuf.create: capacity";
+  {
+    engine;
+    cpu;
+    dev;
+    costs;
+    capacity;
+    tbl = Hashtbl.create 128;
+    lock = Sim.Mutex.create engine "metabuf";
+    clock = 0;
+    pending_ordered = 0;
+    ordered_done = Sim.Condition.create engine "metabuf-ordered";
+    stats = { reads = 0; read_misses = 0; writebacks = 0 };
+  }
+
+let check_aligned frag =
+  if frag mod Layout.fpb <> 0 then
+    invalid_arg "Metabuf: fragment address not block-aligned"
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.lru <- t.clock
+
+let write_out t (e : entry) =
+  t.stats.writebacks <- t.stats.writebacks + 1;
+  Sim.Cpu.charge t.cpu ~label:"meta-io" (t.costs.Costs.driver_submit + t.costs.Costs.intr);
+  Disk.Device.write_sync t.dev
+    ~sector:(Layout.frag_to_sector e.frag)
+    ~count:(Layout.bsize / Layout.sector_bytes)
+    ~buf:e.data ~buf_off:0;
+  e.dirty <- false
+
+let evict_if_full t =
+  if Hashtbl.length t.tbl >= t.capacity then begin
+    let victim =
+      Hashtbl.fold
+        (fun _ e acc ->
+          match acc with
+          | None -> Some e
+          | Some b -> if e.lru < b.lru then Some e else acc)
+        t.tbl None
+    in
+    match victim with
+    | None -> ()
+    | Some e ->
+        if e.dirty then write_out t e;
+        Hashtbl.remove t.tbl e.frag
+  end
+
+let read t ~frag =
+  check_aligned frag;
+  Sim.Mutex.with_lock t.lock (fun () ->
+      t.stats.reads <- t.stats.reads + 1;
+      match Hashtbl.find_opt t.tbl frag with
+      | Some e ->
+          touch t e;
+          e.data
+      | None ->
+          t.stats.read_misses <- t.stats.read_misses + 1;
+          evict_if_full t;
+          let data = Bytes.make Layout.bsize '\000' in
+          Sim.Cpu.charge t.cpu ~label:"meta-io"
+            (t.costs.Costs.driver_submit + t.costs.Costs.intr);
+          Disk.Device.read_sync t.dev
+            ~sector:(Layout.frag_to_sector frag)
+            ~count:(Layout.bsize / Layout.sector_bytes)
+            ~buf:data ~buf_off:0;
+          let e = { frag; data; dirty = false; lru = 0 } in
+          touch t e;
+          Hashtbl.replace t.tbl frag e;
+          e.data)
+
+let zero t ~frag =
+  check_aligned frag;
+  Sim.Mutex.with_lock t.lock (fun () ->
+      (match Hashtbl.find_opt t.tbl frag with
+      | Some _ -> Hashtbl.remove t.tbl frag
+      | None -> evict_if_full t);
+      let data = Bytes.make Layout.bsize '\000' in
+      let e = { frag; data; dirty = true; lru = 0 } in
+      touch t e;
+      Hashtbl.replace t.tbl frag e;
+      e.data)
+
+let mark_dirty t ~frag =
+  check_aligned frag;
+  match Hashtbl.find_opt t.tbl frag with
+  | Some e -> e.dirty <- true
+  | None -> invalid_arg "Metabuf.mark_dirty: block not resident"
+
+let flush_block t ~frag =
+  check_aligned frag;
+  Sim.Mutex.with_lock t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl frag with
+      | Some e when e.dirty -> write_out t e
+      | Some _ | None -> ())
+
+(* Asynchronous ordered write-back: snapshot the block, submit with
+   B_ORDER, return.  The entry is marked clean now; a later dirtying
+   issues another ordered write behind this one, preserving order. *)
+let flush_block_ordered t ~frag =
+  check_aligned frag;
+  match Hashtbl.find_opt t.tbl frag with
+  | Some e when e.dirty ->
+      t.stats.writebacks <- t.stats.writebacks + 1;
+      Sim.Cpu.charge t.cpu ~label:"meta-io"
+        (t.costs.Costs.driver_submit + t.costs.Costs.intr);
+      e.dirty <- false;
+      let buf = Bytes.copy e.data in
+      let req =
+        Disk.Request.make ~ordered:true ~kind:Disk.Request.Write
+          ~sector:(Layout.frag_to_sector frag)
+          ~count:(Layout.bsize / Layout.sector_bytes)
+          ~buf ~buf_off:0 ()
+      in
+      t.pending_ordered <- t.pending_ordered + 1;
+      Disk.Request.on_complete req (fun () ->
+          t.pending_ordered <- t.pending_ordered - 1;
+          if t.pending_ordered = 0 then Sim.Condition.broadcast t.ordered_done);
+      Disk.Device.submit t.dev req
+  | Some _ | None -> ()
+
+let invalidate t ~frag =
+  check_aligned frag;
+  Sim.Mutex.with_lock t.lock (fun () -> Hashtbl.remove t.tbl frag)
+
+let sync t =
+  Sim.Mutex.with_lock t.lock (fun () ->
+      let dirty =
+        Hashtbl.fold (fun _ e acc -> if e.dirty then e :: acc else acc) t.tbl []
+        |> List.sort (fun a b -> compare a.frag b.frag)
+      in
+      List.iter (write_out t) dirty);
+  while t.pending_ordered > 0 do
+    Sim.Condition.wait t.ordered_done
+  done
+
+let drop_clean t =
+  Sim.Mutex.with_lock t.lock (fun () ->
+      let clean =
+        Hashtbl.fold (fun k e acc -> if e.dirty then acc else k :: acc) t.tbl []
+      in
+      List.iter (Hashtbl.remove t.tbl) clean)
+
+let stats t = t.stats

@@ -1,0 +1,135 @@
+open Types
+
+let lookup_page fs ip off = Vm.Pool.lookup fs.pool (Io.ident ip off)
+
+let pushable (p : Vm.Page.t) =
+  p.Vm.Page.valid && p.Vm.Page.dirty && not p.Vm.Page.busy
+
+(* Push every dirty page in [off, off+len), cutting the range into
+   physically contiguous chunks per bmap (the figure-8 while loop). *)
+let push_range fs (ip : inode) ~off ~len ~free_after ~throttle ?(ordered = false) () =
+  let endoff = min (off + len) (((ip.size + Layout.bsize - 1) / Layout.bsize) * Layout.bsize) in
+  let rec loop off =
+    if off < endoff then begin
+      match lookup_page fs ip off with
+      | Some p when pushable p ->
+          let lbn = off / Layout.bsize in
+          let frag_opt, contig = Bmap.read fs ip ~lbn in
+          (match frag_opt with
+          | None ->
+              (* a dirty page must have backing store: the write path
+                 allocates before dirtying *)
+              assert false
+          | Some frag ->
+              let max_blocks = min contig ((endoff - off) / Layout.bsize) in
+              let max_blocks = max 1 max_blocks in
+              (* re-collect after the (possibly sleeping) bmap call *)
+              let rec collect k acc =
+                if k = max_blocks then List.rev acc
+                else
+                  match lookup_page fs ip (off + (k * Layout.bsize)) with
+                  | Some p when pushable p -> collect (k + 1) (p :: acc)
+                  | Some _ | None -> List.rev acc
+              in
+              (match collect 0 [] with
+              | [] -> loop (off + Layout.bsize)
+              | pages ->
+                  Io.push_pages fs ip pages ~frag ~off ~sync:false ~free_after
+                    ~throttle ~locked:false ~ordered ();
+                  loop (off + (List.length pages * Layout.bsize))))
+      | Some _ | None -> loop (off + Layout.bsize)
+    end
+  in
+  loop off
+
+(* Free clean, unreferenced-by-I/O pages in the range (free-behind on
+   already-clean data). *)
+let free_clean_range fs (ip : inode) ~off ~len =
+  let endoff = off + len in
+  let rec loop off =
+    if off < endoff then begin
+      (match lookup_page fs ip off with
+      | Some p when p.Vm.Page.valid && (not p.Vm.Page.dirty) && not p.Vm.Page.busy
+        ->
+          if Vm.Page.try_lock p then Vm.Pool.free_page fs.pool p
+      | Some _ | None -> ());
+      loop (off + Layout.bsize)
+    end
+  in
+  loop off
+
+let push_delayed fs (ip : inode) ~sync ?(ordered = false) () =
+  if ip.delaylen > 0 then begin
+    let off = ip.delayoff and len = ip.delaylen in
+    ip.delayoff <- 0;
+    ip.delaylen <- 0;
+    push_range fs ip ~off ~len ~free_after:false ~throttle:(not ordered)
+      ~ordered ()
+  end;
+  if sync then Io.wait_writes fs ip
+
+(* The figure 7/8 delayed-write accumulator. *)
+let delay fs (ip : inode) ~off ~free_after =
+  fs.stats.delayed_pages <- fs.stats.delayed_pages + 1;
+  Sim.Trace.emit fs.trace (fun () -> Ev_write_delay { off });
+  if ip.delaylen = 0 then begin
+    ip.delayoff <- off;
+    ip.delaylen <- Layout.bsize
+  end
+  else if off = ip.delayoff + ip.delaylen && ip.delaylen < cluster_bytes fs
+  then ip.delaylen <- ip.delaylen + Layout.bsize
+  else begin
+    (* sequentiality assumption wrong: write out the old pages, start
+       over with the current page *)
+    push_delayed fs ip ~sync:false ();
+    ip.delayoff <- off;
+    ip.delaylen <- Layout.bsize
+  end;
+  if ip.delaylen >= cluster_bytes fs then push_delayed fs ip ~sync:false ();
+  if free_after then free_clean_range fs ip ~off ~len:Layout.bsize
+
+let putpage fs (ip : inode) ~off ~len ~flags =
+  fs.stats.putpage_calls <- fs.stats.putpage_calls + 1;
+  charge fs ~label:"putpage" fs.costs.Costs.putpage;
+  let has f = List.mem f flags in
+  let free_after = has Vfs.Vnode.P_FREE in
+  if has Vfs.Vnode.P_DELAY then begin
+    if fs.feat.clustering then delay fs ip ~off ~free_after
+    else begin
+      (* SunOS 4.1: start the asynchronous block write immediately *)
+      push_range fs ip ~off ~len:Layout.bsize ~free_after ~throttle:true ();
+      if free_after then free_clean_range fs ip ~off ~len:Layout.bsize
+    end
+  end
+  else begin
+    let len =
+      if len = 0 then
+        max 0 ((Layout.blocks_of_size ip.size * Layout.bsize) - off)
+      else len
+    in
+    let ordered = has Vfs.Vnode.P_ORDER in
+    (* a range operation covers any pages sitting in the accumulator *)
+    if ip.delaylen > 0 then push_delayed fs ip ~sync:false ~ordered ();
+    (* ordered metadata writes are kernel-initiated: they bypass the
+       per-file fairness limit (their volume is bounded by the number of
+       metadata blocks, not by user data) *)
+    push_range fs ip ~off ~len ~free_after ~throttle:(not ordered) ~ordered ();
+    if free_after then free_clean_range fs ip ~off ~len;
+    if has Vfs.Vnode.P_SYNC then Io.wait_writes fs ip
+  end
+
+let flusher fs (ip : inode) : Vm.Pool.flusher =
+ fun page ~free_after ->
+  match page.Vm.Page.ident with
+  | None -> invalid_arg "Ufs flusher: free page"
+  | Some id ->
+      let off = id.Vm.Page.off in
+      Sim.Trace.emit fs.trace (fun () -> Ev_pageout_flush { off });
+      charge fs ~label:"pageout" fs.costs.Costs.putpage;
+      let lbn = off / Layout.bsize in
+      let frag_opt, _ = Bmap.read fs ip ~lbn in
+      (match frag_opt with
+      | None -> assert false (* dirty pages always have backing store *)
+      | Some frag ->
+          Io.push_pages fs ip [ page ] ~frag ~off ~sync:false ~free_after
+            ~throttle:false ~locked:true ())

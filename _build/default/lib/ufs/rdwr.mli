@@ -1,0 +1,25 @@
+(** ufs_rdwr: the read(2)/write(2) path.
+
+    Reads break the request into block-sized pieces, "map" each block
+    (charged as {!Costs.t.map_block}), fault it in via {!Getpage} and
+    copy it out.  On unmap, the {e free-behind} compromise applies: "if
+    the file is in sequential read mode, at a large enough offset, and
+    free memory is close to the low water mark that turns on the pager",
+    the just-consumed page is handed to putpage with [P_FREE] — "the
+    process that is causing the problem is the process finding the
+    solution".
+
+    Writes allocate through {!Bmap.ensure} (growing a fragment tail when
+    needed), copy into the page, and hand each block to putpage with
+    [P_DELAY], which is where write clustering happens.  Partial-block
+    overwrites of existing data page the old contents in first; full
+    block writes and writes beyond EOF do not.
+
+    Reads of files <= 2 KB are served from the in-memory inode when
+    {!Types.features.small_in_inode} is on (the "data in the inode"
+    future-work item): one fragment-sized I/O, no page-cache traffic. *)
+
+val rdwr : Types.fs -> Types.inode -> Vfs.Uio.t -> unit
+(** Transfers until the uio is exhausted (or EOF on read: the residual
+    count is left non-zero).  Takes the inode lock.  Must run in a
+    process. *)

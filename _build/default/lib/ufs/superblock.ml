@@ -1,0 +1,99 @@
+type t = {
+  magic : int;
+  nfrags : int;
+  ncg : int;
+  fpg : int;
+  ipg : int;
+  minfree_pct : int;
+  mutable rotdelay_ms : int;
+  mutable maxcontig : int;
+  mutable maxbpg : int;
+  mutable nbfree : int;
+  mutable nffree : int;
+  mutable nifree : int;
+  mutable ndir : int;
+  mutable clean : bool;
+}
+
+let magic_value = 0x00011954 (* FS_MAGIC, as a tip of the hat *)
+
+let create ~nfrags ~ncg ~fpg ~ipg ?(minfree_pct = 10) ?(rotdelay_ms = 4)
+    ?(maxcontig = 1) ?(maxbpg = 256) () =
+  if nfrags <= 0 || ncg <= 0 || fpg <= 0 || ipg <= 0 then
+    invalid_arg "Superblock.create: bad geometry";
+  if ipg mod Layout.inodes_per_block <> 0 then
+    invalid_arg "Superblock.create: ipg must be a multiple of inodes per block";
+  if fpg mod Layout.fpb <> 0 then
+    invalid_arg "Superblock.create: fpg must be block-aligned";
+  {
+    magic = magic_value;
+    nfrags;
+    ncg;
+    fpg;
+    ipg;
+    minfree_pct;
+    rotdelay_ms;
+    maxcontig;
+    maxbpg;
+    nbfree = 0;
+    nffree = 0;
+    nifree = 0;
+    ndir = 0;
+    clean = true;
+  }
+
+let encode t =
+  let b = Bytes.make Layout.bsize '\000' in
+  Codec.put_u32 b 0 t.magic;
+  Codec.put_u64 b 4 t.nfrags;
+  Codec.put_u32 b 12 t.ncg;
+  Codec.put_u32 b 16 t.fpg;
+  Codec.put_u32 b 20 t.ipg;
+  Codec.put_u32 b 24 t.minfree_pct;
+  Codec.put_u32 b 28 t.rotdelay_ms;
+  Codec.put_u32 b 32 t.maxcontig;
+  Codec.put_u32 b 36 t.maxbpg;
+  Codec.put_u64 b 40 t.nbfree;
+  Codec.put_u64 b 48 t.nffree;
+  Codec.put_u64 b 56 t.nifree;
+  Codec.put_u64 b 64 t.ndir;
+  Codec.put_u8 b 72 (if t.clean then 1 else 0);
+  b
+
+let decode b =
+  let magic = Codec.get_u32 b 0 in
+  if magic <> magic_value then
+    Vfs.Errno.raise_err Vfs.Errno.EINVAL "superblock: bad magic";
+  {
+    magic;
+    nfrags = Codec.get_u64 b 4;
+    ncg = Codec.get_u32 b 12;
+    fpg = Codec.get_u32 b 16;
+    ipg = Codec.get_u32 b 20;
+    minfree_pct = Codec.get_u32 b 24;
+    rotdelay_ms = Codec.get_u32 b 28;
+    maxcontig = Codec.get_u32 b 32;
+    maxbpg = Codec.get_u32 b 36;
+    nbfree = Codec.get_u64 b 40;
+    nffree = Codec.get_u64 b 48;
+    nifree = Codec.get_u64 b 56;
+    ndir = Codec.get_u64 b 64;
+    clean = Codec.get_u8 b 72 = 1;
+  }
+
+let data_frags t =
+  (* metadata per group: header block + inode blocks *)
+  let inode_frags = t.ipg / Layout.inodes_per_block * Layout.fpb in
+  let meta = t.ncg * (Layout.fpb + inode_frags) in
+  t.nfrags - meta - Layout.bootblocks_frags
+
+let minfree_frags t = data_frags t * t.minfree_pct / 100
+let cg_of_frag t f = f / t.fpg
+let cg_of_inum t i = i / t.ipg
+
+let pp ppf t =
+  Format.fprintf ppf
+    "ufs: %d frags, %d cgs (fpg=%d ipg=%d), rotdelay=%dms maxcontig=%d \
+     maxbpg=%d minfree=%d%%, free: %db+%df, %di"
+    t.nfrags t.ncg t.fpg t.ipg t.rotdelay_ms t.maxcontig t.maxbpg
+    t.minfree_pct t.nbfree t.nffree t.nifree

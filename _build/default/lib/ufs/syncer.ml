@@ -1,0 +1,23 @@
+type t = {
+  fs : Types.fs;
+  interval : Sim.Time.t;
+  mutable running : bool;
+  mutable passes : int;
+}
+
+let rec daemon t () =
+  Sim.Engine.sleep t.fs.Types.engine t.interval;
+  if t.running then begin
+    Fs.sync t.fs;
+    t.passes <- t.passes + 1;
+    daemon t ()
+  end
+
+let start fs ?(interval = Sim.Time.sec 30) () =
+  if interval <= 0 then invalid_arg "Syncer.start: interval";
+  let t = { fs; interval; running = true; passes = 0 } in
+  Sim.Engine.spawn fs.Types.engine ~name:"update" (daemon t);
+  t
+
+let stop t = t.running <- false
+let passes t = t.passes

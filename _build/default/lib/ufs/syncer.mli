@@ -1,0 +1,23 @@
+(** The update daemon (the classic 30-second sync).
+
+    "The system periodically flushes the cache to avoid file system
+    inconsistencies in the event of a system crash or power failure" —
+    the paper leans on this when arguing that its write clustering
+    (push at each cluster boundary) keeps disk queues smooth, where
+    Peacock's flush-on-full-cache produced periodic I/O bursts.
+
+    The daemon is a simulated process that calls {!Fs.sync} every
+    [interval].  It bounds how much buffered work a crash can lose:
+    anything older than one interval is on the disk. *)
+
+type t
+
+val start : Types.fs -> ?interval:Sim.Time.t -> unit -> t
+(** Spawn the daemon ([interval] defaults to 30 s).  It runs for the
+    lifetime of the simulation; {!stop} parks it. *)
+
+val stop : t -> unit
+(** The daemon finishes its current pass and stops scheduling more. *)
+
+val passes : t -> int
+(** Completed sync passes. *)

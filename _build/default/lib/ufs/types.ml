@@ -1,0 +1,181 @@
+type features = {
+  clustering : bool;
+  free_behind : bool;
+  write_limit : int option;
+  bmap_cache : bool;
+  small_in_inode : bool;
+  getpage_hint : bool;
+  skip_bmap_if_no_holes : bool;
+  ordered_metadata : bool;
+}
+
+let write_limit_default = 240 * 1024
+
+let features_sunos41 =
+  {
+    clustering = false;
+    free_behind = false;
+    write_limit = None;
+    bmap_cache = false;
+    small_in_inode = false;
+    getpage_hint = false;
+    skip_bmap_if_no_holes = false;
+    ordered_metadata = false;
+  }
+
+let features_clustered =
+  {
+    clustering = true;
+    free_behind = true;
+    write_limit = Some write_limit_default;
+    bmap_cache = false;
+    small_in_inode = false;
+    getpage_hint = false;
+    skip_bmap_if_no_holes = false;
+    ordered_metadata = false;
+  }
+
+type event =
+  | Ev_getpage of { off : int; cached : bool }
+  | Ev_read_sync of { lbn : int; blocks : int }
+  | Ev_read_ahead of { lbn : int; blocks : int }
+  | Ev_write_delay of { off : int }
+  | Ev_write_push of { off : int; bytes : int; ios : int }
+  | Ev_free_behind of { off : int }
+  | Ev_pageout_flush of { off : int }
+
+type stats = {
+  mutable getpage_calls : int;
+  mutable getpage_hits : int;
+  mutable pgin_ios : int;
+  mutable pgin_blocks : int;
+  mutable ra_ios : int;
+  mutable ra_blocks : int;
+  mutable putpage_calls : int;
+  mutable delayed_pages : int;
+  mutable push_ios : int;
+  mutable push_blocks : int;
+  mutable freebehind_pages : int;
+  mutable bmap_calls : int;
+  mutable bmap_cache_hits : int;
+  mutable block_allocs : int;
+  mutable frag_allocs : int;
+  mutable cg_switches : int;
+  mutable wlimit_sleeps : int;
+  mutable idata_reads : int;
+}
+
+let mk_stats () =
+  {
+    getpage_calls = 0;
+    getpage_hits = 0;
+    pgin_ios = 0;
+    pgin_blocks = 0;
+    ra_ios = 0;
+    ra_blocks = 0;
+    putpage_calls = 0;
+    delayed_pages = 0;
+    push_ios = 0;
+    push_blocks = 0;
+    freebehind_pages = 0;
+    bmap_calls = 0;
+    bmap_cache_hits = 0;
+    block_allocs = 0;
+    frag_allocs = 0;
+    cg_switches = 0;
+    wlimit_sleeps = 0;
+    idata_reads = 0;
+  }
+
+type inode = {
+  inum : int;
+  mutable kind : Dinode.kind;
+  mutable nlink : int;
+  mutable size : int;
+  mutable blocks : int;
+  mutable gen : int;
+  db : int array;
+  ib : int array;
+  mutable immediate : string;
+  mutable nextr : int;
+  mutable nextrio : int;
+  mutable delayoff : int;
+  mutable delaylen : int;
+  wlimit : Sim.Semaphore.t option;
+  mutable outstanding_writes : int;
+  iodone : Sim.Condition.t;
+  mutable bmap_cache : (int * int * int) option;
+  mutable idata : bytes option;
+  ilock : Sim.Mutex.t;
+  dlock : Sim.Mutex.t;
+  mutable vnode : Vfs.Vnode.t option;
+  mutable meta_dirty : bool;
+  mutable refcnt : int;
+}
+
+type fs = {
+  engine : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  dev : Disk.Device.t;
+  pool : Vm.Pool.t;
+  sb : Superblock.t;
+  cgs : Cg.t array;
+  feat : features;
+  costs : Costs.t;
+  metabuf : Metabuf.t;
+  icache : (int, inode) Hashtbl.t;
+  alloc_lock : Sim.Mutex.t;
+  iget_lock : Sim.Mutex.t;
+  stats : stats;
+  trace : event Sim.Trace.t;
+}
+
+let mk_inode fs ~inum (d : Dinode.t) =
+  {
+    inum;
+    kind = d.Dinode.kind;
+    nlink = d.Dinode.nlink;
+    size = d.Dinode.size;
+    blocks = d.Dinode.blocks;
+    gen = d.Dinode.gen;
+    db = Array.copy d.Dinode.db;
+    ib = Array.copy d.Dinode.ib;
+    immediate = d.Dinode.immediate;
+    nextr = 0;
+    nextrio = 0;
+    delayoff = 0;
+    delaylen = 0;
+    wlimit =
+      (match fs.feat.write_limit with
+      | Some n ->
+          Some
+            (Sim.Semaphore.create fs.engine
+               (Printf.sprintf "wlimit-%d" inum)
+               n)
+      | None -> None);
+    outstanding_writes = 0;
+    iodone = Sim.Condition.create fs.engine (Printf.sprintf "iodone-%d" inum);
+    bmap_cache = None;
+    idata = None;
+    ilock = Sim.Mutex.create fs.engine (Printf.sprintf "inode-%d" inum);
+    dlock = Sim.Mutex.create fs.engine (Printf.sprintf "dir-%d" inum);
+    vnode = None;
+    meta_dirty = false;
+    refcnt = 0;
+  }
+
+let to_dinode (ip : inode) =
+  let d = Dinode.empty () in
+  d.Dinode.kind <- ip.kind;
+  d.Dinode.nlink <- ip.nlink;
+  d.Dinode.size <- ip.size;
+  d.Dinode.blocks <- ip.blocks;
+  d.Dinode.gen <- ip.gen;
+  Array.blit ip.db 0 d.Dinode.db 0 Layout.ndaddr;
+  Array.blit ip.ib 0 d.Dinode.ib 0 2;
+  d.Dinode.immediate <- ip.immediate;
+  d
+
+let cluster_bytes fs = fs.sb.Superblock.maxcontig * Layout.bsize
+let charge fs ~label d = Sim.Cpu.charge fs.cpu ~label d
+let rootino = 2

@@ -1,0 +1,142 @@
+(** Central mutable state of a mounted UFS: the file system record, the
+    in-memory inode, kernel-behaviour feature switches, statistics and
+    trace events.  The operation modules (Alloc, Bmap, Getpage, Putpage,
+    Rdwr, Dir, Fs) are all functions over these records. *)
+
+(** Kernel-side behaviour switches — everything the paper adds is here,
+    so every experiment config is a value of this type.  On-disk tuning
+    (rotdelay, maxcontig) lives in {!Superblock.t} instead, because
+    that is where FFS keeps it. *)
+type features = {
+  clustering : bool;
+      (** transfer sequential I/O in bmap-sized clusters (the paper's
+          core change); off = one-block-at-a-time SunOS 4.1 behaviour *)
+  free_behind : bool;  (** the page-thrashing compromise *)
+  write_limit : int option;  (** per-file in-flight write bytes cap *)
+  bmap_cache : bool;  (** future work: last-translation cache *)
+  small_in_inode : bool;
+      (** future work: serve files <= 2 KB from the in-memory inode *)
+  getpage_hint : bool;
+      (** future work: "random clustering" — cluster big random reads *)
+  skip_bmap_if_no_holes : bool;
+      (** future work: "UFS_HOLE" — skip the bmap call when the
+          requested page is cached and the file has no holes *)
+  ordered_metadata : bool;
+      (** future work: "B_ORDER" — directory updates issue asynchronous
+          {e ordered} writes instead of synchronous ones; the disk queue
+          preserves their order, keeping crash consistency without
+          stalling the process *)
+}
+
+val features_sunos41 : features
+(** Plain SunOS 4.1: everything off (config "D"). *)
+
+val features_clustered : features
+(** The paper's shipping configuration: clustering + free-behind +
+    240 KB write limit; future-work items off (config "A"). *)
+
+val write_limit_default : int
+(** 240 KB, "currently 240KB". *)
+
+(** Trace events emitted by the I/O paths; tests replay the paper's
+    figures 3, 6 and 7 against these. *)
+type event =
+  | Ev_getpage of { off : int; cached : bool }
+  | Ev_read_sync of { lbn : int; blocks : int }  (** blocking page-in *)
+  | Ev_read_ahead of { lbn : int; blocks : int }
+  | Ev_write_delay of { off : int }  (** putpage "lied" *)
+  | Ev_write_push of { off : int; bytes : int; ios : int }
+  | Ev_free_behind of { off : int }
+  | Ev_pageout_flush of { off : int }
+
+type stats = {
+  mutable getpage_calls : int;
+  mutable getpage_hits : int;  (** requested page already cached *)
+  mutable pgin_ios : int;
+  mutable pgin_blocks : int;
+  mutable ra_ios : int;
+  mutable ra_blocks : int;
+  mutable putpage_calls : int;
+  mutable delayed_pages : int;
+  mutable push_ios : int;
+  mutable push_blocks : int;
+  mutable freebehind_pages : int;
+  mutable bmap_calls : int;
+  mutable bmap_cache_hits : int;
+  mutable block_allocs : int;
+  mutable frag_allocs : int;
+  mutable cg_switches : int;
+  mutable wlimit_sleeps : int;
+  mutable idata_reads : int;  (** small-file reads served from inode *)
+}
+
+val mk_stats : unit -> stats
+
+type inode = {
+  inum : int;
+  mutable kind : Dinode.kind;
+  mutable nlink : int;
+  mutable size : int;
+  mutable blocks : int;  (** fragments allocated, incl. indirect blocks *)
+  mutable gen : int;
+  db : int array;
+  ib : int array;
+  mutable immediate : string;
+  (* --- read clustering state (paper: nextr, nextrio) --- *)
+  mutable nextr : int;  (** predicted next read offset, bytes *)
+  mutable nextrio : int;  (** offset of the last prefetched cluster *)
+  (* --- write clustering state (paper: delayoff, delaylen) --- *)
+  mutable delayoff : int;
+  mutable delaylen : int;
+  (* --- write limit + fsync bookkeeping --- *)
+  wlimit : Sim.Semaphore.t option;
+  mutable outstanding_writes : int;  (** in-flight write bytes *)
+  iodone : Sim.Condition.t;  (** signalled as writes complete *)
+  (* --- caches --- *)
+  mutable bmap_cache : (int * int * int) option;  (** lbn, frag, frags *)
+  mutable idata : bytes option;  (** small-file data, when cached *)
+  (* --- plumbing --- *)
+  ilock : Sim.Mutex.t;
+  dlock : Sim.Mutex.t;
+      (** serialises name-space updates within this directory *)
+  mutable vnode : Vfs.Vnode.t option;
+  mutable meta_dirty : bool;  (** dinode needs writing back *)
+  mutable refcnt : int;
+}
+
+type fs = {
+  engine : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  dev : Disk.Device.t;
+  pool : Vm.Pool.t;
+  sb : Superblock.t;
+  cgs : Cg.t array;
+  feat : features;
+  costs : Costs.t;
+  metabuf : Metabuf.t;
+  icache : (int, inode) Hashtbl.t;
+  alloc_lock : Sim.Mutex.t;
+  iget_lock : Sim.Mutex.t;
+      (** serialises inode-cache misses: the dinode read sleeps, and two
+          processes faulting the same inode must not both instantiate it *)
+  stats : stats;
+  trace : event Sim.Trace.t;
+}
+
+val mk_inode : fs -> inum:int -> Dinode.t -> inode
+(** Wrap a decoded dinode, initialising clustering state ("when the
+    inode is initialized, nextr is set to zero, predicting that the
+    first read will be the first block of the file") and the write-limit
+    semaphore when the feature is on. *)
+
+val to_dinode : inode -> Dinode.t
+(** Snapshot for writing back. *)
+
+val cluster_bytes : fs -> int
+(** [sb.maxcontig * bsize]: the desired cluster size in bytes. *)
+
+val charge : fs -> label:string -> Sim.Time.t -> unit
+(** Charge system CPU. *)
+
+val rootino : int
+(** Inode number of the root directory (2, as in FFS). *)

@@ -1,0 +1,1 @@
+lib/vfs/uio.ml: Bytes

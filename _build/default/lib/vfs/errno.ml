@@ -1,0 +1,34 @@
+type code =
+  | ENOENT
+  | EEXIST
+  | ENOSPC
+  | EISDIR
+  | ENOTDIR
+  | ENOTEMPTY
+  | EFBIG
+  | EINVAL
+  | EIO
+  | EROFS
+
+exception Error of code * string
+
+let raise_err code msg = raise (Error (code, msg))
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | ENOSPC -> "ENOSPC"
+  | EISDIR -> "EISDIR"
+  | ENOTDIR -> "ENOTDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EFBIG -> "EFBIG"
+  | EINVAL -> "EINVAL"
+  | EIO -> "EIO"
+  | EROFS -> "EROFS"
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)
+
+let () =
+  Printexc.register_printer (function
+    | Error (c, msg) -> Some (Printf.sprintf "Vfs.Errno.Error(%s, %s)" (to_string c) msg)
+    | _ -> None)

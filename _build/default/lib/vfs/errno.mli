@@ -1,0 +1,21 @@
+(** File system error conditions, raised as the single exception
+    {!Error} so call sites can match on the code. *)
+
+type code =
+  | ENOENT  (** no such file or directory *)
+  | EEXIST
+  | ENOSPC  (** file system full (or below minfree) *)
+  | EISDIR
+  | ENOTDIR
+  | ENOTEMPTY
+  | EFBIG  (** file too large for the inode's block pointers *)
+  | EINVAL
+  | EIO
+  | EROFS
+
+exception Error of code * string
+(** The string names the operation/object for diagnostics. *)
+
+val raise_err : code -> string -> 'a
+val to_string : code -> string
+val pp : Format.formatter -> code -> unit

@@ -1,0 +1,23 @@
+type kind = Reg | Dir | Lnk
+
+type putflag = P_SYNC | P_ASYNC | P_DELAY | P_FREE | P_ORDER
+
+type t = { vid : int; mutable kind : kind; ops : ops }
+
+and ops = {
+  rdwr : t -> Uio.t -> unit;
+  getpage : t -> off:int -> len:int -> hint:int -> Vm.Page.t list;
+  putpage : t -> off:int -> len:int -> flags:putflag list -> unit;
+  fsync : t -> unit;
+  inactive : t -> unit;
+  getsize : t -> int;
+  setsize : t -> int -> unit;
+}
+
+let make ~vid ~kind ~ops = { vid; kind; ops }
+let size t = t.ops.getsize t
+let rdwr t uio = t.ops.rdwr t uio
+let getpage t ~off ~len ~hint = t.ops.getpage t ~off ~len ~hint
+let putpage t ~off ~len ~flags = t.ops.putpage t ~off ~len ~flags
+let fsync t = t.ops.fsync t
+let inactive t = t.ops.inactive t

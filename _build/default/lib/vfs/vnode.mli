@@ -1,0 +1,52 @@
+(** Vnodes: the file-system-independent file objects of [Kleiman 86].
+
+    "Each file system type implements two object classes: vfs and
+    vnode...  These objects export interface routines that the main body
+    of the kernel uses to manipulate a file system without knowing the
+    details of how it is implemented."
+
+    We model the three entry points the paper is about — [rdwr],
+    [getpage], [putpage] — plus [fsync] and [inactive].  A concrete file
+    system builds the [ops] record from closures over its own per-file
+    state, so no existential types or casts are needed. *)
+
+type kind = Reg | Dir | Lnk
+
+type putflag =
+  | P_SYNC  (** wait for the I/O *)
+  | P_ASYNC  (** start it and return *)
+  | P_DELAY  (** delayed write: may just mark/accumulate (rdwr path) *)
+  | P_FREE  (** free the page once clean (pageout / free-behind) *)
+  | P_ORDER
+      (** B_ORDER: issue asynchronously but forbid the disk queue from
+          reordering other requests across this one (the paper's
+          proposed ordered-write flag) *)
+
+type t = { vid : int; mutable kind : kind; ops : ops }
+
+and ops = {
+  rdwr : t -> Uio.t -> unit;
+      (** Transfer bytes between file and user buffer; extends the file
+          on write. *)
+  getpage :
+    t -> off:int -> len:int -> hint:int -> Vm.Page.t list;
+      (** Ensure pages covering [off, off+len) are in the cache and
+          valid; return them in order.  [hint] is the total size of the
+          enclosing request (the "random clustering" extension uses it;
+          pass 0 for no hint). *)
+  putpage : t -> off:int -> len:int -> flags:putflag list -> unit;
+      (** Write out (or schedule/accumulate, per flags) dirty pages in
+          the range; [len = 0] means to end of file. *)
+  fsync : t -> unit;  (** flush everything dirty and wait *)
+  inactive : t -> unit;  (** last reference dropped *)
+  getsize : t -> int;
+  setsize : t -> int -> unit;  (** truncate/extend metadata only *)
+}
+
+val make : vid:int -> kind:kind -> ops:ops -> t
+val size : t -> int
+val rdwr : t -> Uio.t -> unit
+val getpage : t -> off:int -> len:int -> hint:int -> Vm.Page.t list
+val putpage : t -> off:int -> len:int -> flags:putflag list -> unit
+val fsync : t -> unit
+val inactive : t -> unit

@@ -1,0 +1,1 @@
+lib/vm/pageout.ml: Array Page Param Pool Sim

@@ -1,0 +1,1 @@
+lib/vm/pageout.mli: Pool Sim

@@ -1,0 +1,1 @@
+lib/vm/pool.ml: Array Hashtbl List Page Param Queue Sim

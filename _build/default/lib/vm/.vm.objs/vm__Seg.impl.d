@@ -1,0 +1,1 @@
+lib/vm/seg.ml: Hashtbl List Page Sim

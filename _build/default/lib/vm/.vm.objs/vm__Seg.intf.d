@@ -1,0 +1,1 @@
+lib/vm/seg.mli: Page Sim

@@ -1,0 +1,57 @@
+type ident = { vid : int; off : int }
+
+type t = {
+  frameno : int;
+  data : bytes;
+  mutable ident : ident option;
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable referenced : bool;
+  mutable busy : bool;
+  mutable waiters : (unit -> unit) list;
+}
+
+let make ~frameno ~pagesize =
+  {
+    frameno;
+    data = Bytes.make pagesize '\000';
+    ident = None;
+    valid = false;
+    dirty = false;
+    referenced = false;
+    busy = false;
+    waiters = [];
+  }
+
+let set_ident t i = t.ident <- i
+let set_valid t b = t.valid <- b
+let set_dirty t b = t.dirty <- b
+let set_referenced t b = t.referenced <- b
+
+let rec lock engine t =
+  if t.busy then begin
+    Sim.Engine.suspend engine ~register:(fun resume ->
+        t.waiters <- resume :: t.waiters);
+    lock engine t
+  end
+  else t.busy <- true
+
+let wait_unbusy engine t =
+  while t.busy do
+    Sim.Engine.suspend engine ~register:(fun resume ->
+        t.waiters <- resume :: t.waiters)
+  done
+
+let unbusy t =
+  if not t.busy then invalid_arg "Page.unbusy: not busy";
+  t.busy <- false;
+  let ws = List.rev t.waiters in
+  t.waiters <- [];
+  List.iter (fun w -> w ()) ws
+
+let try_lock t =
+  if t.busy then false
+  else begin
+    t.busy <- true;
+    true
+  end

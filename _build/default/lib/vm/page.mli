@@ -1,0 +1,47 @@
+(** Page frames.
+
+    "There is no longer a distinction between process pages and I/O
+    pages...  This unified naming scheme allows all of memory to be used
+    for any purpose, based on demand."  Every frame is named, when in
+    use, by a ⟨vnode id, file offset⟩ pair and carries the actual data
+    bytes.
+
+    Flag protocol (as in the SunOS/BSD page layer):
+    - [busy]: I/O in flight or otherwise locked; waiters queue on the
+      page and are woken by {!unbusy}.
+    - [valid]: contents reflect the file (set after read or zero-fill).
+    - [dirty]: modified since last written.
+    - [referenced]: software reference bit, cleared by the clock's front
+      hand, set by every lookup. *)
+
+type ident = { vid : int; off : int }
+(** [off] is page-aligned. *)
+
+type t = private {
+  frameno : int;
+  data : bytes;
+  mutable ident : ident option;  (** [None] = on the free list *)
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable referenced : bool;
+  mutable busy : bool;
+  mutable waiters : (unit -> unit) list;
+}
+
+val make : frameno:int -> pagesize:int -> t
+
+val set_ident : t -> ident option -> unit
+val set_valid : t -> bool -> unit
+val set_dirty : t -> bool -> unit
+val set_referenced : t -> bool -> unit
+
+val lock : Sim.Engine.t -> t -> unit
+(** Wait until not busy, then mark busy (the caller owns the page). *)
+
+val wait_unbusy : Sim.Engine.t -> t -> unit
+(** Wait until not busy without acquiring it. *)
+
+val unbusy : t -> unit
+(** Clear busy and wake all waiters. *)
+
+val try_lock : t -> bool

@@ -1,0 +1,114 @@
+type config = {
+  tick : Sim.Time.t;
+  front_cost : Sim.Time.t;
+  back_cost : Sim.Time.t;
+  free_cost : Sim.Time.t;
+}
+
+let default_config =
+  {
+    tick = Sim.Time.ms 20;
+    front_cost = Sim.Time.us 20;
+    back_cost = Sim.Time.us 30;
+    free_cost = Sim.Time.us 60;
+  }
+
+type stats = {
+  mutable scans : int;
+  mutable freed : int;
+  mutable flushed : int;
+  mutable wakeups : int;
+  mutable skipped_no_flusher : int;
+}
+
+type t = {
+  pool : Pool.t;
+  cpu : Sim.Cpu.t;
+  cfg : config;
+  stats : stats;
+  mutable fronthand : int;
+  mutable backhand : int;
+}
+
+let cpu_label = "pageout"
+
+let front_hand d p =
+  ignore d;
+  if (p : Page.t).Page.ident <> None && not p.Page.busy then
+    Page.set_referenced p false
+
+let back_hand d (p : Page.t) =
+  d.stats.scans <- d.stats.scans + 1;
+  if p.Page.ident <> None && (not p.Page.busy) && not p.Page.referenced then
+    if p.Page.dirty then begin
+      match p.Page.ident with
+      | Some ident -> begin
+          match Pool.flusher_for d.pool ident.Page.vid with
+          | Some flush ->
+              if Page.try_lock p then begin
+                d.stats.flushed <- d.stats.flushed + 1;
+                flush p ~free_after:true
+              end
+          | None -> d.stats.skipped_no_flusher <- d.stats.skipped_no_flusher + 1
+        end
+      | None -> ()
+    end
+    else if Page.try_lock p then begin
+      d.stats.freed <- d.stats.freed + 1;
+      Sim.Cpu.charge d.cpu ~label:cpu_label d.cfg.free_cost;
+      Pool.free_page d.pool p
+    end
+
+let scan_batch d n =
+  let frames = Pool.frames d.pool in
+  let nframes = Array.length frames in
+  for _ = 1 to n do
+    front_hand d frames.(d.fronthand);
+    back_hand d frames.(d.backhand);
+    d.fronthand <- (d.fronthand + 1) mod nframes;
+    d.backhand <- (d.backhand + 1) mod nframes
+  done;
+  Sim.Cpu.charge d.cpu ~label:cpu_label
+    (n * (d.cfg.front_cost + d.cfg.back_cost))
+
+let rate d =
+  let prm = Pool.param d.pool in
+  let s = Pool.shortage d.pool in
+  if s = 0 then 0
+  else
+    let lf = prm.Param.lotsfree in
+    prm.Param.slowscan
+    + ((prm.Param.fastscan - prm.Param.slowscan) * s / max 1 lf)
+
+let rec daemon d () =
+  if Pool.shortage d.pool = 0 then begin
+    Sim.Condition.wait (Pool.need_pageout d.pool);
+    d.stats.wakeups <- d.stats.wakeups + 1;
+    daemon d ()
+  end
+  else begin
+    let per_tick =
+      max 1 (rate d * d.cfg.tick / Sim.Time.sec 1)
+    in
+    scan_batch d per_tick;
+    Sim.Engine.sleep (Pool.engine d.pool) d.cfg.tick;
+    daemon d ()
+  end
+
+let start ?(config = default_config) pool cpu =
+  let prm = Pool.param pool in
+  let d =
+    {
+      pool;
+      cpu;
+      cfg = config;
+      stats =
+        { scans = 0; freed = 0; flushed = 0; wakeups = 0; skipped_no_flusher = 0 };
+      fronthand = prm.Param.handspread mod prm.Param.physmem_pages;
+      backhand = 0;
+    }
+  in
+  Sim.Engine.spawn (Pool.engine pool) ~name:"pageout" (daemon d);
+  d
+
+let stats d = d.stats

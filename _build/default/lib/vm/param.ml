@@ -1,0 +1,38 @@
+type t = {
+  physmem_pages : int;
+  pagesize : int;
+  lotsfree : int;
+  desfree : int;
+  minfree : int;
+  handspread : int;
+  slowscan : int;
+  fastscan : int;
+}
+
+let default ?(memory_mb = 8) () =
+  let pagesize = 8192 in
+  let physmem_pages = memory_mb * 1024 * 1024 / pagesize in
+  let lotsfree = max 8 (physmem_pages / 16) in
+  let desfree = max 4 (physmem_pages / 32) in
+  let minfree = max 2 (desfree / 2) in
+  {
+    physmem_pages;
+    pagesize;
+    lotsfree;
+    desfree;
+    minfree;
+    handspread = max 4 (physmem_pages / 4);
+    slowscan = 100;
+    fastscan = max 200 (physmem_pages / 2);
+  }
+
+let validate t =
+  if t.physmem_pages <= 0 then invalid_arg "Param: physmem_pages";
+  if t.pagesize <= 0 || t.pagesize land (t.pagesize - 1) <> 0 then
+    invalid_arg "Param: pagesize must be a positive power of two";
+  if not (0 < t.minfree && t.minfree <= t.desfree && t.desfree <= t.lotsfree)
+  then invalid_arg "Param: need 0 < minfree <= desfree <= lotsfree";
+  if t.lotsfree >= t.physmem_pages then invalid_arg "Param: lotsfree too large";
+  if t.handspread <= 0 || t.handspread >= t.physmem_pages then
+    invalid_arg "Param: handspread";
+  if t.slowscan <= 0 || t.fastscan < t.slowscan then invalid_arg "Param: scan rates"

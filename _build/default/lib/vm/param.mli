@@ -1,0 +1,28 @@
+(** Paging parameters (the SunOS tunables that matter here).
+
+    The pageout daemon starts scanning when free memory drops below
+    [lotsfree] and scans faster as free memory approaches zero, from
+    [slowscan] to [fastscan] pages per second.  [handspread] is the
+    distance, in frames, between the reference-clearing front hand and
+    the freeing back hand of the two-handed clock. *)
+
+type t = {
+  physmem_pages : int;  (** total page frames *)
+  pagesize : int;  (** bytes; 8192 to match the UFS block size *)
+  lotsfree : int;  (** pageout wakes below this many free pages *)
+  desfree : int;
+  minfree : int;  (** allocation may block below this *)
+  handspread : int;
+  slowscan : int;  (** pages/second at shortage = lotsfree *)
+  fastscan : int;  (** pages/second at shortage = all of lotsfree *)
+}
+
+val default : ?memory_mb:int -> unit -> t
+(** SunOS-style defaults scaled to the machine size: [lotsfree] =
+    physmem/16, [desfree] = physmem/32, [minfree] = desfree/2,
+    [handspread] = physmem/4, slowscan 100, fastscan = physmem/2 per
+    second.  [memory_mb] defaults to 8 (the paper's SPARCstation 1). *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] if the parameters are inconsistent
+    (e.g. [minfree > lotsfree] or non-positive sizes). *)

@@ -1,0 +1,147 @@
+type flusher = Page.t -> free_after:bool -> unit
+
+type stats = {
+  mutable lookups : int;
+  mutable hits : int;
+  mutable allocs : int;
+  mutable alloc_waits : int;
+  mutable frees : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  param : Param.t;
+  frames : Page.t array;
+  cache : (Page.ident, Page.t) Hashtbl.t;
+  by_vnode : (int, (int, Page.t) Hashtbl.t) Hashtbl.t;
+  free : int Queue.t;  (** frame numbers *)
+  memwait : Sim.Condition.t;
+  need_pageout : Sim.Condition.t;
+  flushers : (int, flusher) Hashtbl.t;
+  stats : stats;
+}
+
+let create engine param =
+  Param.validate param;
+  let frames =
+    Array.init param.Param.physmem_pages (fun i ->
+        Page.make ~frameno:i ~pagesize:param.Param.pagesize)
+  in
+  let free = Queue.create () in
+  Array.iter (fun (p : Page.t) -> Queue.push p.Page.frameno free) frames;
+  {
+    engine;
+    param;
+    frames;
+    cache = Hashtbl.create 4096;
+    by_vnode = Hashtbl.create 64;
+    free;
+    memwait = Sim.Condition.create engine "memwait";
+    need_pageout = Sim.Condition.create engine "need-pageout";
+    flushers = Hashtbl.create 64;
+    stats = { lookups = 0; hits = 0; allocs = 0; alloc_waits = 0; frees = 0 };
+  }
+
+let engine t = t.engine
+let param t = t.param
+let freecnt t = Queue.length t.free
+let shortage t = max 0 (t.param.Param.lotsfree - freecnt t)
+let need_pageout t = t.need_pageout
+let frames t = t.frames
+
+let lookup t ident =
+  t.stats.lookups <- t.stats.lookups + 1;
+  match Hashtbl.find_opt t.cache ident with
+  | Some p ->
+      t.stats.hits <- t.stats.hits + 1;
+      Page.set_referenced p true;
+      Some p
+  | None -> None
+
+let vnode_tbl t vid =
+  match Hashtbl.find_opt t.by_vnode vid with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 64 in
+      Hashtbl.add t.by_vnode vid tbl;
+      tbl
+
+let alloc t ident =
+  if Hashtbl.mem t.cache ident then
+    invalid_arg "Pool.alloc: ident already cached";
+  t.stats.allocs <- t.stats.allocs + 1;
+  if freecnt t <= t.param.Param.lotsfree then
+    Sim.Condition.signal t.need_pageout;
+  let waited = ref false in
+  while Queue.is_empty t.free && not (Hashtbl.mem t.cache ident) do
+    waited := true;
+    Sim.Condition.signal t.need_pageout;
+    Sim.Condition.wait t.memwait
+  done;
+  if !waited then t.stats.alloc_waits <- t.stats.alloc_waits + 1;
+  match Hashtbl.find_opt t.cache ident with
+  | Some p ->
+      (* someone else entered it while we slept for memory *)
+      Page.set_referenced p true;
+      `Existing p
+  | None ->
+      let frameno = Queue.pop t.free in
+      let p = t.frames.(frameno) in
+      assert (p.Page.ident = None);
+      let ok = Page.try_lock p in
+      assert ok;
+      Page.set_ident p (Some ident);
+      Page.set_valid p false;
+      Page.set_dirty p false;
+      Page.set_referenced p true;
+      Hashtbl.replace t.cache ident p;
+      Hashtbl.replace (vnode_tbl t ident.Page.vid) ident.Page.off p;
+      `Fresh p
+
+let free_page t (p : Page.t) =
+  if not p.Page.busy then invalid_arg "Pool.free_page: caller must hold page";
+  (match p.Page.ident with
+  | Some ident ->
+      Hashtbl.remove t.cache ident;
+      (match Hashtbl.find_opt t.by_vnode ident.Page.vid with
+      | Some tbl -> Hashtbl.remove tbl ident.Page.off
+      | None -> ())
+  | None -> invalid_arg "Pool.free_page: page already free");
+  Page.set_ident p None;
+  Page.set_valid p false;
+  Page.set_dirty p false;
+  Page.set_referenced p false;
+  Queue.push p.Page.frameno t.free;
+  t.stats.frees <- t.stats.frees + 1;
+  Page.unbusy p;
+  Sim.Condition.broadcast t.memwait
+
+let pages_of_vnode t vid =
+  match Hashtbl.find_opt t.by_vnode vid with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun _ p acc -> p :: acc) tbl []
+      |> List.sort (fun (a : Page.t) b ->
+             match (a.Page.ident, b.Page.ident) with
+             | Some ia, Some ib -> compare ia.Page.off ib.Page.off
+             | _ -> 0)
+
+let invalidate_vnode t vid =
+  (* Busy pages may be mid-I/O: wait each one out, then re-check that it
+     still belongs to the vnode (completion may already have freed it). *)
+  let rec drain () =
+    match pages_of_vnode t vid with
+    | [] -> ()
+    | p :: _ ->
+        Page.lock t.engine p;
+        (match p.Page.ident with
+        | Some i when i.Page.vid = vid -> free_page t p
+        | Some _ | None -> Page.unbusy p);
+        drain ()
+  in
+  drain ()
+
+let register_flusher t vid f = Hashtbl.replace t.flushers vid f
+let unregister_flusher t vid = Hashtbl.remove t.flushers vid
+let flusher_for t vid = Hashtbl.find_opt t.flushers vid
+let stats t = t.stats

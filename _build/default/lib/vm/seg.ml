@@ -1,0 +1,77 @@
+type mapping = {
+  base : int;
+  len : int;
+  pagesize : int;
+  fault_cb : off:int -> Page.t;
+  tlb : (int, Page.t) Hashtbl.t; (* page-aligned mapping offset -> page *)
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  mutable segs : mapping list; (* ascending base *)
+  mutable nfaults : int;
+}
+
+let create engine = { engine; segs = []; nfaults = 0 }
+
+let overlaps a b = a.base < b.base + b.len && b.base < a.base + a.len
+
+let map t ?addr ~len ~pagesize ~fault () =
+  if len <= 0 then invalid_arg "Seg.map: empty mapping";
+  if pagesize <= 0 then invalid_arg "Seg.map: bad pagesize";
+  let base =
+    match addr with
+    | Some a ->
+        if a mod pagesize <> 0 then invalid_arg "Seg.map: unaligned address";
+        a
+    | None -> (
+        match List.rev t.segs with
+        | [] -> pagesize (* leave page 0 unmapped, as nature intended *)
+        | last :: _ ->
+            (last.base + last.len + pagesize - 1) / pagesize * pagesize)
+  in
+  let m = { base; len; pagesize; fault_cb = fault; tlb = Hashtbl.create 64 } in
+  List.iter
+    (fun other ->
+      if overlaps m other then invalid_arg "Seg.map: overlapping mapping")
+    t.segs;
+  t.segs <-
+    List.sort (fun a b -> compare a.base b.base) (m :: t.segs);
+  m
+
+let base m = m.base
+let length m = m.len
+
+let unmap t m =
+  if not (List.memq m t.segs) then invalid_arg "Seg.unmap: unknown mapping";
+  Hashtbl.reset m.tlb;
+  t.segs <- List.filter (fun s -> s != m) t.segs
+
+let find t addr =
+  List.find_opt (fun s -> addr >= s.base && addr < s.base + s.len) t.segs
+
+let fault t addr =
+  match find t addr with
+  | None -> raise Not_found
+  | Some s -> (
+      let off = (addr - s.base) / s.pagesize * s.pagesize in
+      match Hashtbl.find_opt s.tlb off with
+      | Some p when p.Page.valid && p.Page.ident <> None -> p
+      | Some _ | None ->
+          t.nfaults <- t.nfaults + 1;
+          let p = s.fault_cb ~off in
+          Hashtbl.replace s.tlb off p;
+          p)
+
+let translated t addr =
+  match find t addr with
+  | None -> false
+  | Some s -> (
+      let off = (addr - s.base) / s.pagesize * s.pagesize in
+      match Hashtbl.find_opt s.tlb off with
+      | Some p -> p.Page.valid && p.Page.ident <> None
+      | None -> false)
+
+let invalidate _t m = Hashtbl.reset m.tlb
+let mappings t = t.segs
+let faults t = t.nfaults

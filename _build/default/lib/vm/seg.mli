@@ -1,0 +1,56 @@
+(** Address spaces and segments — the paper's Figure 1.
+
+    "The address space, associated with a process, is made up of a
+    collection of segments each of which refers to a portion of a file
+    (vnode)...  The fault is resolved by traversing the object
+    hierarchy: the kernel finds the address space associated with the
+    process and calls the address fault handler...  The segment's fault
+    handler converts the address into a ⟨vnode, offset⟩ pair and calls
+    getpage of the associated file system."
+
+    The segment holds its backing object as a fault callback (the VFS
+    layer sits above the VM in this code base, so segments cannot name
+    vnodes directly — the caller closes over one).  A per-segment soft
+    TLB of resolved pages models MMU translations: a repeated touch of
+    a translated page costs nothing, and {!invalidate} models an MMU
+    flush. *)
+
+type mapping
+
+type t
+(** An address space. *)
+
+val create : Sim.Engine.t -> t
+
+val map :
+  t -> ?addr:int -> len:int -> pagesize:int -> fault:(off:int -> Page.t) ->
+  unit -> mapping
+(** Map [len] bytes backed by [fault] (which receives the page-aligned
+    offset {e within the mapping}).  With no [addr], the mapping is
+    placed after the highest existing one.  Raises [Invalid_argument]
+    on overlap or misalignment. *)
+
+val base : mapping -> int
+val length : mapping -> int
+
+val unmap : t -> mapping -> unit
+(** Remove the mapping and drop its translations.
+    Raises [Invalid_argument] if it is not part of the space. *)
+
+val fault : t -> int -> Page.t
+(** Resolve a virtual address: find the enclosing segment, consult its
+    translations, call the backing fault handler on a miss.  Raises
+    [Not_found] for an unmapped address (a segmentation violation). *)
+
+val translated : t -> int -> bool
+(** Whether the page containing the address currently has a valid
+    translation (no fault would occur). *)
+
+val invalidate : t -> mapping -> unit
+(** Drop the mapping's translations (MMU flush) without unmapping. *)
+
+val mappings : t -> mapping list
+(** All mappings, by ascending base address. *)
+
+val faults : t -> int
+(** Total faults taken (translation misses). *)

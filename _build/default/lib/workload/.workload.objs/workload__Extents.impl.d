@@ -1,0 +1,1 @@
+lib/workload/extents.ml: Bytes List Ufs Vfs

@@ -1,0 +1,1 @@
+lib/workload/extents.mli: Ufs

@@ -1,0 +1,1 @@
+lib/workload/iobench.ml: Array Bytes Fun List Sim Ufs Vm

@@ -1,0 +1,1 @@
+lib/workload/iobench.mli: Sim Ufs

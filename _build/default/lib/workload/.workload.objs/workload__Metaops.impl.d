@@ -1,0 +1,1 @@
+lib/workload/metaops.ml: Bytes List Printf Sim Ufs Vfs

@@ -1,0 +1,1 @@
+lib/workload/metaops.mli: Sim Ufs

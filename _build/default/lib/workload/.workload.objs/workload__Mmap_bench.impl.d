@@ -1,0 +1,1 @@
+lib/workload/mmap_bench.ml: Fun Sim Ufs Vfs Vm

@@ -1,0 +1,1 @@
+lib/workload/mmap_bench.mli: Sim Ufs

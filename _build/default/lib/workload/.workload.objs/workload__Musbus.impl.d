@@ -1,0 +1,1 @@
+lib/workload/musbus.ml: Bytes Printf Sim Ufs Vfs

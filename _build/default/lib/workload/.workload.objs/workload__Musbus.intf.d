@@ -1,0 +1,1 @@
+lib/workload/musbus.mli: Sim Ufs

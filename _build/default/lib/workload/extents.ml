@@ -1,0 +1,51 @@
+type measurement = {
+  file_bytes : int;
+  extents : int;
+  avg_extent_kb : float;
+  largest_extent_kb : float;
+  smallest_extent_kb : float;
+}
+
+let of_extent_map ~file_bytes map =
+  let sizes =
+    List.map (fun (_, _, blocks) -> blocks * Ufs.Layout.bsize) map
+  in
+  let n = List.length sizes in
+  let kb x = float_of_int x /. 1024. in
+  if n = 0 then
+    {
+      file_bytes;
+      extents = 0;
+      avg_extent_kb = 0.;
+      largest_extent_kb = 0.;
+      smallest_extent_kb = 0.;
+    }
+  else
+    {
+      file_bytes;
+      extents = n;
+      avg_extent_kb = kb (List.fold_left ( + ) 0 sizes) /. float_of_int n;
+      largest_extent_kb = kb (List.fold_left max 0 sizes);
+      smallest_extent_kb = kb (List.fold_left min max_int sizes);
+    }
+
+let measure_path fs path =
+  let map = Ufs.Fs.extent_map fs path in
+  let st = Ufs.Fs.stat fs path in
+  of_extent_map ~file_bytes:st.Ufs.Fs.st_size map
+
+let write_and_measure fs ~path ~mb =
+  let ip = Ufs.Fs.creat fs path in
+  let buf = Bytes.make Ufs.Layout.bsize 'x' in
+  let total = mb * 1024 * 1024 in
+  let written = ref 0 in
+  (try
+     while !written < total do
+       Ufs.Fs.write fs ip ~off:!written ~buf ~len:Ufs.Layout.bsize;
+       written := !written + Ufs.Layout.bsize
+     done
+   with Vfs.Errno.Error (Vfs.Errno.ENOSPC, _) -> ());
+  Ufs.Fs.fsync fs ip;
+  let map = Ufs.Bmap.extent_map fs ip in
+  Ufs.Iops.iput fs ip;
+  of_extent_map ~file_bytes:!written map

@@ -1,0 +1,24 @@
+(** Allocator-quality measurements (the paper's §Allocator details).
+
+    "We tried several tests, ranging from filling up an entire partition
+    with one file to filling up the last 15% of a heavily fragmented
+    /home partition.  In the best case, the average extent size was
+    1.5MB in a 13MB file.  In the worst case, the average extent size
+    was 62KB in a 16MB file." *)
+
+type measurement = {
+  file_bytes : int;
+  extents : int;
+  avg_extent_kb : float;
+  largest_extent_kb : float;
+  smallest_extent_kb : float;
+}
+
+val measure_path : Ufs.Types.fs -> string -> measurement
+(** Extent statistics of an existing file. *)
+
+val write_and_measure :
+  Ufs.Types.fs -> path:string -> mb:int -> measurement
+(** Write a fresh [mb]-megabyte file sequentially and measure its
+    extents.  Stops early (and measures what was written) if the disk
+    fills.  Must run inside a process. *)

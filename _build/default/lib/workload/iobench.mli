@@ -1,0 +1,53 @@
+(** IObench: the paper's transfer-rate benchmark (Figures 9-11).
+
+    Five I/O types, named as in the paper: first letter F(ile system),
+    second S(equential)/R(andom), third R(ead)/W(rite)/U(pdate) — "the
+    difference between write and update is that in the update case the
+    file's blocks have already been allocated".
+
+    Sequential phases stream the whole file in 8 KB requests; random
+    phases issue a fixed number of 8 KB requests at uniformly random
+    block-aligned offsets.  Writes and updates are timed through a final
+    fsync so the asynchronous queue drains inside the measured window
+    (and so config "D"'s deep elevator-sorted queue shows its FRU
+    advantage, as in the paper).
+
+    Between phases the file's cached pages are invalidated and its
+    read-ahead state reset, so each phase starts cold, like a separate
+    benchmark run.
+
+    All functions must run inside a simulation process. *)
+
+type kind = FSR | FSU | FSW | FRR | FRU
+
+val kind_to_string : kind -> string
+
+type config = {
+  path : string;
+  file_mb : int;  (** 16 MB against 8 MB of RAM in the paper's setup *)
+  request_bytes : int;  (** 8192 *)
+  random_ops : int;  (** requests per random phase *)
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  kind : kind;
+  bytes_moved : int;
+  elapsed : Sim.Time.t;
+  kb_per_sec : float;
+  sys_cpu : Sim.Time.t;  (** system CPU charged during the phase *)
+}
+
+val run_phase : Ufs.Types.fs -> config -> kind -> result
+(** Run one phase.  FSU/FSR/FRR/FRU require the file to exist (run FSW
+    first, or call {!prepare}). *)
+
+val prepare : Ufs.Types.fs -> config -> unit
+(** Create and fully write the benchmark file (untimed), for running a
+    single non-FSW phase in isolation. *)
+
+val run_all : Ufs.Types.fs -> config -> result list
+(** FSW, FSU, FSR, FRR, FRU in an order that lets each phase reuse the
+    allocation state the paper assumes. *)

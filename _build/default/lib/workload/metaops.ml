@@ -1,0 +1,44 @@
+type result = {
+  ops : int;
+  elapsed : Sim.Time.t;
+  elapsed_synced : Sim.Time.t;
+  ms_per_op : float;
+  ms_per_op_synced : float;
+}
+
+let finish (fs : Ufs.Types.fs) ~t0 ~ops =
+  let elapsed = Sim.Engine.now fs.Ufs.Types.engine - t0 in
+  (* metadata consistency is only real once the (ordered) queue drains *)
+  Ufs.Fs.sync fs;
+  let elapsed_synced = Sim.Engine.now fs.Ufs.Types.engine - t0 in
+  let per t = Sim.Time.to_ms_float t /. float_of_int (max 1 ops) in
+  {
+    ops;
+    elapsed;
+    elapsed_synced;
+    ms_per_op = per elapsed;
+    ms_per_op_synced = per elapsed_synced;
+  }
+
+let create_many (fs : Ufs.Types.fs) ~dir ~n ?(bytes_per_file = 1024) () =
+  (try Ufs.Fs.mkdir fs dir with Vfs.Errno.Error (Vfs.Errno.EEXIST, _) -> ());
+  let buf = Bytes.make bytes_per_file 'm' in
+  let t0 = Sim.Engine.now fs.Ufs.Types.engine in
+  for i = 0 to n - 1 do
+    let ip = Ufs.Fs.creat fs (Printf.sprintf "%s/f%d" dir i) in
+    if bytes_per_file > 0 then
+      Ufs.Fs.write fs ip ~off:0 ~buf ~len:bytes_per_file;
+    Ufs.Iops.iput fs ip
+  done;
+  finish fs ~t0 ~ops:n
+
+let remove_all (fs : Ufs.Types.fs) ~dir =
+  let dp = Ufs.Fs.namei fs dir in
+  let names = ref [] in
+  Ufs.Dir.iter fs dp (fun name _ ->
+      if name <> "." && name <> ".." then names := name :: !names);
+  Ufs.Iops.iput fs dp;
+  let t0 = Sim.Engine.now fs.Ufs.Types.engine in
+  let n = List.length !names in
+  List.iter (fun name -> Ufs.Fs.unlink fs (dir ^ "/" ^ name)) !names;
+  finish fs ~t0 ~ops:n

@@ -1,0 +1,25 @@
+(** Metadata-heavy workloads: the paper's B_ORDER motivation.
+
+    "A long standing problem with UFS is that it does many operations,
+    such as directory updates, synchronously...  The performance of
+    commands like rm * would improve substantially."
+
+    {!create_many} populates a directory with empty-ish files;
+    {!remove_all} is "rm *".  Both count synchronous stalls through
+    their elapsed virtual time. *)
+
+type result = {
+  ops : int;
+  elapsed : Sim.Time.t;  (** until the last call returned *)
+  elapsed_synced : Sim.Time.t;  (** until the disk queue drained *)
+  ms_per_op : float;  (** user-perceived: from [elapsed] *)
+  ms_per_op_synced : float;
+}
+
+val create_many :
+  Ufs.Types.fs -> dir:string -> n:int -> ?bytes_per_file:int -> unit -> result
+(** Create [n] files of [bytes_per_file] (default 1024) under [dir]
+    (created if missing).  Must run inside a process. *)
+
+val remove_all : Ufs.Types.fs -> dir:string -> result
+(** Unlink every regular file in [dir]. *)

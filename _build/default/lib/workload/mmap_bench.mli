@@ -1,0 +1,24 @@
+(** The Figure 12 CPU benchmark.
+
+    "The benchmark is similar to IObench, in fact it shows identical I/O
+    rates, but uses the mmap interface to avoid the copying of data from
+    the kernel to the user...  The cpu times show the seconds used by
+    the CPU to read a 16MB file."
+
+    We model an mmap sequential read as one page fault per page: each
+    fault charges the fault cost and goes through ufs_getpage, but there
+    is no block map/unmap and no copyout.  What remains is exactly the
+    per-I/O overhead (bmap, driver, interrupt, read-ahead dispatch) that
+    clustering amortises — the source of the paper's ~25% system-CPU
+    saving. *)
+
+type result = {
+  file_mb : int;
+  elapsed : Sim.Time.t;
+  sys_cpu : Sim.Time.t;
+  kb_per_sec : float;
+}
+
+val run : Ufs.Types.fs -> path:string -> file_mb:int -> result
+(** The file must already exist with the full size (use
+    {!Iobench.prepare}).  Must run inside a process. *)

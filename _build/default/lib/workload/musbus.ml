@@ -1,0 +1,81 @@
+type config = {
+  users : int;
+  iterations : int;
+  think_ms_mean : float;
+  small_file_bytes : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    users = 8;
+    iterations = 40;
+    think_ms_mean = 100.;
+    small_file_bytes = 4096;
+    seed = 7;
+  }
+
+type result = {
+  elapsed : Sim.Time.t;
+  work_units : int;
+  units_per_sec : float;
+  sys_cpu : Sim.Time.t;
+}
+
+let user_script (fs : Ufs.Types.fs) cfg ~user ~rng ~done_ () =
+  let engine = fs.Ufs.Types.engine in
+  let cpu = fs.Ufs.Types.cpu in
+  let dir = Printf.sprintf "/mus%d" user in
+  (try Ufs.Fs.mkdir fs dir with Vfs.Errno.Error (Vfs.Errno.EEXIST, _) -> ());
+  let buf = Bytes.make cfg.small_file_bytes 'm' in
+  for i = 0 to cfg.iterations - 1 do
+    (* think time: "spending most of its time sleeping" *)
+    Sim.Engine.sleep engine
+      (Sim.Time.of_ms_float (Sim.Rng.exponential rng ~mean:cfg.think_ms_mean));
+    (* a small program runs: user-mode CPU burst (e.g. date(1)) *)
+    Sim.Cpu.charge cpu ~cat:Sim.Cpu.User ~label:"musbus-user"
+      (Sim.Time.ms (2 + Sim.Rng.int rng 8));
+    (* create / write / read / delete a small file *)
+    let path = Printf.sprintf "%s/tmp%d" dir i in
+    let ip = Ufs.Fs.creat fs path in
+    Ufs.Fs.write fs ip ~off:0 ~buf ~len:cfg.small_file_bytes;
+    let rbuf = Bytes.create cfg.small_file_bytes in
+    ignore (Ufs.Fs.read fs ip ~off:0 ~buf:rbuf ~len:cfg.small_file_bytes);
+    Ufs.Iops.iput fs ip;
+    Ufs.Fs.unlink fs path;
+    (* ls(1) over the user's directory *)
+    let dp = Ufs.Fs.namei fs dir in
+    Ufs.Dir.iter fs dp (fun _ _ -> ());
+    Ufs.Iops.iput fs dp
+  done;
+  done_ ()
+
+let run (fs : Ufs.Types.fs) cfg =
+  let engine = fs.Ufs.Types.engine in
+  let cpu = fs.Ufs.Types.cpu in
+  let t0 = Sim.Engine.now engine in
+  let c0 = Sim.Cpu.sys_time cpu in
+  let remaining = ref cfg.users in
+  let all_done = Sim.Condition.create engine "musbus-done" in
+  let rng = Sim.Rng.create ~seed:cfg.seed in
+  for u = 0 to cfg.users - 1 do
+    let user_rng = Sim.Rng.split rng in
+    Sim.Engine.spawn engine
+      ~name:(Printf.sprintf "mus-user%d" u)
+      (user_script fs cfg ~user:u ~rng:user_rng ~done_:(fun () ->
+           decr remaining;
+           if !remaining = 0 then Sim.Condition.broadcast all_done))
+  done;
+  while !remaining > 0 do
+    Sim.Condition.wait all_done
+  done;
+  let elapsed = Sim.Engine.now engine - t0 in
+  let work_units = cfg.users * cfg.iterations in
+  {
+    elapsed;
+    work_units;
+    units_per_sec =
+      (if elapsed = 0 then 0.
+       else float_of_int work_units /. Sim.Time.to_sec_float elapsed);
+    sys_cpu = Sim.Cpu.sys_time cpu - c0;
+  }

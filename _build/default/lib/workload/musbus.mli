@@ -1,0 +1,34 @@
+(** MusBus-like multi-user timesharing benchmark.
+
+    The paper's sobering result: "the time-sharing benchmarks improved
+    only slightly...  The benchmark, MusBus, was spending most of its
+    time sleeping and the rest of the time running small programs such
+    as date(1) and ls(1).  The largest I/O transfer done by MusBus was
+    around 8KB which is the file system block size.  In other words,
+    MusBus didn't move any substantial amount of data."
+
+    Each simulated user loops over a script of small-program work units:
+    think time (sleep), a burst of user CPU, create/write/read/delete a
+    small file, and a directory listing.  Because no file exceeds one
+    block, clustering has (and should have) almost nothing to bite on. *)
+
+type config = {
+  users : int;
+  iterations : int;  (** work units per user *)
+  think_ms_mean : float;
+  small_file_bytes : int;  (** <= 8 KB, per the paper's observation *)
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  elapsed : Sim.Time.t;
+  work_units : int;
+  units_per_sec : float;
+  sys_cpu : Sim.Time.t;
+}
+
+val run : Ufs.Types.fs -> config -> result
+(** Spawns one process per user, waits for all to finish.  Must run
+    inside a process. *)

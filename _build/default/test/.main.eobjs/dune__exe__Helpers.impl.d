@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Bytes Char Clusterfs Disk Printf QCheck QCheck_alcotest Ufs

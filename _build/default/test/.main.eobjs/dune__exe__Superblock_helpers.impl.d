@@ -1,0 +1,1 @@
+test/superblock_helpers.ml: Ufs

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Array Clusterfs Fun Helpers List Printf QCheck Ufs Vfs

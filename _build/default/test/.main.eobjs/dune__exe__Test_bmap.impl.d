@@ -1,0 +1,1 @@
+test/test_bmap.ml: Alcotest Array Bytes Clusterfs Fun Gen Hashtbl Helpers List Option QCheck Ufs

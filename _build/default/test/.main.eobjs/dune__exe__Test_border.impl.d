@@ -1,0 +1,1 @@
+test/test_border.ml: Alcotest Clusterfs Disk Helpers List Printf Sim Ufs Vfs Workload

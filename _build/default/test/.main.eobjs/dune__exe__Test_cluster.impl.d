@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Bytes Clusterfs Disk Fun Gen Helpers List Printf QCheck Sim Ufs Vm

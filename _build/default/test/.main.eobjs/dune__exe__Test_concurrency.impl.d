@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest Bytes Clusterfs Helpers List Printf Sim Ufs Vm

@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Bytes Clusterfs Disk Helpers List Printf Sim String Ufs

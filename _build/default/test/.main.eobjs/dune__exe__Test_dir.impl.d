@@ -1,0 +1,1 @@
+test/test_dir.ml: Alcotest Clusterfs Disk Filename Fun Helpers List Printf Sim String Sys Ufs Vfs

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bytes Char Disk Helpers List Option Printf Sim

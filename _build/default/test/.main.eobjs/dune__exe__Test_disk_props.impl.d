@@ -1,0 +1,1 @@
+test/test_disk_props.ml: Bytes Char Disk Gen Helpers List Printf QCheck Sim

@@ -1,0 +1,1 @@
+test/test_efs.ml: Alcotest Bytes Clusterfs Disk Efs Helpers Printf Sim Vfs Vm Workload

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Bytes Clusterfs Disk Helpers Option Printf Sim String Ufs Vfs Vm

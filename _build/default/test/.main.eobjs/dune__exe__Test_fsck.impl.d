@@ -1,0 +1,1 @@
+test/test_fsck.ml: Alcotest Array Bytes Clusterfs Disk Helpers Printf Sim String Ufs

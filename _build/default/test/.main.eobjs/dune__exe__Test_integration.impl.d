@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Clusterfs Disk Helpers List Printf Sim Ufs Workload

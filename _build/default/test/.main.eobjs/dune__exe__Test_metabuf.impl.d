@@ -1,0 +1,1 @@
+test/test_metabuf.ml: Alcotest Bytes Disk Helpers Sim Ufs

@@ -1,0 +1,1 @@
+test/test_props.ml: Bytes Char Clusterfs Hashtbl Helpers List Option Printf QCheck QCheck_alcotest String Ufs Vfs

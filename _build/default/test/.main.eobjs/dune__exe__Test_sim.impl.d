@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fun Helpers List Printf QCheck Sim String

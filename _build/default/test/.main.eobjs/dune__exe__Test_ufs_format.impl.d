@@ -1,0 +1,1 @@
+test/test_ufs_format.ml: Alcotest Array Bytes List Superblock_helpers Ufs Vfs

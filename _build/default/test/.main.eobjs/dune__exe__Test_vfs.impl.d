@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Bytes List Vfs

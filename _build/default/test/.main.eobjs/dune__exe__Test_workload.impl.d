@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Clusterfs Helpers List Printf Sim Ufs Workload

@@ -1,0 +1,66 @@
+(* Shared scaffolding for the test suites: small, fast machines. *)
+
+(* ~20 MB drive: big enough for multi-group allocation, small enough
+   that every test machine builds instantly. *)
+let small_geom =
+  Disk.Geom.create ~rpm:4316 ~nheads:4
+    ~zones:[ { Disk.Geom.cyls = 200; spt = 48 } ]
+    ()
+
+let small_mkfs =
+  {
+    Ufs.Fs.mkfs_defaults with
+    Ufs.Fs.fpg = 4096 (* 4 MB groups *);
+    ipg = 512;
+    rotdelay_ms = 0;
+    maxcontig = 8;
+  }
+
+let small_disk = { Disk.Device.default_config with Disk.Device.geom = small_geom }
+
+let config ?(name = "test") ?(memory_mb = 4) ?(mkfs = small_mkfs)
+    ?(features = Ufs.Types.features_clustered) ?(disk = small_disk) () =
+  {
+    Clusterfs.Config.name;
+    disk;
+    memory_mb;
+    mkfs;
+    features;
+    costs = Ufs.Costs.default;
+  }
+
+let machine ?name ?memory_mb ?mkfs ?features ?disk () =
+  Clusterfs.Machine.create (config ?name ?memory_mb ?mkfs ?features ?disk ())
+
+(* Run [f] on a fresh small machine inside a simulation process. *)
+let in_machine ?name ?memory_mb ?mkfs ?features ?disk f =
+  let m = machine ?name ?memory_mb ?mkfs ?features ?disk () in
+  Clusterfs.Machine.run m (fun m -> f m)
+
+(* Deterministic file contents: byte at absolute offset [o] of a file
+   seeded with [seed]. *)
+let pattern_byte ~seed o = Char.chr ((o + (seed * 131)) land 0xff)
+
+let write_pattern fs ip ~seed ~off ~len =
+  let buf = Bytes.init len (fun i -> pattern_byte ~seed (off + i)) in
+  Ufs.Fs.write fs ip ~off ~buf ~len
+
+let check_pattern fs ip ~seed ~off ~len =
+  let buf = Bytes.create len in
+  let n = Ufs.Fs.read fs ip ~off ~buf ~len in
+  Alcotest.(check int) "read length" len n;
+  let ok = ref true in
+  for i = 0 to len - 1 do
+    if Bytes.get buf i <> pattern_byte ~seed (off + i) then ok := false
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "pattern intact at [%d,%d)" off (off + len))
+    true !ok
+
+let fsck_clean m =
+  Clusterfs.Machine.run m (fun m -> Ufs.Fs.unmount m.Clusterfs.Machine.fs);
+  let report = Ufs.Fsck.check m.Clusterfs.Machine.dev in
+  Alcotest.(check (list string)) "fsck problems" [] report.Ufs.Fsck.problems
+
+let qtest ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)

@@ -1,0 +1,3 @@
+(* A small consistent superblock for format-level tests (no disk). *)
+let make () =
+  Ufs.Superblock.create ~nfrags:(4 * 4096) ~ncg:4 ~fpg:4096 ~ipg:512 ()

@@ -1,0 +1,214 @@
+(* Tests for the FFS allocator: placement policy, block/fragment
+   allocation, inode allocation, count invariants. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let counts_clean fs =
+  Alcotest.(check (list string))
+    "summary counts match bitmaps" []
+    (List.map
+       (fun (what, expected, actual) ->
+         Printf.sprintf "%s: expected %d got %d" what expected actual)
+       (Ufs.Alloc.check_counts fs))
+
+(* run [f fs ip] with a fresh inode on a fresh small machine *)
+let with_fs f =
+  Helpers.in_machine (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      let ip = Ufs.Fs.creat fs "/subject" in
+      Fun.protect
+        ~finally:(fun () -> Ufs.Iops.iput fs ip)
+        (fun () -> f fs ip))
+
+let test_alloc_block_basic () =
+  with_fs (fun fs ip ->
+      let free0 = Ufs.Alloc.total_free_frags fs in
+      let frag = Ufs.Alloc.alloc_block fs ip ~pref:0 in
+      check_int "block aligned" 0 (frag mod Ufs.Layout.fpb);
+      let cg = Ufs.Superblock.cg_of_frag fs.Ufs.Types.sb frag in
+      check_bool "inside a data area" true
+        (frag >= Ufs.Cg.data_begin fs.Ufs.Types.sb cg);
+      check_int "free count dropped by fpb" (free0 - Ufs.Layout.fpb)
+        (Ufs.Alloc.total_free_frags fs);
+      check_bool "bits cleared" false
+        (Ufs.Cg.frag_free fs.Ufs.Types.cgs.(cg) fs.Ufs.Types.sb frag);
+      counts_clean fs;
+      Ufs.Alloc.free_block fs (Some ip) frag;
+      check_int "free count restored" free0 (Ufs.Alloc.total_free_frags fs);
+      counts_clean fs;
+      check_int "ip.blocks net zero" 0 ip.Ufs.Types.blocks
+      (* 1 frag: the creat'ed empty file has nothing; /subject starts
+         with 0... blocks counts this test's net effect only *))
+
+let test_alloc_honors_pref () =
+  with_fs (fun fs ip ->
+      let a = Ufs.Alloc.alloc_block fs ip ~pref:0 in
+      (* the block right after [a] should be free on a fresh fs *)
+      let want = a + Ufs.Layout.fpb in
+      let b = Ufs.Alloc.alloc_block fs ip ~pref:want in
+      check_int "exact preference honored" want b)
+
+let test_blkpref_policy () =
+  with_fs (fun fs ip ->
+      let sb = fs.Ufs.Types.sb in
+      (* first block: the inode's own group *)
+      let p0 = Ufs.Alloc.blkpref fs ip ~lbn:0 ~prev_frag:0 in
+      check_int "first block in home group"
+        (Ufs.Superblock.cg_of_inum sb ip.Ufs.Types.inum)
+        (Ufs.Superblock.cg_of_frag sb p0);
+      (* with rotdelay 0 (helpers default): strictly contiguous *)
+      let p1 = Ufs.Alloc.blkpref fs ip ~lbn:1 ~prev_frag:1000 in
+      check_int "contiguous after prev" (1000 + Ufs.Layout.fpb) p1;
+      (* with rotdelay 4ms: a gap after each maxcontig run *)
+      Ufs.Fs.tunefs fs ~rotdelay_ms:4 ~maxcontig:1 ();
+      let gap = Ufs.Alloc.rotdelay_gap_blocks fs in
+      check_bool "gap at least one block" true (gap >= 1);
+      let p2 = Ufs.Alloc.blkpref fs ip ~lbn:1 ~prev_frag:1000 in
+      check_int "gap applied"
+        (1000 + ((1 + gap) * Ufs.Layout.fpb))
+        p2;
+      (* mid-run blocks stay contiguous even with rotdelay, when
+         maxcontig > 1 *)
+      Ufs.Fs.tunefs fs ~rotdelay_ms:4 ~maxcontig:4 ();
+      let p3 = Ufs.Alloc.blkpref fs ip ~lbn:5 ~prev_frag:1000 in
+      check_int "inside a maxcontig run: contiguous"
+        (1000 + Ufs.Layout.fpb) p3;
+      let p4 = Ufs.Alloc.blkpref fs ip ~lbn:4 ~prev_frag:1000 in
+      check_bool "run boundary gets the gap" true
+        (p4 > 1000 + Ufs.Layout.fpb))
+
+let test_blkpref_cg_switch () =
+  with_fs (fun fs ip ->
+      let sb = fs.Ufs.Types.sb in
+      let maxbpg = sb.Ufs.Superblock.maxbpg in
+      let switches0 = fs.Ufs.Types.stats.Ufs.Types.cg_switches in
+      let p = Ufs.Alloc.blkpref fs ip ~lbn:maxbpg ~prev_frag:1000 in
+      check_bool "switch counted" true
+        (fs.Ufs.Types.stats.Ufs.Types.cg_switches > switches0);
+      check_bool "preference moved off the previous run" true
+        (p <> 1000 + Ufs.Layout.fpb))
+
+let test_alloc_frags_and_extend () =
+  with_fs (fun fs ip ->
+      let f = Ufs.Alloc.alloc_frags fs ip ~pref:0 ~nfrags:3 in
+      counts_clean fs;
+      check_bool "extends in place on fresh space" true
+        (Ufs.Alloc.extend_frags fs ip ~frag:f ~old_n:3 ~new_n:5);
+      counts_clean fs;
+      (* block a neighbouring frag, then extension must fail *)
+      let blocker = Ufs.Alloc.alloc_frags fs ip ~pref:(f + 5) ~nfrags:1 in
+      let extended = Ufs.Alloc.extend_frags fs ip ~frag:f ~old_n:5 ~new_n:7 in
+      check_bool "extension blocked by neighbour"
+        (blocker <> f + 5)
+        extended;
+      Ufs.Alloc.free_frags fs (Some ip) ~frag:f ~nfrags:(if extended then 7 else 5);
+      counts_clean fs)
+
+let test_alloc_frags_prefers_partial_blocks () =
+  with_fs (fun fs ip ->
+      (* make one partial block by taking 2 frags *)
+      let f1 = Ufs.Alloc.alloc_frags fs ip ~pref:0 ~nfrags:2 in
+      (* a second small allocation should land in the same broken block
+         rather than breaking a new one *)
+      let f2 = Ufs.Alloc.alloc_frags fs ip ~pref:0 ~nfrags:2 in
+      check_int "same block"
+        (f1 - (f1 mod Ufs.Layout.fpb))
+        (f2 - (f2 mod Ufs.Layout.fpb));
+      counts_clean fs)
+
+let test_enospc_at_minfree () =
+  with_fs (fun fs ip ->
+      (* grab blocks until ENOSPC; free space must stop at the reserve *)
+      let hit = ref false in
+      (try
+         while true do
+           ignore (Ufs.Alloc.alloc_block fs ip ~pref:0)
+         done
+       with Vfs.Errno.Error (Vfs.Errno.ENOSPC, _) -> hit := true);
+      check_bool "hit the reserve" true !hit;
+      let free = Ufs.Alloc.total_free_frags fs in
+      let reserve = Ufs.Superblock.minfree_frags fs.Ufs.Types.sb in
+      check_bool
+        (Printf.sprintf "free (%d) stops within a block of reserve (%d)" free
+           reserve)
+        true
+        (free >= reserve && free < reserve + Ufs.Layout.fpb);
+      counts_clean fs)
+
+let test_inode_allocation_policy () =
+  with_fs (fun fs _ip ->
+      let sb = fs.Ufs.Types.sb in
+      (* a file goes to its parent's group *)
+      let f = Ufs.Alloc.alloc_inode fs ~dir_hint:Ufs.Types.rootino ~kind:Ufs.Dinode.Reg in
+      check_int "file near parent"
+        (Ufs.Superblock.cg_of_inum sb Ufs.Types.rootino)
+        (Ufs.Superblock.cg_of_inum sb f);
+      (* directories spread to emptier groups *)
+      let d1 = Ufs.Alloc.alloc_inode fs ~dir_hint:Ufs.Types.rootino ~kind:Ufs.Dinode.Dir in
+      let d2 = Ufs.Alloc.alloc_inode fs ~dir_hint:Ufs.Types.rootino ~kind:Ufs.Dinode.Dir in
+      check_bool "directories landed in different groups" true
+        (Ufs.Superblock.cg_of_inum sb d1 <> Ufs.Superblock.cg_of_inum sb d2);
+      Ufs.Alloc.free_inode fs f;
+      Alcotest.check_raises "double free"
+        (Invalid_argument "Alloc.free_inode: already free") (fun () ->
+          Ufs.Alloc.free_inode fs f);
+      counts_clean fs)
+
+(* qcheck: a random alloc/free interleaving keeps the bitmaps and the
+   incremental counts consistent, and never double-allocates. *)
+let prop_alloc_free_consistent =
+  Helpers.qtest ~count:30 "allocator invariants under random ops"
+    QCheck.(list (pair bool (int_bound 6)))
+    (fun ops ->
+      Helpers.in_machine (fun m ->
+          let fs = m.Clusterfs.Machine.fs in
+          let ip = Ufs.Fs.creat fs "/q" in
+          let held = ref [] in
+          let ok = ref true in
+          List.iter
+            (fun (is_alloc, sz) ->
+              if is_alloc || !held = [] then begin
+                match
+                  if sz = 0 then
+                    Some (Ufs.Alloc.alloc_block fs ip ~pref:0, Ufs.Layout.fpb)
+                  else
+                    Some (Ufs.Alloc.alloc_frags fs ip ~pref:0 ~nfrags:sz, sz)
+                with
+                | Some (frag, n) ->
+                    (* no double allocation: must not already hold it *)
+                    if List.exists (fun (f, m) -> frag < f + m && f < frag + n) !held
+                    then ok := false;
+                    held := (frag, n) :: !held
+                | None -> ()
+                | exception Vfs.Errno.Error (Vfs.Errno.ENOSPC, _) -> ()
+              end
+              else begin
+                match !held with
+                | (frag, n) :: rest ->
+                    held := rest;
+                    if n = Ufs.Layout.fpb then
+                      Ufs.Alloc.free_block fs (Some ip) frag
+                    else Ufs.Alloc.free_frags fs (Some ip) ~frag ~nfrags:n
+                | [] -> ()
+              end)
+            ops;
+          !ok && Ufs.Alloc.check_counts fs = []))
+
+let suites =
+  [
+    ( "ufs-alloc",
+      [
+        Alcotest.test_case "alloc block basic" `Quick test_alloc_block_basic;
+        Alcotest.test_case "alloc honors pref" `Quick test_alloc_honors_pref;
+        Alcotest.test_case "blkpref policy" `Quick test_blkpref_policy;
+        Alcotest.test_case "blkpref cg switch" `Quick test_blkpref_cg_switch;
+        Alcotest.test_case "frags + extend" `Quick test_alloc_frags_and_extend;
+        Alcotest.test_case "frags prefer partial blocks" `Quick
+          test_alloc_frags_prefers_partial_blocks;
+        Alcotest.test_case "ENOSPC at minfree" `Slow test_enospc_at_minfree;
+        Alcotest.test_case "inode allocation policy" `Quick
+          test_inode_allocation_policy;
+        prop_alloc_free_consistent;
+      ] );
+  ]

@@ -1,0 +1,167 @@
+(* Concurrency: multiple simulated processes sharing files, pages and
+   the allocator at once.  The cooperative scheduler interleaves at
+   every sleep (disk I/O, CPU charge, lock wait), so these exercise the
+   same windows a preemptive kernel would. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let bsize = Ufs.Layout.bsize
+
+(* run [n] process bodies to completion inside one machine *)
+let run_procs m bodies =
+  Clusterfs.Machine.run m (fun m ->
+      let e = m.Clusterfs.Machine.engine in
+      let remaining = ref (List.length bodies) in
+      let all_done = Sim.Condition.create e "done" in
+      List.iteri
+        (fun i body ->
+          Sim.Engine.spawn e
+            ~name:(Printf.sprintf "proc%d" i)
+            (fun () ->
+              body m;
+              decr remaining;
+              if !remaining = 0 then Sim.Condition.broadcast all_done))
+        bodies;
+      while !remaining > 0 do
+        Sim.Condition.wait all_done
+      done)
+
+let test_concurrent_readers_share_pages () =
+  let m = Helpers.machine () in
+  Clusterfs.Machine.run m (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      let ip = Ufs.Fs.creat fs "/shared" in
+      Helpers.write_pattern fs ip ~seed:1 ~off:0 ~len:(256 * 1024);
+      Ufs.Fs.fsync fs ip;
+      Vm.Pool.invalidate_vnode fs.Ufs.Types.pool ip.Ufs.Types.inum;
+      Ufs.Iops.iput fs ip);
+  run_procs m
+    (List.init 4 (fun _ m ->
+         let fs = m.Clusterfs.Machine.fs in
+         let ip = Ufs.Fs.namei fs "/shared" in
+         Helpers.check_pattern fs ip ~seed:1 ~off:0 ~len:(256 * 1024);
+         Ufs.Iops.iput fs ip));
+  (* four full reads of a cold 32-block file: at most one page-in per
+     block in total — racing readers must share in-flight I/O, not
+     duplicate it *)
+  let s = m.Clusterfs.Machine.fs.Ufs.Types.stats in
+  check_bool
+    (Printf.sprintf "read I/Os shared (%d blocks read for 32-block file)"
+       (s.Ufs.Types.pgin_blocks + s.Ufs.Types.ra_blocks))
+    true
+    (s.Ufs.Types.pgin_blocks + s.Ufs.Types.ra_blocks <= 33)
+
+let test_concurrent_writers_distinct_files () =
+  let m = Helpers.machine () in
+  run_procs m
+    (List.init 5 (fun i m ->
+         let fs = m.Clusterfs.Machine.fs in
+         let ip = Ufs.Fs.creat fs (Printf.sprintf "/w%d" i) in
+         Helpers.write_pattern fs ip ~seed:i ~off:0 ~len:(100 * 1024);
+         Ufs.Fs.fsync fs ip;
+         Helpers.check_pattern fs ip ~seed:i ~off:0 ~len:(100 * 1024);
+         Ufs.Iops.iput fs ip));
+  Clusterfs.Machine.run m (fun m ->
+      check_int "allocator stayed consistent" 0
+        (List.length (Ufs.Alloc.check_counts m.Clusterfs.Machine.fs)));
+  Helpers.fsck_clean m
+
+let test_writer_reader_same_file () =
+  (* a writer appends while a reader polls: the reader must only ever
+     see fully written data (the inode lock serialises rdwr) *)
+  let m = Helpers.machine () in
+  Clusterfs.Machine.run m (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      Ufs.Iops.iput fs (Ufs.Fs.creat fs "/pipe"));
+  run_procs m
+    [
+      (fun m ->
+        let fs = m.Clusterfs.Machine.fs in
+        let ip = Ufs.Fs.namei fs "/pipe" in
+        for i = 0 to 63 do
+          Helpers.write_pattern fs ip ~seed:3 ~off:(i * bsize) ~len:bsize
+        done;
+        Ufs.Fs.fsync fs ip;
+        Ufs.Iops.iput fs ip);
+      (fun m ->
+        let fs = m.Clusterfs.Machine.fs in
+        let e = m.Clusterfs.Machine.engine in
+        let ip = Ufs.Fs.namei fs "/pipe" in
+        let buf = Bytes.create bsize in
+        let seen_bytes = ref 0 in
+        (* poll until the writer finishes *)
+        while !seen_bytes < 64 * bsize do
+          let size = ip.Ufs.Types.size in
+          if size > !seen_bytes then begin
+            (* verify the newly visible region *)
+            let off = !seen_bytes in
+            let n = min bsize (size - off) in
+            let got = Ufs.Fs.read fs ip ~off ~buf ~len:n in
+            check_int "read what size promised" n got;
+            for k = 0 to n - 1 do
+              if Bytes.get buf k <> Helpers.pattern_byte ~seed:3 (off + k) then
+                Alcotest.failf "torn read at %d" (off + k)
+            done;
+            seen_bytes := off + n
+          end
+          else Sim.Engine.sleep e (Sim.Time.ms 5)
+        done;
+        Ufs.Iops.iput fs ip);
+    ];
+  Helpers.fsck_clean m
+
+let test_concurrent_creates_same_dir () =
+  (* the dlock race found by MusBus, distilled *)
+  let m = Helpers.machine () in
+  Clusterfs.Machine.run m (fun m -> Ufs.Fs.mkdir m.Clusterfs.Machine.fs "/race");
+  run_procs m
+    (List.init 6 (fun i m ->
+         let fs = m.Clusterfs.Machine.fs in
+         for j = 0 to 9 do
+           let p = Printf.sprintf "/race/p%d_%d" i j in
+           let ip = Ufs.Fs.creat fs p in
+           Ufs.Iops.iput fs ip
+         done));
+  Clusterfs.Machine.run m (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      let dp = Ufs.Fs.namei fs "/race" in
+      check_int "all 60 entries present" 62 (Ufs.Dir.count fs dp);
+      Ufs.Iops.iput fs dp);
+  Helpers.fsck_clean m
+
+let test_memory_pressure_many_streams () =
+  (* several streaming readers on a small machine: pageout + free-behind
+     under real contention, everything still correct *)
+  let m = Helpers.machine ~memory_mb:2 () in
+  Clusterfs.Machine.run m (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      for i = 0 to 2 do
+        let ip = Ufs.Fs.creat fs (Printf.sprintf "/s%d" i) in
+        Helpers.write_pattern fs ip ~seed:i ~off:0 ~len:(1024 * 1024);
+        Ufs.Fs.fsync fs ip;
+        Ufs.Iops.iput fs ip
+      done);
+  run_procs m
+    (List.init 3 (fun i m ->
+         let fs = m.Clusterfs.Machine.fs in
+         let ip = Ufs.Fs.namei fs (Printf.sprintf "/s%d" i) in
+         Helpers.check_pattern fs ip ~seed:i ~off:0 ~len:(1024 * 1024);
+         Ufs.Iops.iput fs ip));
+  Helpers.fsck_clean m
+
+let suites =
+  [
+    ( "concurrency",
+      [
+        Alcotest.test_case "readers share pages" `Quick
+          test_concurrent_readers_share_pages;
+        Alcotest.test_case "writers, distinct files" `Quick
+          test_concurrent_writers_distinct_files;
+        Alcotest.test_case "writer + polling reader" `Quick
+          test_writer_reader_same_file;
+        Alcotest.test_case "creates in one dir" `Quick
+          test_concurrent_creates_same_dir;
+        Alcotest.test_case "streams under memory pressure" `Slow
+          test_memory_pressure_many_streams;
+      ] );
+  ]

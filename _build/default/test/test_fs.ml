@@ -1,0 +1,279 @@
+(* Tests for the path-level file system API: namespace operations,
+   errors, link counts, persistence across remount. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let bsize = Ufs.Layout.bsize
+
+let expect_errno code f =
+  try
+    f ();
+    Alcotest.failf "expected %s" (Vfs.Errno.to_string code)
+  with Vfs.Errno.Error (c, _) ->
+    Alcotest.(check string)
+      "errno" (Vfs.Errno.to_string code) (Vfs.Errno.to_string c)
+
+let test_creat_stat_namei () =
+  Helpers.in_machine (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      let ip = Ufs.Fs.creat fs "/hello" in
+      Helpers.write_pattern fs ip ~seed:1 ~off:0 ~len:5000;
+      Ufs.Iops.iput fs ip;
+      let st = Ufs.Fs.stat fs "/hello" in
+      check_int "size" 5000 st.Ufs.Fs.st_size;
+      check_bool "regular" true (st.Ufs.Fs.st_kind = Ufs.Dinode.Reg);
+      check_int "nlink" 1 st.Ufs.Fs.st_nlink;
+      check_int "fragments" 5 st.Ufs.Fs.st_blocks;
+      let ip2 = Ufs.Fs.namei fs "/hello" in
+      Helpers.check_pattern fs ip2 ~seed:1 ~off:0 ~len:5000;
+      Ufs.Iops.iput fs ip2)
+
+let test_errors () =
+  Helpers.in_machine (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      expect_errno Vfs.Errno.ENOENT (fun () -> ignore (Ufs.Fs.namei fs "/nope"));
+      expect_errno Vfs.Errno.EINVAL (fun () -> ignore (Ufs.Fs.namei fs "relative"));
+      let ip = Ufs.Fs.creat fs "/f" in
+      Ufs.Iops.iput fs ip;
+      expect_errno Vfs.Errno.ENOTDIR (fun () ->
+          ignore (Ufs.Fs.namei fs "/f/child"));
+      Ufs.Fs.mkdir fs "/d";
+      expect_errno Vfs.Errno.EEXIST (fun () -> Ufs.Fs.mkdir fs "/d");
+      expect_errno Vfs.Errno.EISDIR (fun () -> ignore (Ufs.Fs.creat fs "/d"));
+      expect_errno Vfs.Errno.EISDIR (fun () -> Ufs.Fs.unlink fs "/d");
+      expect_errno Vfs.Errno.ENOTDIR (fun () -> Ufs.Fs.rmdir fs "/f");
+      Ufs.Fs.mkdir fs "/d/sub";
+      expect_errno Vfs.Errno.ENOTEMPTY (fun () -> Ufs.Fs.rmdir fs "/d");
+      Ufs.Fs.rmdir fs "/d/sub";
+      Ufs.Fs.rmdir fs "/d";
+      expect_errno Vfs.Errno.ENOENT (fun () -> ignore (Ufs.Fs.namei fs "/d")))
+
+let test_unlink_frees_space () =
+  Helpers.in_machine (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      let before = (Ufs.Fs.statfs fs).Ufs.Fs.f_bfree in
+      let ip = Ufs.Fs.creat fs "/big" in
+      let buf = Bytes.make bsize 'x' in
+      for i = 0 to 19 do
+        Ufs.Fs.write fs ip ~off:(i * bsize) ~buf ~len:bsize
+      done;
+      Ufs.Fs.fsync fs ip;
+      Ufs.Iops.iput fs ip;
+      check_bool "space consumed" true
+        ((Ufs.Fs.statfs fs).Ufs.Fs.f_bfree < before);
+      Ufs.Fs.unlink fs "/big";
+      check_int "space restored" before (Ufs.Fs.statfs fs).Ufs.Fs.f_bfree)
+
+let test_unlink_while_open () =
+  Helpers.in_machine (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      let ip = Ufs.Fs.creat fs "/tmpfile" in
+      Helpers.write_pattern fs ip ~seed:2 ~off:0 ~len:10000;
+      Ufs.Fs.unlink fs "/tmpfile";
+      (* Unix semantics: data stays readable through the open ref *)
+      expect_errno Vfs.Errno.ENOENT (fun () ->
+          ignore (Ufs.Fs.namei fs "/tmpfile"));
+      Helpers.check_pattern fs ip ~seed:2 ~off:0 ~len:10000;
+      let ifree_before = (Ufs.Fs.statfs fs).Ufs.Fs.f_ifree in
+      Ufs.Iops.iput fs ip;
+      (* last reference dropped: inode and blocks released *)
+      check_int "inode released" (ifree_before + 1)
+        (Ufs.Fs.statfs fs).Ufs.Fs.f_ifree)
+
+let test_hard_links () =
+  Helpers.in_machine (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      let ip = Ufs.Fs.creat fs "/orig" in
+      Helpers.write_pattern fs ip ~seed:3 ~off:0 ~len:3000;
+      Ufs.Iops.iput fs ip;
+      Ufs.Fs.link fs "/orig" "/alias";
+      check_int "nlink 2" 2 (Ufs.Fs.stat fs "/orig").Ufs.Fs.st_nlink;
+      check_int "same inode" (Ufs.Fs.stat fs "/orig").Ufs.Fs.st_ino
+        (Ufs.Fs.stat fs "/alias").Ufs.Fs.st_ino;
+      Ufs.Fs.unlink fs "/orig";
+      let ip2 = Ufs.Fs.namei fs "/alias" in
+      Helpers.check_pattern fs ip2 ~seed:3 ~off:0 ~len:3000;
+      check_int "nlink 1" 1 ip2.Ufs.Types.nlink;
+      Ufs.Iops.iput fs ip2)
+
+let test_rename () =
+  Helpers.in_machine (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      Ufs.Fs.mkdir fs "/a";
+      Ufs.Fs.mkdir fs "/b";
+      let ip = Ufs.Fs.creat fs "/a/f" in
+      Helpers.write_pattern fs ip ~seed:4 ~off:0 ~len:2000;
+      Ufs.Iops.iput fs ip;
+      (* same-directory rename *)
+      Ufs.Fs.rename fs "/a/f" "/a/g";
+      expect_errno Vfs.Errno.ENOENT (fun () -> ignore (Ufs.Fs.namei fs "/a/f"));
+      (* cross-directory rename *)
+      Ufs.Fs.rename fs "/a/g" "/b/h";
+      let ip2 = Ufs.Fs.namei fs "/b/h" in
+      Helpers.check_pattern fs ip2 ~seed:4 ~off:0 ~len:2000;
+      Ufs.Iops.iput fs ip2;
+      (* replacing rename: target's storage is released *)
+      let tgt = Ufs.Fs.creat fs "/b/victim" in
+      Helpers.write_pattern fs tgt ~seed:5 ~off:0 ~len:1000;
+      Ufs.Iops.iput fs tgt;
+      Ufs.Fs.rename fs "/b/h" "/b/victim";
+      let ip3 = Ufs.Fs.namei fs "/b/victim" in
+      Helpers.check_pattern fs ip3 ~seed:4 ~off:0 ~len:2000;
+      Ufs.Iops.iput fs ip3)
+
+let test_rename_directory_across () =
+  Helpers.in_machine (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      Ufs.Fs.mkdir fs "/p1";
+      Ufs.Fs.mkdir fs "/p2";
+      Ufs.Fs.mkdir fs "/p1/child";
+      let ip = Ufs.Fs.creat fs "/p1/child/data" in
+      Ufs.Iops.iput fs ip;
+      let p1_links = (Ufs.Fs.stat fs "/p1").Ufs.Fs.st_nlink in
+      Ufs.Fs.rename fs "/p1/child" "/p2/child";
+      check_int "moved dir reachable" 1
+        (Ufs.Fs.stat fs "/p2/child/data").Ufs.Fs.st_nlink;
+      check_int "old parent nlink dropped" (p1_links - 1)
+        (Ufs.Fs.stat fs "/p1").Ufs.Fs.st_nlink;
+      (* the moved directory's .. entry must point at the new parent *)
+      let child = Ufs.Fs.namei fs "/p2/child" in
+      let dotdot = Ufs.Dir.lookup fs child ".." in
+      Ufs.Iops.iput fs child;
+      check_int "dotdot rewritten"
+        (Ufs.Fs.stat fs "/p2").Ufs.Fs.st_ino
+        (Option.get dotdot))
+
+let test_symlinks () =
+  Helpers.in_machine (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      (* fast symlink: short target lives in the dinode *)
+      Ufs.Fs.symlink fs ~target:"/short" ~path:"/s1";
+      Alcotest.(check string) "fast symlink" "/short" (Ufs.Fs.readlink fs "/s1");
+      check_int "no blocks for fast symlink" 0
+        (Ufs.Fs.stat fs "/s1").Ufs.Fs.st_blocks;
+      (* slow symlink: long target needs a data fragment *)
+      let long = String.make 120 'p' in
+      Ufs.Fs.symlink fs ~target:long ~path:"/s2";
+      Alcotest.(check string) "slow symlink" long (Ufs.Fs.readlink fs "/s2");
+      check_bool "slow symlink has blocks" true
+        ((Ufs.Fs.stat fs "/s2").Ufs.Fs.st_blocks > 0);
+      expect_errno Vfs.Errno.EINVAL (fun () ->
+          ignore (Ufs.Fs.readlink fs "/")))
+
+let test_sparse_files () =
+  Helpers.in_machine (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      let ip = Ufs.Fs.creat fs "/sparse" in
+      let buf = Bytes.make 100 's' in
+      Ufs.Fs.write fs ip ~off:(50 * bsize) ~buf ~len:100;
+      check_int "size spans the hole" ((50 * bsize) + 100) ip.Ufs.Types.size;
+      (* only the written block (fragment tail ineligible: size > direct
+         range...) plus indirect metadata is allocated *)
+      check_bool "sparse allocation" true
+        (ip.Ufs.Types.blocks < 5 * Ufs.Layout.fpb);
+      let r = Bytes.make 10 'x' in
+      ignore (Ufs.Fs.read fs ip ~off:(10 * bsize) ~buf:r ~len:10);
+      check_bool "hole reads zeros" true
+        (Bytes.for_all (fun c -> c = '\000') r);
+      Ufs.Iops.iput fs ip)
+
+let test_dir_growth () =
+  Helpers.in_machine (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      Ufs.Fs.mkdir fs "/crowd";
+      (* enough entries to outgrow several fragments *)
+      for i = 0 to 299 do
+        let ip = Ufs.Fs.creat fs (Printf.sprintf "/crowd/f%03d" i) in
+        Ufs.Iops.iput fs ip
+      done;
+      let dp = Ufs.Fs.namei fs "/crowd" in
+      check_int "all entries present (+ . and ..)" 302 (Ufs.Dir.count fs dp);
+      Ufs.Iops.iput fs dp;
+      (* spot-check lookups *)
+      check_bool "first still there" true
+        ((Ufs.Fs.stat fs "/crowd/f000").Ufs.Fs.st_nlink = 1);
+      check_bool "last still there" true
+        ((Ufs.Fs.stat fs "/crowd/f299").Ufs.Fs.st_nlink = 1);
+      (* deleting reuses slots *)
+      Ufs.Fs.unlink fs "/crowd/f100";
+      let ip = Ufs.Fs.creat fs "/crowd/replacement" in
+      Ufs.Iops.iput fs ip;
+      check_bool "slot reused, directory did not grow" true
+        ((Ufs.Fs.stat fs "/crowd").Ufs.Fs.st_size <= 302 * Ufs.Dir.entry_size))
+
+let test_persistence_across_remount () =
+  let config = Helpers.config () in
+  let m = Clusterfs.Machine.create config in
+  Clusterfs.Machine.run m (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      Ufs.Fs.mkdir fs "/keep";
+      let ip = Ufs.Fs.creat fs "/keep/data" in
+      Helpers.write_pattern fs ip ~seed:6 ~off:0 ~len:100_000;
+      Ufs.Iops.iput fs ip;
+      Ufs.Fs.symlink fs ~target:"/keep/data" ~path:"/keep/link";
+      Ufs.Fs.unmount fs);
+  (* a second machine on the same disk image *)
+  let m2 = Clusterfs.Machine.create_no_format config (Clusterfs.Machine.snapshot_store m) in
+  Clusterfs.Machine.run m2 (fun m2 ->
+      let fs = m2.Clusterfs.Machine.fs in
+      let ip = Ufs.Fs.namei fs "/keep/data" in
+      Helpers.check_pattern fs ip ~seed:6 ~off:0 ~len:100_000;
+      Ufs.Iops.iput fs ip;
+      Alcotest.(check string)
+        "symlink survived" "/keep/data"
+        (Ufs.Fs.readlink fs "/keep/link");
+      Ufs.Fs.unmount fs)
+
+let test_mount_rejects_unclean () =
+  let m = Helpers.machine () in
+  (* never unmounted: superblock still says dirty on the store? No — mkfs
+     writes clean; mount sets nothing.  Simulate a crash by marking the
+     superblock unclean on disk. *)
+  Clusterfs.Machine.run m (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      fs.Ufs.Types.sb.Ufs.Superblock.clean <- false;
+      (* write the unclean superblock out *)
+      Ufs.Fs.sync fs);
+  let st = Clusterfs.Machine.snapshot_store m in
+  let config = Helpers.config () in
+  let e = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create e in
+  let pool = Vm.Pool.create e (Vm.Param.default ~memory_mb:4 ()) in
+  let dev = Disk.Device.create e config.Clusterfs.Config.disk in
+  Disk.Store.copy_into st (Disk.Device.store dev);
+  expect_errno Vfs.Errno.EINVAL (fun () ->
+      ignore
+        (Ufs.Fs.mount e cpu pool dev ~features:Ufs.Types.features_clustered ()))
+
+let test_statfs_consistent () =
+  Helpers.in_machine (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      let s = Ufs.Fs.statfs fs in
+      check_bool "free below capacity" true
+        ((s.Ufs.Fs.f_bfree * Ufs.Layout.fpb) + s.Ufs.Fs.f_ffree
+        <= s.Ufs.Fs.f_frags);
+      check_bool "reserve sane" true
+        (s.Ufs.Fs.f_reserved = s.Ufs.Fs.f_frags / 10))
+
+let suites =
+  [
+    ( "ufs-fs",
+      [
+        Alcotest.test_case "creat/stat/namei" `Quick test_creat_stat_namei;
+        Alcotest.test_case "error paths" `Quick test_errors;
+        Alcotest.test_case "unlink frees space" `Quick test_unlink_frees_space;
+        Alcotest.test_case "unlink while open" `Quick test_unlink_while_open;
+        Alcotest.test_case "hard links" `Quick test_hard_links;
+        Alcotest.test_case "rename" `Quick test_rename;
+        Alcotest.test_case "rename dir across parents" `Quick
+          test_rename_directory_across;
+        Alcotest.test_case "symlinks" `Quick test_symlinks;
+        Alcotest.test_case "sparse files" `Quick test_sparse_files;
+        Alcotest.test_case "directory growth" `Quick test_dir_growth;
+        Alcotest.test_case "persistence across remount" `Quick
+          test_persistence_across_remount;
+        Alcotest.test_case "mount rejects unclean" `Quick
+          test_mount_rejects_unclean;
+        Alcotest.test_case "statfs" `Quick test_statfs_consistent;
+      ] );
+  ]

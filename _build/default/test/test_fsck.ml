@@ -1,0 +1,267 @@
+(* fsck: clean file systems pass; injected corruption of every class is
+   detected. *)
+
+let check_bool = Alcotest.(check bool)
+
+(* Build a populated, unmounted file system and return the machine. *)
+let populated () =
+  let m = Helpers.machine () in
+  Clusterfs.Machine.run m (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      Ufs.Fs.mkdir fs "/dir";
+      Ufs.Fs.mkdir fs "/dir/sub";
+      let ip = Ufs.Fs.creat fs "/dir/file1" in
+      Helpers.write_pattern fs ip ~seed:1 ~off:0 ~len:50_000;
+      Ufs.Iops.iput fs ip;
+      let ip = Ufs.Fs.creat fs "/dir/sub/file2" in
+      Helpers.write_pattern fs ip ~seed:2 ~off:0 ~len:3_000;
+      Ufs.Iops.iput fs ip;
+      Ufs.Fs.link fs "/dir/file1" "/dir/hardlink";
+      Ufs.Fs.symlink fs ~target:"/dir/file1" ~path:"/dir/sym";
+      Ufs.Fs.unlink fs "/dir/sub/file2";
+      let ip = Ufs.Fs.creat fs "/dir/sub/file3" in
+      Helpers.write_pattern fs ip ~seed:3 ~off:0 ~len:120_000;
+      Ufs.Iops.iput fs ip;
+      Ufs.Fs.unmount fs);
+  m
+
+let test_fresh_fs_clean () =
+  let m = Helpers.machine () in
+  Clusterfs.Machine.run m (fun m -> Ufs.Fs.unmount m.Clusterfs.Machine.fs);
+  let r = Ufs.Fsck.check m.Clusterfs.Machine.dev in
+  Alcotest.(check (list string)) "no problems" [] r.Ufs.Fsck.problems;
+  Alcotest.(check int) "one dir (root)" 1 r.Ufs.Fsck.ndirs
+
+let test_populated_fs_clean () =
+  let m = populated () in
+  let r = Ufs.Fsck.check m.Clusterfs.Machine.dev in
+  Alcotest.(check (list string)) "no problems" [] r.Ufs.Fsck.problems;
+  Alcotest.(check int) "files" 2 r.Ufs.Fsck.nfiles;
+  Alcotest.(check int) "dirs" 3 r.Ufs.Fsck.ndirs;
+  Alcotest.(check int) "symlinks" 1 r.Ufs.Fsck.nsymlinks
+
+(* ---------- corruption injection ---------- *)
+
+(* read/patch/write a dinode on the raw store *)
+let patch_dinode m inum f =
+  let dev = m.Clusterfs.Machine.dev in
+  let st = Disk.Device.store dev in
+  let sb =
+    let b = Bytes.create Ufs.Layout.bsize in
+    Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
+      ~len:Ufs.Layout.bsize b 0;
+    Ufs.Superblock.decode b
+  in
+  let frag, byte = Ufs.Cg.dinode_loc sb inum in
+  let blk_frag = frag - (frag mod Ufs.Layout.fpb) in
+  let off =
+    Ufs.Layout.frag_to_byte blk_frag
+    + ((frag mod Ufs.Layout.fpb) * Ufs.Layout.fsize)
+    + byte
+  in
+  let b = Bytes.create Ufs.Layout.dinode_bytes in
+  Disk.Store.read st ~off ~len:Ufs.Layout.dinode_bytes b 0;
+  let d = Ufs.Dinode.decode b 0 in
+  f d;
+  Ufs.Dinode.encode d b 0;
+  Disk.Store.write st ~off ~len:Ufs.Layout.dinode_bytes b 0
+
+(* find some allocated file inode > root *)
+let find_file_inum m =
+  let dev = m.Clusterfs.Machine.dev in
+  let st = Disk.Device.store dev in
+  let sb =
+    let b = Bytes.create Ufs.Layout.bsize in
+    Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
+      ~len:Ufs.Layout.bsize b 0;
+    Ufs.Superblock.decode b
+  in
+  let ninodes = sb.Ufs.Superblock.ncg * sb.Ufs.Superblock.ipg in
+  let rec loop i =
+    if i >= ninodes then Alcotest.fail "no file inode found"
+    else begin
+      let frag, byte = Ufs.Cg.dinode_loc sb i in
+      let blk = frag - (frag mod Ufs.Layout.fpb) in
+      let b = Bytes.create Ufs.Layout.bsize in
+      Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte blk) ~len:Ufs.Layout.bsize b 0;
+      let d =
+        Ufs.Dinode.decode b (((frag mod Ufs.Layout.fpb) * Ufs.Layout.fsize) + byte)
+      in
+      if d.Ufs.Dinode.kind = Ufs.Dinode.Reg && d.Ufs.Dinode.size > 10000 then i
+      else loop (i + 1)
+    end
+  in
+  loop 3
+
+let detects what mutate =
+  let m = populated () in
+  mutate m;
+  let r = Ufs.Fsck.check m.Clusterfs.Machine.dev in
+  check_bool
+    (Printf.sprintf "%s detected (problems: %s)" what
+       (String.concat "; " r.Ufs.Fsck.problems))
+    true
+    (r.Ufs.Fsck.problems <> [])
+
+let test_detects_bad_nlink () =
+  detects "wrong link count" (fun m ->
+      let inum = find_file_inum m in
+      patch_dinode m inum (fun d -> d.Ufs.Dinode.nlink <- d.Ufs.Dinode.nlink + 1))
+
+let test_detects_out_of_range_pointer () =
+  detects "pointer outside data area" (fun m ->
+      let inum = find_file_inum m in
+      patch_dinode m inum (fun d -> d.Ufs.Dinode.db.(0) <- 7 (* boot area *)))
+
+let test_detects_bad_blocks_count () =
+  detects "di_blocks mismatch" (fun m ->
+      let inum = find_file_inum m in
+      patch_dinode m inum (fun d -> d.Ufs.Dinode.blocks <- d.Ufs.Dinode.blocks + 1))
+
+let test_detects_double_claim () =
+  detects "multiply-claimed fragment" (fun m ->
+      let inum = find_file_inum m in
+      patch_dinode m inum (fun d -> d.Ufs.Dinode.db.(1) <- d.Ufs.Dinode.db.(0)))
+
+let test_detects_orphan_inode () =
+  detects "allocated but unreferenced inode" (fun m ->
+      let inum = find_file_inum m in
+      (* clone the dinode into a free slot without any directory entry *)
+      patch_dinode m (inum + 200) (fun d ->
+          d.Ufs.Dinode.kind <- Ufs.Dinode.Reg;
+          d.Ufs.Dinode.nlink <- 1;
+          d.Ufs.Dinode.size <- 0))
+
+let test_detects_free_but_used () =
+  detects "fragment in use but marked free" (fun m ->
+      let dev = m.Clusterfs.Machine.dev in
+      let st = Disk.Device.store dev in
+      let b = Bytes.create Ufs.Layout.bsize in
+      Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
+        ~len:Ufs.Layout.bsize b 0;
+      let sb = Ufs.Superblock.decode b in
+      (* find the first file inode and free its first fragment's bit *)
+      let inum = find_file_inum m in
+      let frag, byte = Ufs.Cg.dinode_loc sb inum in
+      let blk = frag - (frag mod Ufs.Layout.fpb) in
+      let ib = Bytes.create Ufs.Layout.bsize in
+      Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte blk) ~len:Ufs.Layout.bsize ib 0;
+      let d =
+        Ufs.Dinode.decode ib (((frag mod Ufs.Layout.fpb) * Ufs.Layout.fsize) + byte)
+      in
+      let data_frag = d.Ufs.Dinode.db.(0) in
+      let c = Ufs.Superblock.cg_of_frag sb data_frag in
+      let hdr = Bytes.create Ufs.Layout.bsize in
+      Disk.Store.read st
+        ~off:(Ufs.Layout.frag_to_byte (Ufs.Cg.header_frag sb c))
+        ~len:Ufs.Layout.bsize hdr 0;
+      let cg = Ufs.Cg.decode hdr sb c in
+      Ufs.Cg.set_frag cg sb data_frag ~free:true;
+      Disk.Store.write st
+        ~off:(Ufs.Layout.frag_to_byte (Ufs.Cg.header_frag sb c))
+        ~len:Ufs.Layout.bsize (Ufs.Cg.encode cg sb) 0)
+
+let test_detects_summary_corruption () =
+  detects "summary count corruption" (fun m ->
+      let dev = m.Clusterfs.Machine.dev in
+      let st = Disk.Device.store dev in
+      let b = Bytes.create Ufs.Layout.bsize in
+      Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
+        ~len:Ufs.Layout.bsize b 0;
+      let sb = Ufs.Superblock.decode b in
+      sb.Ufs.Superblock.nbfree <- sb.Ufs.Superblock.nbfree + 5;
+      Disk.Store.write st ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
+        ~len:Ufs.Layout.bsize (Ufs.Superblock.encode sb) 0)
+
+let test_detects_bad_dotdot () =
+  detects "bad .. entry" (fun m ->
+      (* /dir's data: rewrite the .. entry to point at a wrong inode.
+         Find /dir via the root directory's entries on disk. *)
+      let dev = m.Clusterfs.Machine.dev in
+      let st = Disk.Device.store dev in
+      let b = Bytes.create Ufs.Layout.bsize in
+      Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
+        ~len:Ufs.Layout.bsize b 0;
+      let sb = Ufs.Superblock.decode b in
+      (* root dinode -> first data frag -> scan entries for "dir" *)
+      let rfrag, rbyte = Ufs.Cg.dinode_loc sb Ufs.Types.rootino in
+      let rblk = rfrag - (rfrag mod Ufs.Layout.fpb) in
+      let rb = Bytes.create Ufs.Layout.bsize in
+      Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte rblk) ~len:Ufs.Layout.bsize rb 0;
+      let rootd =
+        Ufs.Dinode.decode rb (((rfrag mod Ufs.Layout.fpb) * Ufs.Layout.fsize) + rbyte)
+      in
+      let data = Bytes.create rootd.Ufs.Dinode.size in
+      Disk.Store.read st
+        ~off:(Ufs.Layout.frag_to_byte rootd.Ufs.Dinode.db.(0))
+        ~len:rootd.Ufs.Dinode.size data 0;
+      let dir_inum = ref 0 in
+      for i = 0 to (rootd.Ufs.Dinode.size / Ufs.Dir.entry_size) - 1 do
+        let off = i * Ufs.Dir.entry_size in
+        let inum = Ufs.Codec.get_u32 data off in
+        let len = Ufs.Codec.get_u8 data (off + 4) in
+        if inum <> 0 && Bytes.sub_string data (off + 5) len = "dir" then
+          dir_inum := inum
+      done;
+      check_bool "found /dir" true (!dir_inum <> 0);
+      (* /dir's first data fragment holds its "." and ".." entries *)
+      let dfrag, dbyte = Ufs.Cg.dinode_loc sb !dir_inum in
+      let dblk = dfrag - (dfrag mod Ufs.Layout.fpb) in
+      let db = Bytes.create Ufs.Layout.bsize in
+      Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte dblk) ~len:Ufs.Layout.bsize db 0;
+      let dird =
+        Ufs.Dinode.decode db (((dfrag mod Ufs.Layout.fpb) * Ufs.Layout.fsize) + dbyte)
+      in
+      let dirdata_off = Ufs.Layout.frag_to_byte dird.Ufs.Dinode.db.(0) in
+      let e = Bytes.create Ufs.Dir.entry_size in
+      Disk.Store.read st
+        ~off:(dirdata_off + Ufs.Dir.entry_size)
+        ~len:Ufs.Dir.entry_size e 0;
+      Ufs.Codec.put_u32 e 0 !dir_inum (* .. should be root; point it at self *);
+      Disk.Store.write st
+        ~off:(dirdata_off + Ufs.Dir.entry_size)
+        ~len:Ufs.Dir.entry_size e 0)
+
+let test_clean_after_heavy_churn () =
+  let m = Helpers.machine () in
+  Clusterfs.Machine.run m (fun m ->
+      let fs = m.Clusterfs.Machine.fs in
+      let rng = Sim.Rng.create ~seed:99 in
+      let opts =
+        {
+          Ufs.Ager.defaults with
+          Ufs.Ager.target_util = 0.5;
+          churn_rounds = 2;
+          large_max_kb = 256;
+        }
+      in
+      ignore (Ufs.Ager.age fs ~rng ~opts ());
+      Ufs.Fs.unmount fs);
+  let r = Ufs.Fsck.check m.Clusterfs.Machine.dev in
+  Alcotest.(check (list string)) "clean after churn" [] r.Ufs.Fsck.problems;
+  check_bool "real population" true (r.Ufs.Fsck.nfiles > 20)
+
+let suites =
+  [
+    ( "ufs-fsck",
+      [
+        Alcotest.test_case "fresh fs clean" `Quick test_fresh_fs_clean;
+        Alcotest.test_case "populated fs clean" `Quick test_populated_fs_clean;
+        Alcotest.test_case "detects bad nlink" `Quick test_detects_bad_nlink;
+        Alcotest.test_case "detects bad pointer" `Quick
+          test_detects_out_of_range_pointer;
+        Alcotest.test_case "detects di_blocks mismatch" `Quick
+          test_detects_bad_blocks_count;
+        Alcotest.test_case "detects double claim" `Quick
+          test_detects_double_claim;
+        Alcotest.test_case "detects orphan inode" `Quick
+          test_detects_orphan_inode;
+        Alcotest.test_case "detects free-but-used frag" `Quick
+          test_detects_free_but_used;
+        Alcotest.test_case "detects summary corruption" `Quick
+          test_detects_summary_corruption;
+        Alcotest.test_case "detects bad dotdot" `Quick test_detects_bad_dotdot;
+        Alcotest.test_case "clean after churn" `Slow
+          test_clean_after_heavy_churn;
+      ] );
+  ]

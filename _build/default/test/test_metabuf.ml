@@ -1,0 +1,128 @@
+(* The metadata buffer cache: hit/miss behaviour, write-back policies
+   (sync / ordered async / eviction), invalidation, LRU capacity. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_metabuf ?capacity f =
+  let e = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create e in
+  let dev = Disk.Device.create e Helpers.small_disk in
+  let mb = Ufs.Metabuf.create ?capacity e cpu dev Ufs.Costs.default in
+  let result = ref None in
+  Sim.Engine.spawn e (fun () -> result := Some (f e dev mb));
+  Sim.Engine.run e;
+  match !result with Some r -> r | None -> Alcotest.fail "metabuf test hung"
+
+let frag_of_block i = i * Ufs.Layout.fpb
+
+let test_read_caches () =
+  with_metabuf (fun _e _dev mb ->
+      let b1 = Ufs.Metabuf.read mb ~frag:(frag_of_block 10) in
+      let s = Ufs.Metabuf.stats mb in
+      check_int "one miss" 1 s.Ufs.Metabuf.read_misses;
+      let b2 = Ufs.Metabuf.read mb ~frag:(frag_of_block 10) in
+      check_int "second read hits" 1 (Ufs.Metabuf.stats mb).Ufs.Metabuf.read_misses;
+      check_bool "same buffer" true (b1 == b2))
+
+let test_alignment_enforced () =
+  with_metabuf (fun _e _dev mb ->
+      Alcotest.check_raises "unaligned"
+        (Invalid_argument "Metabuf: fragment address not block-aligned")
+        (fun () -> ignore (Ufs.Metabuf.read mb ~frag:3)))
+
+let test_dirty_writeback_roundtrip () =
+  with_metabuf (fun _e dev mb ->
+      let frag = frag_of_block 20 in
+      let b = Ufs.Metabuf.read mb ~frag in
+      Bytes.fill b 0 16 'M';
+      Ufs.Metabuf.mark_dirty mb ~frag;
+      Ufs.Metabuf.sync mb;
+      (* read through the raw store: the bytes must be on disk *)
+      let raw = Bytes.create 16 in
+      Disk.Store.read (Disk.Device.store dev)
+        ~off:(Ufs.Layout.frag_to_byte frag) ~len:16 raw 0;
+      check_bool "written back" true (Bytes.for_all (fun c -> c = 'M') raw);
+      check_int "one writeback" 1 (Ufs.Metabuf.stats mb).Ufs.Metabuf.writebacks;
+      (* clean sync is a no-op *)
+      Ufs.Metabuf.sync mb;
+      check_int "no extra writeback" 1
+        (Ufs.Metabuf.stats mb).Ufs.Metabuf.writebacks)
+
+let test_mark_dirty_requires_residency () =
+  with_metabuf (fun _e _dev mb ->
+      Alcotest.check_raises "not resident"
+        (Invalid_argument "Metabuf.mark_dirty: block not resident") (fun () ->
+          Ufs.Metabuf.mark_dirty mb ~frag:(frag_of_block 5)))
+
+let test_zero_creates_without_read () =
+  with_metabuf (fun _e _dev mb ->
+      let b = Ufs.Metabuf.zero mb ~frag:(frag_of_block 30) in
+      check_bool "zeroed" true (Bytes.for_all (fun c -> c = '\000') b);
+      check_int "no disk read" 0 (Ufs.Metabuf.stats mb).Ufs.Metabuf.read_misses;
+      (* it is dirty: sync writes it out *)
+      Ufs.Metabuf.sync mb;
+      check_int "written" 1 (Ufs.Metabuf.stats mb).Ufs.Metabuf.writebacks)
+
+let test_invalidate_discards () =
+  with_metabuf (fun _e dev mb ->
+      let frag = frag_of_block 40 in
+      let b = Ufs.Metabuf.zero mb ~frag in
+      Bytes.fill b 0 8 'X';
+      Ufs.Metabuf.invalidate mb ~frag;
+      Ufs.Metabuf.sync mb;
+      let raw = Bytes.create 8 in
+      Disk.Store.read (Disk.Device.store dev)
+        ~off:(Ufs.Layout.frag_to_byte frag) ~len:8 raw 0;
+      check_bool "dropped, never written" true
+        (Bytes.for_all (fun c -> c = '\000') raw))
+
+let test_eviction_writes_dirty () =
+  with_metabuf ~capacity:4 (fun _e dev mb ->
+      let frag = frag_of_block 50 in
+      let b = Ufs.Metabuf.zero mb ~frag in
+      Bytes.fill b 0 8 'E';
+      (* touch enough other blocks to evict it *)
+      for i = 60 to 65 do
+        ignore (Ufs.Metabuf.read mb ~frag:(frag_of_block i))
+      done;
+      let raw = Bytes.create 8 in
+      Disk.Store.read (Disk.Device.store dev)
+        ~off:(Ufs.Layout.frag_to_byte frag) ~len:8 raw 0;
+      check_bool "dirty victim written at eviction" true
+        (Bytes.for_all (fun c -> c = 'E') raw))
+
+let test_ordered_flush_async_and_drained () =
+  with_metabuf (fun e dev mb ->
+      let frag = frag_of_block 70 in
+      let b = Ufs.Metabuf.zero mb ~frag in
+      Bytes.fill b 0 8 'O';
+      let t0 = Sim.Engine.now e in
+      Ufs.Metabuf.flush_block_ordered mb ~frag;
+      (* asynchronous: returns without waiting a disk service time
+         (only the CPU submit cost has elapsed) *)
+      check_bool "returned quickly" true (Sim.Engine.now e - t0 < Sim.Time.ms 5);
+      Ufs.Metabuf.sync mb;
+      let raw = Bytes.create 8 in
+      Disk.Store.read (Disk.Device.store dev)
+        ~off:(Ufs.Layout.frag_to_byte frag) ~len:8 raw 0;
+      check_bool "on disk after sync" true
+        (Bytes.for_all (fun c -> c = 'O') raw))
+
+let suites =
+  [
+    ( "ufs-metabuf",
+      [
+        Alcotest.test_case "read caches" `Quick test_read_caches;
+        Alcotest.test_case "alignment" `Quick test_alignment_enforced;
+        Alcotest.test_case "dirty writeback" `Quick test_dirty_writeback_roundtrip;
+        Alcotest.test_case "mark_dirty residency" `Quick
+          test_mark_dirty_requires_residency;
+        Alcotest.test_case "zero block" `Quick test_zero_creates_without_read;
+        Alcotest.test_case "invalidate" `Quick test_invalidate_discards;
+        Alcotest.test_case "eviction writes dirty" `Quick
+          test_eviction_writes_dirty;
+        Alcotest.test_case "ordered flush" `Quick
+          test_ordered_flush_async_and_drained;
+      ] );
+  ]

@@ -1,0 +1,422 @@
+(* Tests for the simulation substrate: time, heap, rng, stats, engine,
+   condition variables, semaphores, mutexes, CPU, traces. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Time ---------- *)
+
+let test_time_conversions () =
+  check_int "ms" 2_000 (Sim.Time.ms 2);
+  check_int "sec" 3_000_000 (Sim.Time.sec 3);
+  check_int "of_ms_float rounds" 1_500 (Sim.Time.of_ms_float 1.5);
+  check_int "of_sec_float" 250_000 (Sim.Time.of_sec_float 0.25);
+  Alcotest.(check (float 1e-9)) "to_ms_float" 1.5 (Sim.Time.to_ms_float 1_500);
+  Alcotest.(check string) "pp us" "999us" (Sim.Time.to_string 999);
+  Alcotest.(check string) "pp ms" "1.000ms" (Sim.Time.to_string 1_000);
+  Alcotest.(check string) "pp s" "2.500s" (Sim.Time.to_string 2_500_000)
+
+(* ---------- Heap ---------- *)
+
+let test_heap_basic () =
+  let h = Sim.Heap.create ~cmp:compare in
+  check_bool "empty" true (Sim.Heap.is_empty h);
+  List.iter (fun k -> Sim.Heap.push h k (k * 10)) [ 5; 1; 4; 2; 3 ];
+  check_int "length" 5 (Sim.Heap.length h);
+  (match Sim.Heap.peek h with
+  | Some (1, 10) -> ()
+  | _ -> Alcotest.fail "peek should be smallest");
+  let order = ref [] in
+  let rec drain () =
+    match Sim.Heap.pop h with
+    | Some (k, _) ->
+        order := k :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_heap_clear () =
+  let h = Sim.Heap.create ~cmp:compare in
+  Sim.Heap.push h 1 ();
+  Sim.Heap.clear h;
+  check_bool "cleared" true (Sim.Heap.is_empty h);
+  check_bool "pop empty" true (Sim.Heap.pop h = None)
+
+let prop_heap_sorts =
+  Helpers.qtest ~count:200 "heap drains in sorted order"
+    QCheck.(list int)
+    (fun l ->
+      let h = Sim.Heap.create ~cmp:compare in
+      List.iter (fun k -> Sim.Heap.push h k ()) l;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | Some (k, ()) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort compare l)
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Sim.Rng.create ~seed:7 and b = Sim.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Sim.Rng.int a 1000) (Sim.Rng.int b 1000)
+  done;
+  let c = Sim.Rng.create ~seed:8 in
+  let diff = ref false in
+  for _ = 1 to 20 do
+    if Sim.Rng.int a 1000 <> Sim.Rng.int c 1000 then diff := true
+  done;
+  check_bool "different seeds differ" true !diff
+
+let test_rng_shuffle () =
+  let rng = Sim.Rng.create ~seed:3 in
+  let a = Array.init 50 Fun.id in
+  Sim.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "multiset preserved" (Array.init 50 Fun.id) sorted
+
+let test_rng_exponential () =
+  let rng = Sim.Rng.create ~seed:4 in
+  let sum = ref 0. in
+  let n = 5000 in
+  for _ = 1 to n do
+    let v = Sim.Rng.exponential rng ~mean:10. in
+    check_bool "positive" true (v > 0.);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool
+    (Printf.sprintf "mean ~10 (got %.2f)" mean)
+    true
+    (mean > 9. && mean < 11.)
+
+(* ---------- Stats ---------- *)
+
+let test_summary () =
+  let s = Sim.Stats.Summary.create () in
+  check_int "empty count" 0 (Sim.Stats.Summary.count s);
+  Alcotest.(check (float 0.)) "empty mean" 0. (Sim.Stats.Summary.mean s);
+  List.iter (Sim.Stats.Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check (float 1e-9)) "mean" 5. (Sim.Stats.Summary.mean s);
+  Alcotest.(check (float 1e-6)) "stddev (sample)" 2.13809
+    (Sim.Stats.Summary.stddev s);
+  Alcotest.(check (float 0.)) "min" 2. (Sim.Stats.Summary.min s);
+  Alcotest.(check (float 0.)) "max" 9. (Sim.Stats.Summary.max s);
+  Alcotest.(check (float 0.)) "total" 40. (Sim.Stats.Summary.total s)
+
+let test_percentile () =
+  let values () = [| 15.; 20.; 35.; 40.; 50. |] in
+  Alcotest.(check (float 1e-9)) "p0" 15. (Sim.Stats.percentile (values ()) 0.);
+  Alcotest.(check (float 1e-9)) "p100" 50. (Sim.Stats.percentile (values ()) 100.);
+  Alcotest.(check (float 1e-9)) "p50" 35. (Sim.Stats.percentile (values ()) 50.);
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Sim.Stats.percentile [||] 50.))
+
+let test_hist () =
+  let h = Sim.Stats.Hist.create () in
+  List.iter (Sim.Stats.Hist.add h) [ 0; 1; 2; 3; 900 ];
+  check_int "count" 5 (Sim.Stats.Hist.count h);
+  let buckets = Sim.Stats.Hist.buckets h in
+  check_bool "0..1 bucket holds two" true
+    (List.exists (fun (lo, hi, n) -> lo = 0 && hi = 1 && n = 2) buckets);
+  check_bool "900 lands in 513..1024" true
+    (List.exists (fun (lo, hi, n) -> lo = 513 && hi = 1024 && n = 1) buckets)
+
+(* ---------- Engine ---------- *)
+
+let test_engine_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule e ~delay:30 (fun () -> log := 3 :: !log);
+  Sim.Engine.schedule e ~delay:10 (fun () -> log := 1 :: !log);
+  Sim.Engine.schedule e ~delay:20 (fun () -> log := 2 :: !log);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_int "clock at last event" 30 (Sim.Engine.now e)
+
+let test_engine_fifo_same_time () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.Engine.schedule e ~delay:10 (fun () -> log := i :: !log)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "FIFO tie-break" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_sleep () =
+  let e = Sim.Engine.create () in
+  let t_mid = ref 0 and t_end = ref 0 in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Engine.sleep e 100;
+      t_mid := Sim.Engine.now e;
+      Sim.Engine.sleep e 50;
+      t_end := Sim.Engine.now e);
+  Sim.Engine.run e;
+  check_int "first sleep" 100 !t_mid;
+  check_int "second sleep" 150 !t_end
+
+let test_engine_run_for () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  Sim.Engine.schedule e ~delay:100 (fun () -> fired := true);
+  Sim.Engine.run_for e 50;
+  check_bool "not yet" false !fired;
+  check_int "clock advanced to stop" 50 (Sim.Engine.now e);
+  Sim.Engine.run_for e 50;
+  check_bool "fired at 100" true !fired
+
+let test_engine_suspend_resume () =
+  let e = Sim.Engine.create () in
+  let resume = ref (fun () -> ()) in
+  let state = ref "init" in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Engine.suspend e ~register:(fun r -> resume := r);
+      state := "resumed");
+  Sim.Engine.run e;
+  Alcotest.(check string) "parked" "init" !state;
+  check_int "one blocked" 1 (Sim.Engine.live_processes e);
+  !resume ();
+  Sim.Engine.run e;
+  Alcotest.(check string) "resumed" "resumed" !state;
+  check_int "none blocked" 0 (Sim.Engine.live_processes e)
+
+let test_engine_double_resume_raises () =
+  let e = Sim.Engine.create () in
+  let resume = ref (fun () -> ()) in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Engine.suspend e ~register:(fun r -> resume := r));
+  Sim.Engine.run e;
+  !resume ();
+  Sim.Engine.run e;
+  Alcotest.check_raises "second resume"
+    (Invalid_argument "Engine: process resumed twice") (fun () -> !resume ())
+
+let test_engine_check_quiescent () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Engine.suspend e ~register:(fun _ -> ()));
+  Sim.Engine.run e;
+  check_bool "raises Deadlock" true
+    (try
+       Sim.Engine.check_quiescent e;
+       false
+     with Sim.Engine.Deadlock _ -> true)
+
+let test_engine_process_exception () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.spawn e ~name:"boom" (fun () -> failwith "kaboom");
+  check_bool "propagates as Failure" true
+    (try
+       Sim.Engine.run e;
+       false
+     with Failure msg ->
+       (* the message names the process *)
+       String.length msg > 0 && String.sub msg 0 12 = "process boom")
+
+(* ---------- Condition ---------- *)
+
+let test_condition_signal_fifo () =
+  let e = Sim.Engine.create () in
+  let cv = Sim.Condition.create e "t" in
+  let woke = ref [] in
+  for i = 1 to 3 do
+    Sim.Engine.spawn e (fun () ->
+        Sim.Condition.wait cv;
+        woke := i :: !woke)
+  done;
+  Sim.Engine.run e;
+  check_int "three waiting" 3 (Sim.Condition.waiters cv);
+  Sim.Condition.signal cv;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "first in woke" [ 1 ] (List.rev !woke);
+  Sim.Condition.broadcast cv;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "rest woke in order" [ 1; 2; 3 ] (List.rev !woke)
+
+let test_condition_rewait_not_woken_by_same_broadcast () =
+  let e = Sim.Engine.create () in
+  let cv = Sim.Condition.create e "t" in
+  let wakeups = ref 0 in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Condition.wait cv;
+      incr wakeups;
+      Sim.Condition.wait cv;
+      incr wakeups);
+  Sim.Engine.run e;
+  Sim.Condition.broadcast cv;
+  Sim.Engine.run e;
+  check_int "woken once" 1 !wakeups;
+  Sim.Condition.broadcast cv;
+  Sim.Engine.run e;
+  check_int "woken twice" 2 !wakeups
+
+(* ---------- Semaphore ---------- *)
+
+let test_semaphore_blocking () =
+  let e = Sim.Engine.create () in
+  let sem = Sim.Semaphore.create e "t" 2 in
+  let got = ref [] in
+  for i = 1 to 3 do
+    Sim.Engine.spawn e (fun () ->
+        Sim.Semaphore.acquire sem ();
+        got := i :: !got)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "two got in" [ 1; 2 ] (List.rev !got);
+  Sim.Semaphore.release sem ();
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "third after release" [ 1; 2; 3 ] (List.rev !got)
+
+let test_semaphore_fifo_fairness () =
+  let e = Sim.Engine.create () in
+  let sem = Sim.Semaphore.create e "t" 0 in
+  let got = ref [] in
+  (* big waiter first, then small: small must NOT jump the queue *)
+  Sim.Engine.spawn e (fun () ->
+      Sim.Semaphore.acquire sem ~n:5 ();
+      got := `Big :: !got);
+  Sim.Engine.spawn e (fun () ->
+      Sim.Semaphore.acquire sem ~n:1 ();
+      got := `Small :: !got);
+  Sim.Engine.run e;
+  Sim.Semaphore.release sem ~n:1 ();
+  Sim.Engine.run e;
+  check_int "nobody in with 1 unit" 0 (List.length !got);
+  Sim.Semaphore.release sem ~n:5 ();
+  Sim.Engine.run e;
+  check_bool "big first" true (List.rev !got = [ `Big; `Small ]);
+  check_int "leftover" 0 (Sim.Semaphore.value sem)
+
+let test_semaphore_try () =
+  let e = Sim.Engine.create () in
+  let sem = Sim.Semaphore.create e "t" 1 in
+  check_bool "try ok" true (Sim.Semaphore.try_acquire sem ());
+  check_bool "try fails at zero" false (Sim.Semaphore.try_acquire sem ());
+  Sim.Semaphore.release sem ();
+  check_int "back to one" 1 (Sim.Semaphore.value sem)
+
+(* ---------- Mutex ---------- *)
+
+let test_mutex_exclusion () =
+  let e = Sim.Engine.create () in
+  let m = Sim.Mutex.create e "t" in
+  let trace = ref [] in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Mutex.with_lock m (fun () ->
+          trace := `A_in :: !trace;
+          Sim.Engine.sleep e 100;
+          trace := `A_out :: !trace));
+  Sim.Engine.spawn e (fun () ->
+      Sim.Mutex.with_lock m (fun () -> trace := `B_in :: !trace));
+  Sim.Engine.run e;
+  check_bool "no interleaving" true
+    (List.rev !trace = [ `A_in; `A_out; `B_in ])
+
+let test_mutex_exception_unlocks () =
+  let e = Sim.Engine.create () in
+  let m = Sim.Mutex.create e "t" in
+  (try Sim.Mutex.with_lock m (fun () -> failwith "x") with Failure _ -> ());
+  check_bool "released after exception" false (Sim.Mutex.locked m)
+
+let test_mutex_unlock_unlocked_raises () =
+  let e = Sim.Engine.create () in
+  let m = Sim.Mutex.create e "t" in
+  Alcotest.check_raises "unlock unheld"
+    (Invalid_argument "Mutex.unlock: not locked") (fun () -> Sim.Mutex.unlock m)
+
+(* ---------- Cpu ---------- *)
+
+let test_cpu_accounting () =
+  let e = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create e in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Cpu.charge cpu ~cat:Sim.Cpu.Sys ~label:"a" 100;
+      Sim.Cpu.charge cpu ~cat:Sim.Cpu.User ~label:"b" 50);
+  Sim.Engine.run e;
+  check_int "sys" 100 (Sim.Cpu.sys_time cpu);
+  check_int "user" 50 (Sim.Cpu.user_time cpu);
+  check_int "clock = total" 150 (Sim.Engine.now e);
+  let labels = Sim.Cpu.by_label cpu in
+  check_bool "labels recorded" true
+    (List.mem ("a", 100) labels && List.mem ("b", 50) labels);
+  Sim.Cpu.reset cpu;
+  check_int "reset" 0 (Sim.Cpu.sys_time cpu)
+
+let test_cpu_contention_serializes () =
+  let e = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create e in
+  let finish = ref [] in
+  for i = 1 to 3 do
+    Sim.Engine.spawn e (fun () ->
+        Sim.Cpu.charge cpu 100;
+        finish := (i, Sim.Engine.now e) :: !finish)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list (pair int int)))
+    "serialized completions"
+    [ (1, 100); (2, 200); (3, 300) ]
+    (List.rev !finish)
+
+(* ---------- Trace ---------- *)
+
+let test_trace_ring () =
+  let t = Sim.Trace.create ~capacity:3 () in
+  Sim.Trace.emit t (fun () -> 1);
+  Alcotest.(check int) "disabled drops" 0 (Sim.Trace.length t);
+  Sim.Trace.enable t true;
+  List.iter (fun i -> Sim.Trace.emit t (fun () -> i)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "keeps newest" [ 3; 4; 5 ] (Sim.Trace.to_list t);
+  Alcotest.(check int) "dropped count" 2 (Sim.Trace.dropped t);
+  Sim.Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (Sim.Trace.length t)
+
+let suites =
+  [
+    ( "sim",
+      [
+        Alcotest.test_case "time conversions" `Quick test_time_conversions;
+        Alcotest.test_case "heap basic" `Quick test_heap_basic;
+        Alcotest.test_case "heap clear" `Quick test_heap_clear;
+        prop_heap_sorts;
+        Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle;
+        Alcotest.test_case "rng exponential" `Quick test_rng_exponential;
+        Alcotest.test_case "stats summary" `Quick test_summary;
+        Alcotest.test_case "stats percentile" `Quick test_percentile;
+        Alcotest.test_case "stats hist" `Quick test_hist;
+        Alcotest.test_case "engine time order" `Quick test_engine_ordering;
+        Alcotest.test_case "engine same-time FIFO" `Quick
+          test_engine_fifo_same_time;
+        Alcotest.test_case "engine sleep" `Quick test_engine_sleep;
+        Alcotest.test_case "engine run_for" `Quick test_engine_run_for;
+        Alcotest.test_case "engine suspend/resume" `Quick
+          test_engine_suspend_resume;
+        Alcotest.test_case "engine double resume" `Quick
+          test_engine_double_resume_raises;
+        Alcotest.test_case "engine deadlock detect" `Quick
+          test_engine_check_quiescent;
+        Alcotest.test_case "engine process exception" `Quick
+          test_engine_process_exception;
+        Alcotest.test_case "condition FIFO" `Quick test_condition_signal_fifo;
+        Alcotest.test_case "condition broadcast once" `Quick
+          test_condition_rewait_not_woken_by_same_broadcast;
+        Alcotest.test_case "semaphore blocking" `Quick test_semaphore_blocking;
+        Alcotest.test_case "semaphore FIFO fairness" `Quick
+          test_semaphore_fifo_fairness;
+        Alcotest.test_case "semaphore try" `Quick test_semaphore_try;
+        Alcotest.test_case "mutex exclusion" `Quick test_mutex_exclusion;
+        Alcotest.test_case "mutex exception safety" `Quick
+          test_mutex_exception_unlocks;
+        Alcotest.test_case "mutex unlock unheld" `Quick
+          test_mutex_unlock_unlocked_raises;
+        Alcotest.test_case "cpu accounting" `Quick test_cpu_accounting;
+        Alcotest.test_case "cpu contention" `Quick
+          test_cpu_contention_serializes;
+        Alcotest.test_case "trace ring" `Quick test_trace_ring;
+      ] );
+  ]

@@ -1,0 +1,84 @@
+(* Tests for the VFS layer: errno, uio, vnode dispatch. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_errno () =
+  Alcotest.(check string) "to_string" "ENOSPC" (Vfs.Errno.to_string Vfs.Errno.ENOSPC);
+  check_bool "raise_err raises the right code" true
+    (try Vfs.Errno.raise_err Vfs.Errno.ENOENT "x"
+     with Vfs.Errno.Error (Vfs.Errno.ENOENT, "x") -> true)
+
+let test_uio_read () =
+  let buf = Bytes.make 10 '_' in
+  let uio = Vfs.Uio.make ~rw:Vfs.Uio.Read ~off:100 ~len:10 ~buf ~buf_off:0 in
+  check_bool "not done" false (Vfs.Uio.done_ uio);
+  let src = Bytes.of_string "helloworld!" in
+  Vfs.Uio.move uio ~src_or_dst:src ~data_off:0 ~n:5;
+  check_int "off advanced" 105 uio.Vfs.Uio.off;
+  check_int "resid shrunk" 5 uio.Vfs.Uio.resid;
+  Vfs.Uio.move uio ~src_or_dst:src ~data_off:5 ~n:5;
+  check_bool "done" true (Vfs.Uio.done_ uio);
+  Alcotest.(check string) "data flowed user-ward" "helloworld"
+    (Bytes.to_string buf)
+
+let test_uio_write () =
+  let buf = Bytes.of_string "abcdef" in
+  let uio = Vfs.Uio.make ~rw:Vfs.Uio.Write ~off:0 ~len:6 ~buf ~buf_off:0 in
+  let dst = Bytes.make 6 '_' in
+  Vfs.Uio.move uio ~src_or_dst:dst ~data_off:0 ~n:6;
+  Alcotest.(check string) "data flowed file-ward" "abcdef" (Bytes.to_string dst)
+
+let test_uio_validation () =
+  let buf = Bytes.create 4 in
+  Alcotest.check_raises "window too large"
+    (Invalid_argument "Uio.make: buffer window out of range") (fun () ->
+      ignore (Vfs.Uio.make ~rw:Vfs.Uio.Read ~off:0 ~len:8 ~buf ~buf_off:0));
+  let uio = Vfs.Uio.make ~rw:Vfs.Uio.Read ~off:0 ~len:4 ~buf ~buf_off:0 in
+  Alcotest.check_raises "move too much"
+    (Invalid_argument "Uio.move: bad length") (fun () ->
+      Vfs.Uio.move uio ~src_or_dst:(Bytes.create 8) ~data_off:0 ~n:5)
+
+let test_vnode_dispatch () =
+  let calls = ref [] in
+  let note s = calls := s :: !calls in
+  let ops =
+    {
+      Vfs.Vnode.rdwr = (fun _ _ -> note "rdwr");
+      getpage =
+        (fun _ ~off:_ ~len:_ ~hint:_ ->
+          note "getpage";
+          []);
+      putpage = (fun _ ~off:_ ~len:_ ~flags:_ -> note "putpage");
+      fsync = (fun _ -> note "fsync");
+      inactive = (fun _ -> note "inactive");
+      getsize = (fun _ -> 4242);
+      setsize = (fun _ _ -> note "setsize");
+    }
+  in
+  let vn = Vfs.Vnode.make ~vid:1 ~kind:Vfs.Vnode.Reg ~ops in
+  let uio =
+    Vfs.Uio.make ~rw:Vfs.Uio.Read ~off:0 ~len:0 ~buf:Bytes.empty ~buf_off:0
+  in
+  Vfs.Vnode.rdwr vn uio;
+  ignore (Vfs.Vnode.getpage vn ~off:0 ~len:0 ~hint:0);
+  Vfs.Vnode.putpage vn ~off:0 ~len:0 ~flags:[ Vfs.Vnode.P_SYNC ];
+  Vfs.Vnode.fsync vn;
+  Vfs.Vnode.inactive vn;
+  check_int "size via ops" 4242 (Vfs.Vnode.size vn);
+  Alcotest.(check (list string))
+    "dispatch order"
+    [ "rdwr"; "getpage"; "putpage"; "fsync"; "inactive" ]
+    (List.rev !calls)
+
+let suites =
+  [
+    ( "vfs",
+      [
+        Alcotest.test_case "errno" `Quick test_errno;
+        Alcotest.test_case "uio read" `Quick test_uio_read;
+        Alcotest.test_case "uio write" `Quick test_uio_write;
+        Alcotest.test_case "uio validation" `Quick test_uio_validation;
+        Alcotest.test_case "vnode dispatch" `Quick test_vnode_dispatch;
+      ] );
+  ]
