@@ -1,10 +1,14 @@
-(* blktrace — run a workload on a simulated machine and dump the disk's
-   request trace as CSV (virtual time, kind, sector, count, track-buffer
-   hit), for studying the I/O patterns the paper draws as figures.
+(* blktrace — run a workload on a simulated machine and dump the disk
+   request trace as CSV (virtual time, member disk, kind, sector, count,
+   track-buffer hit), for studying the I/O patterns the paper draws as
+   figures.  With --disks > 1 the machine mounts on a volume and the
+   member column shows which spindle served each request — e.g. how an
+   8 KB stripe unit shatters 120 KB clusters into per-member fragments.
 
    Examples:
      dune exec bin/blktrace.exe -- --config a --workload fsw | head
-     dune exec bin/blktrace.exe -- --config d --workload fsr --file-mb 2 *)
+     dune exec bin/blktrace.exe -- --config d --workload fsr --file-mb 2
+     dune exec bin/blktrace.exe -- --config a --workload fsr --disks 4 --layout stripe --stripe-kb 8 *)
 
 open Cmdliner
 
@@ -16,8 +20,22 @@ let base_config name =
   | "d" -> Ok Clusterfs.Config.config_d
   | other -> Error (Printf.sprintf "unknown config %S (want a|b|c|d)" other)
 
-let run config_name workload file_mb =
+let full_config config_name disks layout stripe_kb =
   match base_config config_name with
+  | Error _ as e -> e
+  | Ok base -> (
+      match Vol.layout_of_string (String.lowercase_ascii layout) with
+      | exception Invalid_argument _ ->
+          Error
+            (Printf.sprintf "unknown layout %S (want concat|stripe|mirror)"
+               layout)
+      | l ->
+          if disks < 1 then Error "--disks must be >= 1"
+          else if stripe_kb < 1 then Error "--stripe-kb must be >= 1"
+          else Ok (Clusterfs.Config.with_vol base ~layout:l ~stripe_kb disks))
+
+let run config_name workload file_mb disks layout stripe_kb =
+  match full_config config_name disks layout stripe_kb with
   | Error e ->
       prerr_endline e;
       1
@@ -31,34 +49,34 @@ let run config_name workload file_mb =
         let fs = m.Clusterfs.Machine.fs in
         match String.lowercase_ascii workload with
         | "fsw" ->
-            Sim.Trace.enable (Disk.Device.trace dev) true;
+            Disk.Blkdev.set_tracing dev true;
             ignore (Workload.Iobench.run_phase fs cfg Workload.Iobench.FSW)
         | "fsr" ->
             Workload.Iobench.prepare fs cfg;
-            Sim.Trace.enable (Disk.Device.trace dev) true;
+            Disk.Blkdev.set_tracing dev true;
             ignore (Workload.Iobench.run_phase fs cfg Workload.Iobench.FSR)
         | "fru" ->
             Workload.Iobench.prepare fs cfg;
-            Sim.Trace.enable (Disk.Device.trace dev) true;
+            Disk.Blkdev.set_tracing dev true;
             ignore (Workload.Iobench.run_phase fs cfg Workload.Iobench.FRU)
         | "rm" ->
             ignore (Workload.Metaops.create_many fs ~dir:"/many" ~n:100 ());
-            Sim.Trace.enable (Disk.Device.trace dev) true;
+            Disk.Blkdev.set_tracing dev true;
             ignore (Workload.Metaops.remove_all fs ~dir:"/many")
         | other -> failwith (Printf.sprintf "unknown workload %S" other)
       in
       (match Clusterfs.Machine.run m body with
       | () ->
-          print_endline "time_us,kind,sector,count,track_buffer_hit";
+          print_endline "time_us,disk,kind,sector,count,track_buffer_hit";
           List.iter
-            (fun (e : Disk.Device.event) ->
-              Printf.printf "%d,%s,%d,%d,%b\n" e.Disk.Device.at
+            (fun (member, (e : Disk.Device.event)) ->
+              Printf.printf "%d,%d,%s,%d,%d,%b\n" e.Disk.Device.at member
                 (match e.Disk.Device.kind with
                 | Disk.Request.Read -> "R"
                 | Disk.Request.Write -> "W")
                 e.Disk.Device.sector e.Disk.Device.count
                 e.Disk.Device.buffered_hit)
-            (Sim.Trace.to_list (Disk.Device.trace dev))
+            (Disk.Blkdev.events dev)
       | exception Failure msg ->
           prerr_endline msg;
           exit 1);
@@ -75,9 +93,22 @@ let workload_t =
 let file_mb_t =
   Arg.(value & opt int 4 & info [ "file-mb" ] ~doc:"Benchmark file size in MB.")
 
+let disks_t =
+  Arg.(value & opt int 1 & info [ "disks" ] ~doc:"Number of member disks.")
+
+let layout_t =
+  Arg.(
+    value & opt string "stripe"
+    & info [ "layout" ] ~doc:"Volume layout: concat, stripe or mirror.")
+
+let stripe_kb_t =
+  Arg.(value & opt int 128 & info [ "stripe-kb" ] ~doc:"Stripe unit in KB.")
+
 let cmd =
   Cmd.v
     (Cmd.info "blktrace" ~doc:"Dump a simulated disk's request trace as CSV")
-    Term.(const run $ config_t $ workload_t $ file_mb_t)
+    Term.(
+      const run $ config_t $ workload_t $ file_mb_t $ disks_t $ layout_t
+      $ stripe_kb_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -35,7 +35,7 @@ let run path =
      in
      loop 0
    end);
-  match Ufs.Fsck.check dev with
+  match Ufs.Fsck.check (Disk.Blkdev.of_device dev) with
   | report ->
       Format.printf "%a@." Ufs.Fsck.pp report;
       if Ufs.Fsck.ok report then 0 else 2

@@ -112,14 +112,14 @@ let run config_name file_mb random_ops cluster_kb rotdelay memory_mb
               s.Ufs.Types.pgin_ios s.Ufs.Types.pgin_blocks s.Ufs.Types.ra_ios
               s.Ufs.Types.ra_blocks s.Ufs.Types.push_ios s.Ufs.Types.push_blocks
               s.Ufs.Types.freebehind_pages s.Ufs.Types.wlimit_sleeps;
-            let d = Disk.Device.stats m.Clusterfs.Machine.dev in
+            let d = Disk.Blkdev.stats m.Clusterfs.Machine.dev in
             Printf.printf
               "disk: %d reads, %d writes, busy %s (seek %s, rot %s, xfer %s)\n"
-              d.Disk.Device.reads d.Disk.Device.writes
-              (Sim.Time.to_string d.Disk.Device.busy)
-              (Sim.Time.to_string d.Disk.Device.seek_time)
-              (Sim.Time.to_string d.Disk.Device.rot_wait)
-              (Sim.Time.to_string d.Disk.Device.transfer_time)
+              d.Disk.Blkdev.reads d.Disk.Blkdev.writes
+              (Sim.Time.to_string d.Disk.Blkdev.busy_time)
+              (Sim.Time.to_string d.Disk.Blkdev.seek_time)
+              (Sim.Time.to_string d.Disk.Blkdev.rot_wait)
+              (Sim.Time.to_string d.Disk.Blkdev.transfer_time)
           end;
           0)
 

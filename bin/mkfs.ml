@@ -28,7 +28,7 @@ let run path size_mb rotdelay maxcontig maxbpg minfree fpg ipg =
       ipg;
     }
   in
-  Ufs.Fs.mkfs dev ~opts ();
+  Ufs.Fs.mkfs (Disk.Blkdev.of_device dev) ~opts ();
   Disk.Store.save (Disk.Device.store dev) path;
   let b = Bytes.create Ufs.Layout.bsize in
   Disk.Store.read (Disk.Device.store dev)

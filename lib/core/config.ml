@@ -1,6 +1,11 @@
+type vol_spec = { disks : int; layout : Vol.layout; stripe_kb : int }
+
+let single_disk = { disks = 1; layout = Vol.Concat; stripe_kb = 128 }
+
 type t = {
   name : string;
   disk : Disk.Device.config;
+  vol : vol_spec;
   memory_mb : int;
   mkfs : Ufs.Fs.mkfs_options;
   features : Ufs.Types.features;
@@ -13,6 +18,7 @@ let config_a =
   {
     name = "A";
     disk = Disk.Device.default_config;
+    vol = single_disk;
     memory_mb = 8;
     mkfs = { base_mkfs with rotdelay_ms = 0; maxcontig = 15 };
     features = Ufs.Types.features_clustered;
@@ -23,6 +29,7 @@ let config_b =
   {
     name = "B";
     disk = Disk.Device.default_config;
+    vol = single_disk;
     memory_mb = 8;
     mkfs = { base_mkfs with rotdelay_ms = 4; maxcontig = 1 };
     features =
@@ -72,6 +79,19 @@ let with_driver_clustering t dc =
 
 let with_queue_policy t p =
   { t with disk = { t.disk with Disk.Device.policy = p } }
+
+let with_vol t ?(layout = Vol.Stripe) ?(stripe_kb = 128) disks =
+  if disks < 1 then invalid_arg "Config.with_vol: disks must be >= 1";
+  {
+    t with
+    name =
+      (if disks = 1 then t.name
+       else
+         Printf.sprintf "%s/%s×%d%s" t.name (Vol.layout_to_string layout) disks
+           (if layout = Vol.Stripe then Printf.sprintf "@%dKB" stripe_kb
+            else ""));
+    vol = { disks; layout; stripe_kb };
+  }
 
 let with_rotdelay t ms = { t with mkfs = { t.mkfs with Ufs.Fs.rotdelay_ms = ms } }
 let with_memory_mb t mb = { t with memory_mb = mb }

@@ -16,9 +16,20 @@
     400 MB 3.5-inch IBM SCSI drive — modelled by
     {!Disk.Device.default_config} and 8 MB of page pool. *)
 
+type vol_spec = {
+  disks : int;  (** number of member drives (1 = bare disk, no volume) *)
+  layout : Vol.layout;
+  stripe_kb : int;  (** stripe unit; only meaningful for [Stripe] *)
+}
+
+val single_disk : vol_spec
+(** [{ disks = 1; layout = Concat; stripe_kb = 128 }] — the paper's
+    hardware. *)
+
 type t = {
   name : string;
-  disk : Disk.Device.config;
+  disk : Disk.Device.config;  (** per-member drive model *)
+  vol : vol_spec;
   memory_mb : int;
   mkfs : Ufs.Fs.mkfs_options;
   features : Ufs.Types.features;
@@ -50,6 +61,11 @@ val with_free_behind : t -> bool -> t
 val with_track_buffer : t -> bool -> t
 val with_driver_clustering : t -> bool -> t
 val with_queue_policy : t -> Disk.Disksort.policy -> t
+val with_vol : t -> ?layout:Vol.layout -> ?stripe_kb:int -> int -> t
+(** [with_vol t disks] puts the file system on a volume of [disks]
+    identical drives (default stripe, 128 KB unit).  [disks = 1] keeps
+    the bare-disk fast path and the name unchanged. *)
+
 val with_rotdelay : t -> int -> t
 val with_memory_mb : t -> int -> t
 val with_features : t -> Ufs.Types.features -> t

@@ -282,7 +282,7 @@ let driver_clustering_ablation ?(file_mb = 16) () =
         in
         let w = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSW in
         let r = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSR in
-        let coalesced = (Disk.Device.stats m.Machine.dev).Disk.Device.coalesced in
+        let coalesced = (Disk.Blkdev.stats m.Machine.dev).Disk.Blkdev.coalesced in
         ( label,
           r.Workload.Iobench.kb_per_sec,
           w.Workload.Iobench.kb_per_sec,
@@ -336,7 +336,10 @@ let extent_fs_comparison ?(file_mb = 16) ?(extent_sizes_kb = [ 8; 56; 120; 1024 
     let cpu = Sim.Cpu.create engine in
     let pool = Vm.Pool.create engine (Vm.Param.default ~memory_mb:8 ()) in
     let _daemon = Vm.Pageout.start pool cpu in
-    let dev = Disk.Device.create engine Disk.Device.default_config in
+    let dev =
+      Disk.Blkdev.of_device
+        (Disk.Device.create engine Disk.Device.default_config)
+    in
     let efs = Efs.create engine cpu pool dev ~extent_kb () in
     let result = ref None in
     Sim.Engine.spawn engine (fun () ->
@@ -472,7 +475,7 @@ let zoned_disk ?(file_mb = 8) () =
         let count = 4096 (* 2 MB in sectors *) in
         let buf = Bytes.create (count * 512) in
         let t0 = Sim.Engine.now engine in
-        Disk.Device.read_sync dev ~sector ~count ~buf ~buf_off:0;
+        Disk.Blkdev.read_sync dev ~sector ~count ~buf ~buf_off:0;
         float_of_int (count * 512 / 1024) /. Sim.Time.to_sec_float (Sim.Engine.now engine - t0)
       in
       let z0 = raw_rate 0 in
@@ -572,4 +575,146 @@ let future_work_ablation ?(file_mb = 16) () =
     random_big_reads "24KB random read KB/s: no hint" base;
     random_big_reads "24KB random read KB/s: + getpage hint"
       { base with Ufs.Types.getpage_hint = true };
+  ]
+
+(* ---- volume manager (striping / mirroring) ---- *)
+
+(* Start a file cold, as Iobench does between phases: drain its dirty
+   pages, drop them from the pool and reset the read predictor. *)
+let chill_file (fs : Ufs.Types.fs) (ip : Ufs.Types.inode) =
+  Ufs.Putpage.push_delayed fs ip ~sync:true ();
+  Ufs.Io.wait_writes fs ip;
+  Vm.Pool.invalidate_vnode fs.Ufs.Types.pool ip.Ufs.Types.inum;
+  ip.Ufs.Types.nextr <- 0;
+  ip.Ufs.Types.nextrio <- 0;
+  ip.Ufs.Types.bmap_cache <- None
+
+let vol_stripe_sweep ?(file_mb = 8) ?(disk_counts = [ 1; 2; 4 ])
+    ?(stripe_kbs = [ 8; 32; 128 ]) () =
+  let row base disks stripe_kb =
+    let config = Config.with_vol base ~layout:Vol.Stripe ~stripe_kb disks in
+    let m = Machine.create config in
+    Machine.run m (fun m ->
+        let fs = m.Machine.fs in
+        let cfg =
+          { Workload.Iobench.default_config with Workload.Iobench.file_mb }
+        in
+        let w = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSW in
+        let r = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSR in
+        ( base.Config.name,
+          disks,
+          stripe_kb,
+          r.Workload.Iobench.kb_per_sec,
+          w.Workload.Iobench.kb_per_sec ))
+  in
+  List.concat_map
+    (fun base ->
+      List.concat_map
+        (fun disks ->
+          if disks = 1 then
+            (* stripe unit is moot on one disk: a single baseline row *)
+            [ row base 1 (List.hd stripe_kbs) ]
+          else List.map (row base disks) stripe_kbs)
+        disk_counts)
+    [ Config.config_a; Config.config_d ]
+
+(* [readers] simulated processes each streaming a private file; the
+   aggregate rate is what mirror read balancing (and its degraded-mode
+   collapse) shows that a single-threaded FSR cannot: with one
+   outstanding read there is nothing to send to the second copy. *)
+let concurrent_read_kbps (m : Machine.t) ~readers ~file_mb =
+  let fs = m.Machine.fs in
+  let engine = m.Machine.engine in
+  let bsize = Ufs.Layout.bsize in
+  let per_file = file_mb * 1024 * 1024 in
+  let files = List.init readers (Printf.sprintf "/reader%d") in
+  let buf = Bytes.make bsize 'm' in
+  List.iter
+    (fun path ->
+      let ip = Ufs.Fs.creat fs path in
+      let rec wloop off =
+        if off < per_file then begin
+          Ufs.Fs.write fs ip ~off ~buf ~len:bsize;
+          wloop (off + bsize)
+        end
+      in
+      wloop 0;
+      Ufs.Fs.fsync fs ip;
+      chill_file fs ip;
+      Ufs.Iops.iput fs ip)
+    files;
+  let done_cond = Sim.Condition.create engine "readers-done" in
+  let remaining = ref readers in
+  let t0 = Sim.Engine.now engine in
+  List.iter
+    (fun path ->
+      Sim.Engine.spawn engine ~name:path (fun () ->
+          let ip = Ufs.Fs.namei fs path in
+          let rbuf = Bytes.create bsize in
+          let rec rloop off =
+            if off < per_file then begin
+              ignore (Ufs.Fs.read fs ip ~off ~buf:rbuf ~len:bsize);
+              rloop (off + bsize)
+            end
+          in
+          rloop 0;
+          Ufs.Iops.iput fs ip;
+          decr remaining;
+          if !remaining = 0 then Sim.Condition.broadcast done_cond))
+    files;
+  while !remaining > 0 do
+    Sim.Condition.wait done_cond
+  done;
+  let dt = Sim.Engine.now engine - t0 in
+  float_of_int (readers * per_file / 1024) /. Sim.Time.to_sec_float dt
+
+let seq_write_kbps (m : Machine.t) ~path ~file_mb =
+  let fs = m.Machine.fs in
+  let engine = m.Machine.engine in
+  let bsize = Ufs.Layout.bsize in
+  let total = file_mb * 1024 * 1024 in
+  let buf = Bytes.make bsize 'w' in
+  let ip = Ufs.Fs.creat fs path in
+  let t0 = Sim.Engine.now engine in
+  let rec wloop off =
+    if off < total then begin
+      Ufs.Fs.write fs ip ~off ~buf ~len:bsize;
+      wloop (off + bsize)
+    end
+  in
+  wloop 0;
+  Ufs.Fs.fsync fs ip;
+  let dt = Sim.Engine.now engine - t0 in
+  Ufs.Iops.iput fs ip;
+  float_of_int (total / 1024) /. Sim.Time.to_sec_float dt
+
+let vol_mirror ?(file_mb = 4) ?(readers = 4) () =
+  let scenario label config ~degrade =
+    let m = Machine.create config in
+    Machine.run m (fun m ->
+        let w_healthy = seq_write_kbps m ~path:"/wr" ~file_mb in
+        (match (degrade, m.Machine.vol) with
+        | true, Some v -> Vol.fail_member v 1
+        | true, None -> invalid_arg "vol_mirror: cannot degrade a bare disk"
+        | false, _ -> ());
+        let r = concurrent_read_kbps m ~readers ~file_mb in
+        let w, dropped =
+          if degrade then
+            let w = seq_write_kbps m ~path:"/wr2" ~file_mb in
+            let d =
+              match m.Machine.vol with
+              | Some v -> Array.fold_left ( + ) 0 (Vol.dropped_writes v)
+              | None -> 0
+            in
+            (w, d)
+          else (w_healthy, 0)
+        in
+        (label, r, w, dropped))
+  in
+  let mirror n = Config.with_vol Config.config_a ~layout:Vol.Mirror n in
+  [
+    scenario "1 disk" Config.config_a ~degrade:false;
+    scenario "mirror×2" (mirror 2) ~degrade:false;
+    scenario "mirror×3" (mirror 3) ~degrade:false;
+    scenario "mirror×2 degraded" (mirror 2) ~degrade:true;
   ]

@@ -126,3 +126,28 @@ val future_work_ablation : ?file_mb:int -> unit -> (string * float) list
 (** Bmap cache, UFS_HOLE skip and getpage-hint random clustering:
     (label, metric) pairs — see the bench output for the metric of each
     row (CPU seconds or KB/s). *)
+
+val vol_stripe_sweep :
+  ?file_mb:int -> ?disk_counts:int list -> ?stripe_kbs:int list -> unit ->
+  (string * int * int * float * float) list
+(** Volume-manager striping vs file-system clustering: [(config, disks,
+    stripe KB, FSR KB/s, FSW KB/s)] for configs A and D over 1/2/4-disk
+    stripes at several stripe units.  One disk is a single baseline row
+    (the stripe unit is moot).  Expect: a stripe unit at or above the
+    cluster size keeps each 120 KB cluster a single member I/O and lets
+    read-ahead overlap members (FSR above one disk); a small stripe unit
+    shatters clusters into per-member fragments; and config D barely
+    moves — without clustering there is no big request to split. *)
+
+val vol_mirror :
+  ?file_mb:int -> ?readers:int -> unit ->
+  (string * float * float * int) list
+(** Mirroring: [(label, aggregate concurrent-read KB/s, sequential-write
+    KB/s, dropped writes)] for one disk, 2- and 3-way mirrors, and a
+    2-way mirror running degraded (member 1 failed before the reads, so
+    its row's write rate and dropped count are measured degraded).
+    Reads are [readers] concurrent streaming processes — a single
+    sequential reader has one request outstanding and cannot use the
+    second copy.  Expect read scaling with mirror width, writes at
+    roughly the one-disk rate (every copy must land), and the degraded
+    mirror back at one-disk read throughput. *)

@@ -4,7 +4,9 @@ type t = {
   cpu : Sim.Cpu.t;
   pool : Vm.Pool.t;
   pageout : Vm.Pageout.t;
-  dev : Disk.Device.t;
+  dev : Disk.Blkdev.t;
+  disks : Disk.Device.t array;
+  vol : Vol.t option;
   fs : Ufs.Types.fs;
 }
 
@@ -15,16 +17,30 @@ let build (config : Config.t) ~format ~image =
     Vm.Pool.create engine (Vm.Param.default ~memory_mb:config.Config.memory_mb ())
   in
   let pageout = Vm.Pageout.start pool cpu in
-  let dev = Disk.Device.create engine config.Config.disk in
+  let spec = config.Config.vol in
+  let dev, disks, vol =
+    if spec.Config.disks <= 1 then
+      (* bare drive: identical code path (and numbers) to before the
+         volume manager existed *)
+      let d = Disk.Device.create engine config.Config.disk in
+      (Disk.Blkdev.of_device d, [| d |], None)
+    else
+      let cfgs = Array.make spec.Config.disks config.Config.disk in
+      let v =
+        Vol.create engine spec.Config.layout cfgs
+          ~stripe_bytes:(spec.Config.stripe_kb * 1024)
+      in
+      (Vol.blkdev v, Vol.devices v, Some v)
+  in
   (match image with
-  | Some src -> Disk.Store.copy_into src (Disk.Device.store dev)
+  | Some src -> Disk.Store.copy_into src (Disk.Blkdev.store dev)
   | None -> ());
   if format then Ufs.Fs.mkfs dev ~opts:config.Config.mkfs ();
   let fs =
     Ufs.Fs.mount engine cpu pool dev ~features:config.Config.features
       ~costs:config.Config.costs ()
   in
-  { config; engine; cpu; pool; pageout; dev; fs }
+  { config; engine; cpu; pool; pageout; dev; disks; vol; fs }
 
 let create config = build config ~format:true ~image:None
 
@@ -47,10 +63,10 @@ let run t f =
         (Sim.Engine.Deadlock
            "experiment process never completed (blocked forever)")
 
-let snapshot_store t = Disk.Device.store t.dev
+let snapshot_store t = Disk.Blkdev.store t.dev
 
 let crash t =
-  let src = Disk.Device.store t.dev in
+  let src = Disk.Blkdev.store t.dev in
   let copy = Disk.Store.create ~size:(Disk.Store.size src) in
   Disk.Store.copy_into src copy;
   copy

@@ -8,7 +8,10 @@ type t = {
   cpu : Sim.Cpu.t;
   pool : Vm.Pool.t;
   pageout : Vm.Pageout.t;
-  dev : Disk.Device.t;
+  dev : Disk.Blkdev.t;  (** what the file system is mounted on *)
+  disks : Disk.Device.t array;  (** the member drives ([disks.(0)] is
+      the whole device when [config.vol.disks = 1]) *)
+  vol : Vol.t option;  (** the volume, when [config.vol.disks > 1] *)
   fs : Ufs.Types.fs;
 }
 

@@ -273,12 +273,20 @@ let rec service_loop d () =
       List.iter (finish d) group;
       service_loop d ()
 
-let create engine cfg =
+let create ?store engine cfg =
+  let st =
+    match store with
+    | None -> Store.create ~size:(Geom.capacity_bytes cfg.geom)
+    | Some st ->
+        if Store.size st <> Geom.capacity_bytes cfg.geom then
+          invalid_arg "Device.create: store size does not match geometry";
+        st
+  in
   let d =
     {
       engine;
       cfg;
-      st = Store.create ~size:(Geom.capacity_bytes cfg.geom);
+      st;
       queue = Disksort.create cfg.policy;
       work = Sim.Condition.create engine "disk-work";
       idle = Sim.Condition.create engine "disk-idle";

@@ -62,8 +62,12 @@ type event = {
 
 type t
 
-val create : Sim.Engine.t -> config -> t
-(** Creates the drive and spawns its service process. *)
+val create : ?store:Store.t -> Sim.Engine.t -> config -> t
+(** Creates the drive and spawns its service process.  [store] supplies
+    the backing bytes (it must match the geometry's capacity exactly) —
+    the volume manager passes remapped {!Store.view}s so member drives
+    write through to the logical volume image.  By default the drive
+    owns a fresh zeroed store. *)
 
 val config : t -> config
 val store : t -> Store.t

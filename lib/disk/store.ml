@@ -1,27 +1,38 @@
 let chunk_bytes = 8192
 
-type t = { size : int; chunks : (int, bytes) Hashtbl.t }
+type flat = { fsize : int; chunks : (int, bytes) Hashtbl.t }
+
+(* A [View] is a remapped window onto another store: the volume manager
+   hands each member drive a view whose [map] sends member-physical
+   offsets to logical-volume offsets, so member I/O moves real bytes in
+   the one logical image that mkfs/fsck/crash all see. *)
+type t =
+  | Flat of flat
+  | View of { vsize : int; base : t; map : int -> int * int }
 
 let create ~size =
   if size <= 0 then invalid_arg "Store.create: size must be positive";
-  { size; chunks = Hashtbl.create 1024 }
+  Flat { fsize = size; chunks = Hashtbl.create 1024 }
 
-let size t = t.size
+let size = function Flat f -> f.fsize | View v -> v.vsize
+
+let view ~base ~size ~map =
+  if size <= 0 then invalid_arg "Store.view: size must be positive";
+  View { vsize = size; base; map }
 
 let check t off len =
-  if off < 0 || len < 0 || off + len > t.size then
+  if off < 0 || len < 0 || off + len > size t then
     invalid_arg
       (Printf.sprintf "Store: access [%d,%d) outside [0,%d)" off (off + len)
-         t.size)
+         (size t))
 
-let read t ~off ~len dst dst_off =
-  check t off len;
+let flat_read f ~off ~len dst dst_off =
   let pos = ref off and remaining = ref len and d = ref dst_off in
   while !remaining > 0 do
     let ci = !pos / chunk_bytes in
     let coff = !pos mod chunk_bytes in
     let n = min !remaining (chunk_bytes - coff) in
-    (match Hashtbl.find_opt t.chunks ci with
+    (match Hashtbl.find_opt f.chunks ci with
     | Some c -> Bytes.blit c coff dst !d n
     | None -> Bytes.fill dst !d n '\000');
     pos := !pos + n;
@@ -29,19 +40,18 @@ let read t ~off ~len dst dst_off =
     remaining := !remaining - n
   done
 
-let write t ~off ~len src src_off =
-  check t off len;
+let flat_write f ~off ~len src src_off =
   let pos = ref off and remaining = ref len and s = ref src_off in
   while !remaining > 0 do
     let ci = !pos / chunk_bytes in
     let coff = !pos mod chunk_bytes in
     let n = min !remaining (chunk_bytes - coff) in
     let c =
-      match Hashtbl.find_opt t.chunks ci with
+      match Hashtbl.find_opt f.chunks ci with
       | Some c -> c
       | None ->
           let c = Bytes.make chunk_bytes '\000' in
-          Hashtbl.add t.chunks ci c;
+          Hashtbl.add f.chunks ci c;
           c
     in
     Bytes.blit src !s c coff n;
@@ -50,25 +60,75 @@ let write t ~off ~len src src_off =
     remaining := !remaining - n
   done
 
-let chunks_allocated t = Hashtbl.length t.chunks
+let rec read t ~off ~len dst dst_off =
+  check t off len;
+  match t with
+  | Flat f -> flat_read f ~off ~len dst dst_off
+  | View v ->
+      let pos = ref off and remaining = ref len and d = ref dst_off in
+      while !remaining > 0 do
+        let base_off, run = v.map !pos in
+        if run <= 0 then invalid_arg "Store.read: view maps to empty run";
+        let n = min !remaining run in
+        read v.base ~off:base_off ~len:n dst !d;
+        pos := !pos + n;
+        d := !d + n;
+        remaining := !remaining - n
+      done
+
+let rec write t ~off ~len src src_off =
+  check t off len;
+  match t with
+  | Flat f -> flat_write f ~off ~len src src_off
+  | View v ->
+      let pos = ref off and remaining = ref len and s = ref src_off in
+      while !remaining > 0 do
+        let base_off, run = v.map !pos in
+        if run <= 0 then invalid_arg "Store.write: view maps to empty run";
+        let n = min !remaining run in
+        write v.base ~off:base_off ~len:n src !s;
+        pos := !pos + n;
+        s := !s + n;
+        remaining := !remaining - n
+      done
+
+let rec chunks_allocated = function
+  | Flat f -> Hashtbl.length f.chunks
+  | View v -> chunks_allocated v.base
 
 let save t path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      let chunks =
-        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.chunks []
-        |> List.sort (fun (a, _) (b, _) -> compare a b)
-      in
-      List.iter
-        (fun (ci, data) ->
-          seek_out oc (ci * chunk_bytes);
-          output_bytes oc data)
-        chunks;
+      (match t with
+      | Flat f ->
+          let chunks =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) f.chunks []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          List.iter
+            (fun (ci, data) ->
+              seek_out oc (ci * chunk_bytes);
+              output_bytes oc data)
+            chunks
+      | View _ ->
+          (* materialise through the mapping, keeping the image sparse *)
+          let buf = Bytes.create chunk_bytes in
+          let total = size t in
+          let nchunks = (total + chunk_bytes - 1) / chunk_bytes in
+          for ci = 0 to nchunks - 1 do
+            let n = min chunk_bytes (total - (ci * chunk_bytes)) in
+            read t ~off:(ci * chunk_bytes) ~len:n buf 0;
+            if not (Bytes.for_all (fun c -> c = '\000') (Bytes.sub buf 0 n))
+            then begin
+              seek_out oc (ci * chunk_bytes);
+              output_bytes oc (Bytes.sub buf 0 n)
+            end
+          done);
       (* pin the file length to the full device size *)
-      if pos_out oc < t.size then begin
-        seek_out oc (t.size - 1);
+      if pos_out oc < size t then begin
+        seek_out oc (size t - 1);
         output_char oc '\000'
       end)
 
@@ -77,20 +137,35 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let size = in_channel_length ic in
-      let t = create ~size in
+      let fsize = in_channel_length ic in
+      let t = create ~size:fsize in
+      let f = match t with Flat f -> f | View _ -> assert false in
       let buf = Bytes.create chunk_bytes in
-      let nchunks = (size + chunk_bytes - 1) / chunk_bytes in
+      let nchunks = (fsize + chunk_bytes - 1) / chunk_bytes in
       for ci = 0 to nchunks - 1 do
-        let n = min chunk_bytes (size - (ci * chunk_bytes)) in
+        let n = min chunk_bytes (fsize - (ci * chunk_bytes)) in
         really_input ic buf 0 n;
         if n < chunk_bytes then Bytes.fill buf n (chunk_bytes - n) '\000';
         if not (Bytes.for_all (fun c -> c = '\000') buf) then
-          Hashtbl.replace t.chunks ci (Bytes.sub buf 0 chunk_bytes)
+          Hashtbl.replace f.chunks ci (Bytes.sub buf 0 chunk_bytes)
       done;
       t)
 
 let copy_into src dst =
-  if src.size <> dst.size then invalid_arg "Store.copy_into: size mismatch";
-  Hashtbl.reset dst.chunks;
-  Hashtbl.iter (fun k v -> Hashtbl.replace dst.chunks k (Bytes.copy v)) src.chunks
+  if size src <> size dst then invalid_arg "Store.copy_into: size mismatch";
+  match (src, dst) with
+  | Flat s, Flat d ->
+      Hashtbl.reset d.chunks;
+      Hashtbl.iter
+        (fun k v -> Hashtbl.replace d.chunks k (Bytes.copy v))
+        s.chunks
+  | _ ->
+      (* at least one side remaps: go through the generic paths *)
+      let buf = Bytes.create chunk_bytes in
+      let total = size src in
+      let nchunks = (total + chunk_bytes - 1) / chunk_bytes in
+      for ci = 0 to nchunks - 1 do
+        let n = min chunk_bytes (total - (ci * chunk_bytes)) in
+        read src ~off:(ci * chunk_bytes) ~len:n buf 0;
+        write dst ~off:(ci * chunk_bytes) ~len:n buf 0
+      done

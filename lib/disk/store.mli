@@ -12,6 +12,16 @@ type t
 val create : size:int -> t
 (** [create ~size] is a zeroed store of [size] bytes. *)
 
+val view : base:t -> size:int -> map:(int -> int * int) -> t
+(** [view ~base ~size ~map] is a remapped window of [size] bytes onto
+    [base]: [map off] returns [(base_off, run)], meaning view bytes
+    [off, off+run)] live at [base_off, base_off+run)] of [base].  [map]
+    may raise [Invalid_argument] for offsets that have no backing (e.g.
+    the unusable tail of a striped member); accesses are split at run
+    boundaries, so [map] is only ever asked about the first byte of each
+    run.  The volume manager uses views to give each member drive a
+    physical window onto the one logical volume image. *)
+
 val size : t -> int
 
 val read : t -> off:int -> len:int -> bytes -> int -> unit

@@ -20,7 +20,7 @@ type t = {
   engine : Sim.Engine.t;
   cpu : Sim.Cpu.t;
   pool : Vm.Pool.t;
-  dev : Disk.Device.t;
+  dev : Disk.Blkdev.t;
   extent_blocks : int;
   costs : Ufs.Costs.t;
   files : (string, file) Hashtbl.t;
@@ -34,7 +34,7 @@ let charge t ~label d = Sim.Cpu.charge t.cpu ~label d
 let create engine cpu pool dev ~extent_kb ?(costs = Ufs.Costs.default) () =
   if extent_kb <= 0 || extent_kb * 1024 mod bsize <> 0 then
     invalid_arg "Efs.create: extent size must be a positive multiple of 8KB";
-  let total_sectors = Disk.Device.capacity_bytes dev / 512 in
+  let total_sectors = Disk.Blkdev.capacity_bytes dev / 512 in
   {
     engine;
     cpu;
@@ -135,7 +135,7 @@ let extent_in t f (e : extent) ~sync =
               Vm.Page.unbusy p)
             mine);
       charge_io t;
-      Disk.Device.submit t.dev req;
+      Disk.Blkdev.submit t.dev req;
       if sync then Disk.Request.wait t.engine req
 
 (* write back the dirty byte range with one request per covered extent *)
@@ -182,7 +182,7 @@ let push_range t f ~from ~len =
                     pages;
                   Sim.Condition.broadcast f.iodone);
               charge_io t;
-              Disk.Device.submit t.dev req);
+              Disk.Blkdev.submit t.dev req);
           per_extent ((last_blk + 1) * bsize)
     end
   in

@@ -30,7 +30,7 @@
 type t
 
 val create :
-  Sim.Engine.t -> Sim.Cpu.t -> Vm.Pool.t -> Disk.Device.t ->
+  Sim.Engine.t -> Sim.Cpu.t -> Vm.Pool.t -> Disk.Blkdev.t ->
   extent_kb:int -> ?costs:Ufs.Costs.t -> unit -> t
 (** An empty extent file system using the whole device.  [extent_kb] is
     the (fixed, "user-chosen") extent size; must be a multiple of 8 KB.

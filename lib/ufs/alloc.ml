@@ -4,7 +4,7 @@ let total_free_frags (fs : fs) =
   (fs.sb.Superblock.nbfree * Layout.fpb) + fs.sb.Superblock.nffree
 
 let block_pass_us (fs : fs) =
-  let geom = (Disk.Device.config fs.dev).Disk.Device.geom in
+  let geom = Disk.Blkdev.geom fs.dev in
   let spt =
     match geom.Disk.Geom.zones with
     | z :: _ -> z.Disk.Geom.spt

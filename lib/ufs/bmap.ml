@@ -108,11 +108,11 @@ let grow_run fs (ip : inode) ~frag ~old_n ~want =
     let buf = Bytes.create (old_n * Layout.fsize) in
     charge fs ~label:"realloc"
       (fs.costs.Costs.driver_submit + fs.costs.Costs.intr);
-    Disk.Device.read_sync fs.dev
+    Disk.Blkdev.read_sync fs.dev
       ~sector:(Layout.frag_to_sector frag)
       ~count:(old_n * Layout.sectors_per_frag)
       ~buf ~buf_off:0;
-    Disk.Device.write_sync fs.dev
+    Disk.Blkdev.write_sync fs.dev
       ~sector:(Layout.frag_to_sector newfrag)
       ~count:(old_n * Layout.sectors_per_frag)
       ~buf ~buf_off:0;

@@ -25,8 +25,8 @@ let store_write_block st ~frag b =
   Disk.Store.write st ~off:(Layout.frag_to_byte frag) ~len:(Bytes.length b) b 0
 
 let mkfs dev ?(opts = mkfs_defaults) () =
-  let st = Disk.Device.store dev in
-  let nfrags = Disk.Device.capacity_bytes dev / Layout.fsize in
+  let st = Disk.Blkdev.store dev in
+  let nfrags = Disk.Blkdev.capacity_bytes dev / Layout.fsize in
   let min_cg_frags =
     Layout.fpb + (opts.ipg / Layout.inodes_per_block * Layout.fpb) + (8 * Layout.fpb)
   in
@@ -112,7 +112,7 @@ let read_store_block st ~frag =
   b
 
 let mount engine cpu pool dev ~features ?(costs = Costs.default) () =
-  let st = Disk.Device.store dev in
+  let st = Disk.Blkdev.store dev in
   let sb = Superblock.decode (read_store_block st ~frag:Layout.sb_frag) in
   if not sb.Superblock.clean then
     Vfs.Errno.raise_err Vfs.Errno.EINVAL "mount: file system not clean";
@@ -152,12 +152,12 @@ let flush_groups_and_sb ~timed (fs : fs) =
     if timed then begin
       charge fs ~label:"meta-io"
         (fs.costs.Costs.driver_submit + fs.costs.Costs.intr);
-      Disk.Device.write_sync fs.dev
+      Disk.Blkdev.write_sync fs.dev
         ~sector:(Layout.frag_to_sector frag)
         ~count:(Layout.bsize / Layout.sector_bytes)
         ~buf:b ~buf_off:0
     end
-    else store_write_block (Disk.Device.store fs.dev) ~frag b
+    else store_write_block (Disk.Blkdev.store fs.dev) ~frag b
   in
   Array.iter
     (fun (cg : Cg.t) ->

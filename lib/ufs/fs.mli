@@ -22,7 +22,7 @@ val mkfs_defaults : mkfs_options
 (** rotdelay 4 ms, maxcontig 1, maxbpg 256 blocks (2 MB), minfree 10%,
     16 MB groups, 2048 inodes per group — a SunOS 4.1 layout. *)
 
-val mkfs : Disk.Device.t -> ?opts:mkfs_options -> unit -> unit
+val mkfs : Disk.Blkdev.t -> ?opts:mkfs_options -> unit -> unit
 (** Build an empty file system (with the root directory) on the device.
     Offline: writes the backing store directly. *)
 
@@ -30,7 +30,7 @@ val mount :
   Sim.Engine.t ->
   Sim.Cpu.t ->
   Vm.Pool.t ->
-  Disk.Device.t ->
+  Disk.Blkdev.t ->
   features:Types.features ->
   ?costs:Costs.t ->
   unit ->

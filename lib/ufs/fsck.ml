@@ -144,7 +144,7 @@ let dir_entries s (d : Dinode.t) =
   List.rev !entries
 
 let check dev =
-  let st = Disk.Device.store dev in
+  let st = Disk.Blkdev.store dev in
   let sb = Superblock.decode (read_block st ~frag:Layout.sb_frag) in
   let cgs =
     Array.init sb.Superblock.ncg (fun c ->

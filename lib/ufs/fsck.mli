@@ -28,6 +28,6 @@ type report = {
   used_frags : int;
 }
 
-val check : Disk.Device.t -> report
+val check : Disk.Blkdev.t -> report
 val ok : report -> bool
 val pp : Format.formatter -> report -> unit

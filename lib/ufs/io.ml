@@ -63,7 +63,7 @@ let page_in fs (ip : inode) ~off ~frag ~blocks ~sync ~read_ahead =
         fs.stats.pgin_blocks <- fs.stats.pgin_blocks + blocks;
         Sim.Trace.emit fs.trace (fun () -> Ev_read_sync { lbn = lbn0; blocks })
       end;
-      Disk.Device.submit fs.dev req;
+      Disk.Blkdev.submit fs.dev req;
       if sync then Disk.Request.wait fs.engine req
 
 let zero_fill fs (ip : inode) ~off ~blocks =
@@ -151,7 +151,7 @@ let push_pages fs (ip : inode) pages ~frag ~off ~sync ~free_after ~throttle
   fs.stats.push_blocks <- fs.stats.push_blocks + blocks;
   Sim.Trace.emit fs.trace (fun () ->
       Ev_write_push { off; bytes = blocks * Layout.bsize; ios = 1 });
-  Disk.Device.submit fs.dev req;
+  Disk.Blkdev.submit fs.dev req;
   if sync then Disk.Request.wait fs.engine req
 
 let wait_writes _fs (ip : inode) =

@@ -9,7 +9,7 @@ type entry = { frag : int; data : bytes; mutable dirty : bool; mutable lru : int
 type t = {
   engine : Sim.Engine.t;
   cpu : Sim.Cpu.t;
-  dev : Disk.Device.t;
+  dev : Disk.Blkdev.t;
   costs : Costs.t;
   capacity : int;
   tbl : (int, entry) Hashtbl.t;
@@ -47,7 +47,7 @@ let touch t e =
 let write_out t (e : entry) =
   t.stats.writebacks <- t.stats.writebacks + 1;
   Sim.Cpu.charge t.cpu ~label:"meta-io" (t.costs.Costs.driver_submit + t.costs.Costs.intr);
-  Disk.Device.write_sync t.dev
+  Disk.Blkdev.write_sync t.dev
     ~sector:(Layout.frag_to_sector e.frag)
     ~count:(Layout.bsize / Layout.sector_bytes)
     ~buf:e.data ~buf_off:0;
@@ -84,7 +84,7 @@ let read t ~frag =
           let data = Bytes.make Layout.bsize '\000' in
           Sim.Cpu.charge t.cpu ~label:"meta-io"
             (t.costs.Costs.driver_submit + t.costs.Costs.intr);
-          Disk.Device.read_sync t.dev
+          Disk.Blkdev.read_sync t.dev
             ~sector:(Layout.frag_to_sector frag)
             ~count:(Layout.bsize / Layout.sector_bytes)
             ~buf:data ~buf_off:0;
@@ -140,7 +140,7 @@ let flush_block_ordered t ~frag =
       Disk.Request.on_complete req (fun () ->
           t.pending_ordered <- t.pending_ordered - 1;
           if t.pending_ordered = 0 then Sim.Condition.broadcast t.ordered_done);
-      Disk.Device.submit t.dev req
+      Disk.Blkdev.submit t.dev req
   | Some _ | None -> ()
 
 let invalidate t ~frag =

@@ -27,7 +27,7 @@ val create :
   ?capacity:int ->
   Sim.Engine.t ->
   Sim.Cpu.t ->
-  Disk.Device.t ->
+  Disk.Blkdev.t ->
   Costs.t ->
   t
 (** [capacity] (default 64) is in blocks. *)

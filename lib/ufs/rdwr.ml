@@ -39,7 +39,7 @@ let load_idata fs (ip : inode) =
               (fs.costs.Costs.driver_submit + fs.costs.Costs.intr);
             let nfrags = Layout.frags_of_bytes ip.size in
             let buf = Bytes.create (nfrags * Layout.fsize) in
-            Disk.Device.read_sync fs.dev
+            Disk.Blkdev.read_sync fs.dev
               ~sector:(Layout.frag_to_sector frag)
               ~count:(nfrags * Layout.sectors_per_frag)
               ~buf ~buf_off:0;

@@ -116,7 +116,7 @@ type inode = {
 type fs = {
   engine : Sim.Engine.t;
   cpu : Sim.Cpu.t;
-  dev : Disk.Device.t;
+  dev : Disk.Blkdev.t;
   pool : Vm.Pool.t;
   sb : Superblock.t;
   cgs : Cg.t array;

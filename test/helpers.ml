@@ -19,22 +19,24 @@ let small_mkfs =
 let small_disk = { Disk.Device.default_config with Disk.Device.geom = small_geom }
 
 let config ?(name = "test") ?(memory_mb = 4) ?(mkfs = small_mkfs)
-    ?(features = Ufs.Types.features_clustered) ?(disk = small_disk) () =
+    ?(features = Ufs.Types.features_clustered) ?(disk = small_disk)
+    ?(vol = Clusterfs.Config.single_disk) () =
   {
     Clusterfs.Config.name;
     disk;
+    vol;
     memory_mb;
     mkfs;
     features;
     costs = Ufs.Costs.default;
   }
 
-let machine ?name ?memory_mb ?mkfs ?features ?disk () =
-  Clusterfs.Machine.create (config ?name ?memory_mb ?mkfs ?features ?disk ())
+let machine ?name ?memory_mb ?mkfs ?features ?disk ?vol () =
+  Clusterfs.Machine.create (config ?name ?memory_mb ?mkfs ?features ?disk ?vol ())
 
 (* Run [f] on a fresh small machine inside a simulation process. *)
-let in_machine ?name ?memory_mb ?mkfs ?features ?disk f =
-  let m = machine ?name ?memory_mb ?mkfs ?features ?disk () in
+let in_machine ?name ?memory_mb ?mkfs ?features ?disk ?vol f =
+  let m = machine ?name ?memory_mb ?mkfs ?features ?disk ?vol () in
   Clusterfs.Machine.run m (fun m -> f m)
 
 (* Deterministic file contents: byte at absolute offset [o] of a file

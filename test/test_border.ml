@@ -61,7 +61,7 @@ let test_disk_honors_order () =
   let m = Helpers.machine ~features:features_border () in
   Clusterfs.Machine.run m (fun m ->
       let fs = m.Clusterfs.Machine.fs in
-      Sim.Trace.enable (Disk.Device.trace m.Clusterfs.Machine.dev) true;
+      Sim.Trace.enable (Disk.Device.trace m.Clusterfs.Machine.disks.(0)) true;
       for i = 0 to 20 do
         let ip = Ufs.Fs.creat fs (Printf.sprintf "/o%d" i) in
         Ufs.Iops.iput fs ip
@@ -71,7 +71,7 @@ let test_disk_honors_order () =
          must appear in strictly increasing create order.  The dir data
          lives at a fixed sector, so repeated writes to that sector in
          the trace are exactly the entry updates, in order of service. *)
-      let evs = Sim.Trace.to_list (Disk.Device.trace m.Clusterfs.Machine.dev) in
+      let evs = Sim.Trace.to_list (Disk.Device.trace m.Clusterfs.Machine.disks.(0)) in
       let dir_writes =
         List.filter
           (fun (e : Disk.Device.event) -> e.Disk.Device.kind = Disk.Request.Write)

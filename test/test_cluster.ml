@@ -282,11 +282,11 @@ let test_getpage_hint_clusters_random_reads () =
     { Ufs.Types.features_clustered with Ufs.Types.getpage_hint = true }
   in
   with_traced_file ~features ~blocks:30 (fun m fs ip ->
-      let r0 = (Disk.Device.stats m.Clusterfs.Machine.dev).Disk.Device.reads in
+      let r0 = (Disk.Blkdev.stats m.Clusterfs.Machine.dev).Disk.Blkdev.reads in
       (* a 24 KB read at a random (non-predicted) offset *)
       let buf = Bytes.create (3 * bsize) in
       ignore (Ufs.Fs.read fs ip ~off:(17 * bsize) ~buf ~len:(3 * bsize));
-      let r1 = (Disk.Device.stats m.Clusterfs.Machine.dev).Disk.Device.reads in
+      let r1 = (Disk.Blkdev.stats m.Clusterfs.Machine.dev).Disk.Blkdev.reads in
       check_int "one clustered I/O for a 24KB random read" 1 (r1 - r0);
       ignore ip)
 

@@ -8,8 +8,8 @@ let check_bool = Alcotest.(check bool)
 
 let fsck_of_store store =
   let e = Sim.Engine.create () in
-  let dev = Disk.Device.create e Helpers.small_disk in
-  Disk.Store.copy_into store (Disk.Device.store dev);
+  let dev = Disk.Blkdev.of_device (Disk.Device.create e Helpers.small_disk) in
+  Disk.Store.copy_into store (Disk.Blkdev.store dev);
   Ufs.Fsck.check dev
 
 let only_unclean (r : Ufs.Fsck.report) =
@@ -75,20 +75,20 @@ let test_crash_preserves_synced_data () =
      would do the repairs; ours only reports, so we accept the image as
      recovered if its only problem was the flag or loose ephemera) *)
   let e = Sim.Engine.create () in
-  let dev = Disk.Device.create e Helpers.small_disk in
-  Disk.Store.copy_into store (Disk.Device.store dev);
+  let dev = Disk.Blkdev.of_device (Disk.Device.create e Helpers.small_disk) in
+  Disk.Store.copy_into store (Disk.Blkdev.store dev);
   let b = Bytes.create Ufs.Layout.bsize in
-  Disk.Store.read (Disk.Device.store dev)
+  Disk.Store.read (Disk.Blkdev.store dev)
     ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
     ~len:Ufs.Layout.bsize b 0;
   let sb = Ufs.Superblock.decode b in
   sb.Ufs.Superblock.clean <- true;
-  Disk.Store.write (Disk.Device.store dev)
+  Disk.Store.write (Disk.Blkdev.store dev)
     ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
     ~len:Ufs.Layout.bsize
     (Ufs.Superblock.encode sb)
     0;
-  let m2 = Clusterfs.Machine.create_no_format config (Disk.Device.store dev) in
+  let m2 = Clusterfs.Machine.create_no_format config (Disk.Blkdev.store dev) in
   Clusterfs.Machine.run m2 (fun m2 ->
       let fs = m2.Clusterfs.Machine.fs in
       let ip = Ufs.Fs.namei fs "/precious" in

@@ -95,8 +95,8 @@ let test_syncer_bounds_data_loss () =
   (* the crashed image holds the file intact (only the clean flag is
      missing) *)
   let e = Sim.Engine.create () in
-  let dev = Disk.Device.create e Helpers.small_disk in
-  Disk.Store.copy_into store (Disk.Device.store dev);
+  let dev = Disk.Blkdev.of_device (Disk.Device.create e Helpers.small_disk) in
+  Disk.Store.copy_into store (Disk.Blkdev.store dev);
   let r = Ufs.Fsck.check dev in
   check_bool "only the unclean flag" true
     (r.Ufs.Fsck.problems = [ "file system was not unmounted cleanly" ]);
@@ -124,8 +124,8 @@ let test_store_save_load () =
       (* fsck the loaded image BEFORE mounting (mounting marks the
          on-disk superblock unclean), then read the file back *)
       let e2 = Sim.Engine.create () in
-      let fsck_dev = Disk.Device.create e2 Helpers.small_disk in
-      Disk.Store.copy_into loaded (Disk.Device.store fsck_dev);
+      let fsck_dev = Disk.Blkdev.of_device (Disk.Device.create e2 Helpers.small_disk) in
+      Disk.Store.copy_into loaded (Disk.Blkdev.store fsck_dev);
       let r = Ufs.Fsck.check fsck_dev in
       Alcotest.(check (list string)) "image consistent" [] r.Ufs.Fsck.problems;
       let config = Helpers.config () in

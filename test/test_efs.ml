@@ -9,7 +9,7 @@ let with_efs ?(extent_kb = 56) f =
   let cpu = Sim.Cpu.create e in
   let pool = Vm.Pool.create e (Vm.Param.default ~memory_mb:4 ()) in
   let _d = Vm.Pageout.start pool cpu in
-  let dev = Disk.Device.create e Helpers.small_disk in
+  let dev = Disk.Blkdev.of_device (Disk.Device.create e Helpers.small_disk) in
   let efs = Efs.create e cpu pool dev ~extent_kb () in
   let result = ref None in
   Sim.Engine.spawn e (fun () -> result := Some (f e efs));
@@ -93,7 +93,7 @@ let test_title_claim_parity () =
     let cpu = Sim.Cpu.create e in
     let pool = Vm.Pool.create e (Vm.Param.default ~memory_mb:4 ()) in
     let _d = Vm.Pageout.start pool cpu in
-    let dev = Disk.Device.create e Helpers.small_disk in
+    let dev = Disk.Blkdev.of_device (Disk.Device.create e Helpers.small_disk) in
     let efs = Efs.create e cpu pool dev ~extent_kb:64 () in
     let result = ref 0. in
     Sim.Engine.spawn e (fun () ->

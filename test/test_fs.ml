@@ -239,8 +239,8 @@ let test_mount_rejects_unclean () =
   let e = Sim.Engine.create () in
   let cpu = Sim.Cpu.create e in
   let pool = Vm.Pool.create e (Vm.Param.default ~memory_mb:4 ()) in
-  let dev = Disk.Device.create e config.Clusterfs.Config.disk in
-  Disk.Store.copy_into st (Disk.Device.store dev);
+  let dev = Disk.Blkdev.of_device (Disk.Device.create e config.Clusterfs.Config.disk) in
+  Disk.Store.copy_into st (Disk.Blkdev.store dev);
   expect_errno Vfs.Errno.EINVAL (fun () ->
       ignore
         (Ufs.Fs.mount e cpu pool dev ~features:Ufs.Types.features_clustered ()))

@@ -45,7 +45,7 @@ let test_populated_fs_clean () =
 (* read/patch/write a dinode on the raw store *)
 let patch_dinode m inum f =
   let dev = m.Clusterfs.Machine.dev in
-  let st = Disk.Device.store dev in
+  let st = Disk.Blkdev.store dev in
   let sb =
     let b = Bytes.create Ufs.Layout.bsize in
     Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
@@ -69,7 +69,7 @@ let patch_dinode m inum f =
 (* find some allocated file inode > root *)
 let find_file_inum m =
   let dev = m.Clusterfs.Machine.dev in
-  let st = Disk.Device.store dev in
+  let st = Disk.Blkdev.store dev in
   let sb =
     let b = Bytes.create Ufs.Layout.bsize in
     Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
@@ -135,7 +135,7 @@ let test_detects_orphan_inode () =
 let test_detects_free_but_used () =
   detects "fragment in use but marked free" (fun m ->
       let dev = m.Clusterfs.Machine.dev in
-      let st = Disk.Device.store dev in
+      let st = Disk.Blkdev.store dev in
       let b = Bytes.create Ufs.Layout.bsize in
       Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
         ~len:Ufs.Layout.bsize b 0;
@@ -164,7 +164,7 @@ let test_detects_free_but_used () =
 let test_detects_summary_corruption () =
   detects "summary count corruption" (fun m ->
       let dev = m.Clusterfs.Machine.dev in
-      let st = Disk.Device.store dev in
+      let st = Disk.Blkdev.store dev in
       let b = Bytes.create Ufs.Layout.bsize in
       Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
         ~len:Ufs.Layout.bsize b 0;
@@ -178,7 +178,7 @@ let test_detects_bad_dotdot () =
       (* /dir's data: rewrite the .. entry to point at a wrong inode.
          Find /dir via the root directory's entries on disk. *)
       let dev = m.Clusterfs.Machine.dev in
-      let st = Disk.Device.store dev in
+      let st = Disk.Blkdev.store dev in
       let b = Bytes.create Ufs.Layout.bsize in
       Disk.Store.read st ~off:(Ufs.Layout.frag_to_byte Ufs.Layout.sb_frag)
         ~len:Ufs.Layout.bsize b 0;

@@ -7,7 +7,7 @@ let check_bool = Alcotest.(check bool)
 let with_metabuf ?capacity f =
   let e = Sim.Engine.create () in
   let cpu = Sim.Cpu.create e in
-  let dev = Disk.Device.create e Helpers.small_disk in
+  let dev = Disk.Blkdev.of_device (Disk.Device.create e Helpers.small_disk) in
   let mb = Ufs.Metabuf.create ?capacity e cpu dev Ufs.Costs.default in
   let result = ref None in
   Sim.Engine.spawn e (fun () -> result := Some (f e dev mb));
@@ -40,7 +40,7 @@ let test_dirty_writeback_roundtrip () =
       Ufs.Metabuf.sync mb;
       (* read through the raw store: the bytes must be on disk *)
       let raw = Bytes.create 16 in
-      Disk.Store.read (Disk.Device.store dev)
+      Disk.Store.read (Disk.Blkdev.store dev)
         ~off:(Ufs.Layout.frag_to_byte frag) ~len:16 raw 0;
       check_bool "written back" true (Bytes.for_all (fun c -> c = 'M') raw);
       check_int "one writeback" 1 (Ufs.Metabuf.stats mb).Ufs.Metabuf.writebacks;
@@ -72,7 +72,7 @@ let test_invalidate_discards () =
       Ufs.Metabuf.invalidate mb ~frag;
       Ufs.Metabuf.sync mb;
       let raw = Bytes.create 8 in
-      Disk.Store.read (Disk.Device.store dev)
+      Disk.Store.read (Disk.Blkdev.store dev)
         ~off:(Ufs.Layout.frag_to_byte frag) ~len:8 raw 0;
       check_bool "dropped, never written" true
         (Bytes.for_all (fun c -> c = '\000') raw))
@@ -87,7 +87,7 @@ let test_eviction_writes_dirty () =
         ignore (Ufs.Metabuf.read mb ~frag:(frag_of_block i))
       done;
       let raw = Bytes.create 8 in
-      Disk.Store.read (Disk.Device.store dev)
+      Disk.Store.read (Disk.Blkdev.store dev)
         ~off:(Ufs.Layout.frag_to_byte frag) ~len:8 raw 0;
       check_bool "dirty victim written at eviction" true
         (Bytes.for_all (fun c -> c = 'E') raw))
@@ -104,7 +104,7 @@ let test_ordered_flush_async_and_drained () =
       check_bool "returned quickly" true (Sim.Engine.now e - t0 < Sim.Time.ms 5);
       Ufs.Metabuf.sync mb;
       let raw = Bytes.create 8 in
-      Disk.Store.read (Disk.Device.store dev)
+      Disk.Store.read (Disk.Blkdev.store dev)
         ~off:(Ufs.Layout.frag_to_byte frag) ~len:8 raw 0;
       check_bool "on disk after sync" true
         (Bytes.for_all (fun c -> c = 'O') raw))
