@@ -13,12 +13,25 @@ let only : string list ref = ref []
 
 let want name = !only = [] || List.mem name !only
 
+(* Every section runs under a fresh metrics registry: each machine (or
+   bare EFS stack) the section builds registers its layers into it, and
+   the accumulated snapshot is written as BENCH_<section>.json next to
+   the run.  That file is the observability artifact — the free-behind
+   bug this layer exists to catch is a one-line jq over it. *)
 let section name title f =
   if want name then begin
     Printf.printf "\n=== [%s] %s ===\n%!" name title;
     let t0 = Sys.time () in
-    f ();
-    Printf.printf "    (section took %.1fs of host CPU)\n%!" (Sys.time () -. t0)
+    let reg = Sim.Metrics.create () in
+    Clusterfs.Machine.with_metrics_sink reg f;
+    let path = Printf.sprintf "BENCH_%s.json" name in
+    let oc = open_out path in
+    output_string oc
+      (Sim.Metrics.to_json reg ~meta:[ ("section", name); ("title", title) ]);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "    (section took %.1fs of host CPU; metrics -> %s)\n%!"
+      (Sys.time () -. t0) path
   end
 
 (* ---------- figures 9/10/11 ---------- *)

@@ -34,13 +34,15 @@ let full_config config_name disks layout stripe_kb =
           else if stripe_kb < 1 then Error "--stripe-kb must be >= 1"
           else Ok (Clusterfs.Config.with_vol base ~layout:l ~stripe_kb disks))
 
-let run config_name workload file_mb disks layout stripe_kb =
+let run config_name workload file_mb disks layout stripe_kb metrics_path =
   match full_config config_name disks layout stripe_kb with
   | Error e ->
       prerr_endline e;
       1
   | Ok config ->
       let m = Clusterfs.Machine.create config in
+      let reg = Sim.Metrics.create () in
+      Clusterfs.Machine.register_metrics m reg;
       let dev = m.Clusterfs.Machine.dev in
       let cfg =
         { Workload.Iobench.default_config with Workload.Iobench.file_mb }
@@ -80,6 +82,23 @@ let run config_name workload file_mb disks layout stripe_kb =
       | exception Failure msg ->
           prerr_endline msg;
           exit 1);
+      (match metrics_path with
+      | None -> ()
+      | Some path ->
+          let json =
+            Sim.Metrics.to_json reg
+              ~meta:
+                [
+                  ("tool", "blktrace");
+                  ("config", config_name);
+                  ("workload", workload);
+                ]
+          in
+          let oc = open_out path in
+          output_string oc json;
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "metrics -> %s\n%!" path);
       0
 
 let config_t =
@@ -104,11 +123,21 @@ let layout_t =
 let stripe_kb_t =
   Arg.(value & opt int 128 & info [ "stripe-kb" ] ~doc:"Stripe unit in KB.")
 
+let metrics_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ]
+        ~doc:
+          "Write the machine's per-layer metrics (disk, vm, ufs) as JSON to \
+           $(docv) after the run."
+        ~docv:"FILE")
+
 let cmd =
   Cmd.v
     (Cmd.info "blktrace" ~doc:"Dump a simulated disk's request trace as CSV")
     Term.(
       const run $ config_t $ workload_t $ file_mb_t $ disks_t $ layout_t
-      $ stripe_kb_t)
+      $ stripe_kb_t $ metrics_t)
 
 let () = exit (Cmd.eval' cmd)

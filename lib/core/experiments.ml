@@ -341,6 +341,12 @@ let extent_fs_comparison ?(file_mb = 16) ?(extent_sizes_kb = [ 8; 56; 120; 1024 
         (Disk.Device.create engine Disk.Device.default_config)
     in
     let efs = Efs.create engine cpu pool dev ~extent_kb () in
+    (match Machine.current_metrics_sink () with
+    | Some reg ->
+        let instance = Printf.sprintf "efs-%dk" extent_kb in
+        Efs.register_metrics efs reg ~instance;
+        Vm.Pool.register_metrics pool reg ~instance
+    | None -> ());
     let result = ref None in
     Sim.Engine.spawn engine (fun () ->
         let f = Efs.creat efs "bench" in

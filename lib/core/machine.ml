@@ -10,6 +10,35 @@ type t = {
   fs : Ufs.Types.fs;
 }
 
+(* Ambient sink: experiments build machines internally, so the caller
+   that wants their metrics installs a registry here for the duration
+   of the run rather than threading it through every build site. *)
+let metrics_sink : Sim.Metrics.t option ref = ref None
+
+let current_metrics_sink () = !metrics_sink
+
+let with_metrics_sink reg f =
+  let saved = !metrics_sink in
+  metrics_sink := Some reg;
+  Fun.protect ~finally:(fun () -> metrics_sink := saved) f
+
+let register_metrics t reg =
+  let instance = t.config.Config.name in
+  Array.iteri
+    (fun i d ->
+      let di =
+        if Array.length t.disks = 1 then instance
+        else Printf.sprintf "%s.d%d" instance i
+      in
+      Disk.Device.register_metrics d reg ~instance:di)
+    t.disks;
+  (match t.vol with
+  | Some v -> Vol.register_metrics v reg ~instance
+  | None -> ());
+  Vm.Pool.register_metrics t.pool reg ~instance;
+  Vm.Pageout.register_metrics t.pageout reg ~instance;
+  Ufs.Fs.register_metrics t.fs reg ~instance
+
 let build (config : Config.t) ~format ~image =
   let engine = Sim.Engine.create () in
   let cpu = Sim.Cpu.create engine in
@@ -40,7 +69,11 @@ let build (config : Config.t) ~format ~image =
     Ufs.Fs.mount engine cpu pool dev ~features:config.Config.features
       ~costs:config.Config.costs ()
   in
-  { config; engine; cpu; pool; pageout; dev; disks; vol; fs }
+  let t = { config; engine; cpu; pool; pageout; dev; disks; vol; fs } in
+  (match !metrics_sink with
+  | Some reg -> register_metrics t reg
+  | None -> ());
+  t
 
 let create config = build config ~format:true ~image:None
 

@@ -18,6 +18,24 @@ type t = {
 val create : Config.t -> t
 (** Build the machine, mkfs the disk and mount it. *)
 
+val register_metrics : t -> Sim.Metrics.t -> unit
+(** Register every layer of the machine (disks, volume, page pool,
+    pageout daemon, UFS) into the registry, using the config name as
+    the instance label (member drives get a [.dN] suffix). *)
+
+val with_metrics_sink : Sim.Metrics.t -> (unit -> 'a) -> 'a
+(** [with_metrics_sink reg f] makes every machine built during [f]
+    register itself into [reg] (as {!register_metrics} would).  Sinks
+    nest; the previous sink is restored on exit.  This is how the bench
+    harness collects metrics from experiments that build machines
+    internally. *)
+
+val current_metrics_sink : unit -> Sim.Metrics.t option
+(** The registry installed by the innermost {!with_metrics_sink}, if
+    any — for experiment code that builds its layers without a machine
+    (the EFS comparison) and wants to register them into the same
+    sink. *)
+
 val create_no_format : Config.t -> Disk.Store.t -> t
 (** Build a machine around an existing disk image (the aged-file-system
     experiments reuse a store across machines).  The store is copied

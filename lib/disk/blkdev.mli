@@ -18,8 +18,12 @@ type t = {
   geom : Geom.t;
       (** layout-policy geometry: what the FFS allocator consults for
           rotational placement.  For a volume this is member 0's
-          geometry — rotdelay is a per-spindle property. *)
-  capacity : int;  (** logical capacity in bytes *)
+          geometry — rotdelay is a per-spindle property.  Timing hints
+          only: [Geom.capacity_bytes geom] describes one member, never
+          the device — size everything from [capacity]. *)
+  capacity : int;
+      (** logical capacity in bytes — the authoritative size of the
+          device; always use this (not [geom]) for bounds and mkfs *)
   submit : Request.t -> unit;
   quiesce : unit -> unit;
   busy : unit -> bool;

@@ -34,6 +34,11 @@ type stats = {
   read_latency : Sim.Stats.Summary.t;
   write_latency : Sim.Stats.Summary.t;
   queue_depth : Sim.Stats.Summary.t;
+  queue_wait : Sim.Stats.Summary.t;
+  service : Sim.Stats.Summary.t;
+  seek_per_io : Sim.Stats.Summary.t;
+  rot_per_io : Sim.Stats.Summary.t;
+  xfer_per_io : Sim.Stats.Summary.t;
 }
 
 type event = {
@@ -76,6 +81,11 @@ let mk_stats () =
     read_latency = Sim.Stats.Summary.create ();
     write_latency = Sim.Stats.Summary.create ();
     queue_depth = Sim.Stats.Summary.create ();
+    queue_wait = Sim.Stats.Summary.create ();
+    service = Sim.Stats.Summary.create ();
+    seek_per_io = Sim.Stats.Summary.create ();
+    rot_per_io = Sim.Stats.Summary.create ();
+    xfer_per_io = Sim.Stats.Summary.create ();
   }
 
 (* Split a sector run into per-track segments. *)
@@ -189,18 +199,26 @@ let do_data d (r : Request.t) =
 
 let finish d r =
   do_data d r;
+  let now = Sim.Engine.now d.engine in
+  Sim.Stats.Summary.add d.stats.queue_wait
+    (float_of_int (r.Request.start_at - r.Request.enq_at));
+  Sim.Stats.Summary.add d.stats.service
+    (float_of_int (now - r.Request.start_at));
+  (* latency is measured as now - enq_at, not Request.latency: finish_at
+     is only stamped by Request.complete below, so the accessor would
+     read an unset field here *)
   (match r.Request.kind with
   | Request.Read ->
       d.stats.reads <- d.stats.reads + 1;
       d.stats.sectors_read <- d.stats.sectors_read + r.Request.count;
       Sim.Stats.Summary.add d.stats.read_latency
-        (float_of_int (Request.latency r))
+        (float_of_int (now - r.Request.enq_at))
   | Request.Write ->
       d.stats.writes <- d.stats.writes + 1;
       d.stats.sectors_written <- d.stats.sectors_written + r.Request.count;
       Sim.Stats.Summary.add d.stats.write_latency
-        (float_of_int (Request.latency r)));
-  Request.complete r ~now:(Sim.Engine.now d.engine)
+        (float_of_int (now - r.Request.enq_at)));
+  Request.complete r ~now
 
 (* Post-service head/stream bookkeeping shared by both service paths. *)
 let note_transfer_end d (r : Request.t) ~finish =
@@ -261,6 +279,9 @@ let rec service_loop d () =
       d.stats.seek_time <- d.stats.seek_time + sk;
       d.stats.rot_wait <- d.stats.rot_wait + rw;
       d.stats.transfer_time <- d.stats.transfer_time + xf;
+      Sim.Stats.Summary.add d.stats.seek_per_io (float_of_int sk);
+      Sim.Stats.Summary.add d.stats.rot_per_io (float_of_int rw);
+      Sim.Stats.Summary.add d.stats.xfer_per_io (float_of_int xf);
       Sim.Trace.emit d.trace (fun () ->
           {
             at = t0;
@@ -341,3 +362,30 @@ let quiesce d =
 let stats d = d.stats
 let trace d = d.trace
 let track_buffer_stats d = (Track_buffer.hits d.tbuf, Track_buffer.misses d.tbuf)
+
+let register_metrics d reg ~instance =
+  Sim.Metrics.register reg ~layer:"disk" ~instance (fun () ->
+      let s = d.stats in
+      let tb_hits, tb_misses = track_buffer_stats d in
+      Sim.Metrics.
+        [
+          ("reads", Int s.reads);
+          ("writes", Int s.writes);
+          ("sectors_read", Int s.sectors_read);
+          ("sectors_written", Int s.sectors_written);
+          ("busy_us", Int s.busy);
+          ("seek_us", Int s.seek_time);
+          ("rot_wait_us", Int s.rot_wait);
+          ("transfer_us", Int s.transfer_time);
+          ("coalesced", Int s.coalesced);
+          ("queue_wait_us", Summary s.queue_wait);
+          ("service_us", Summary s.service);
+          ("seek_per_io_us", Summary s.seek_per_io);
+          ("rot_per_io_us", Summary s.rot_per_io);
+          ("xfer_per_io_us", Summary s.xfer_per_io);
+          ("read_latency_us", Summary s.read_latency);
+          ("write_latency_us", Summary s.write_latency);
+          ("queue_depth", Summary s.queue_depth);
+          ("track_buffer_hits", Int tb_hits);
+          ("track_buffer_misses", Int tb_misses);
+        ])

@@ -50,6 +50,12 @@ type stats = {
   read_latency : Sim.Stats.Summary.t;
   write_latency : Sim.Stats.Summary.t;
   queue_depth : Sim.Stats.Summary.t;  (** sampled at each enqueue *)
+  queue_wait : Sim.Stats.Summary.t;
+      (** per request: enqueue to service start *)
+  service : Sim.Stats.Summary.t;  (** per request: service start to done *)
+  seek_per_io : Sim.Stats.Summary.t;  (** per serviced group *)
+  rot_per_io : Sim.Stats.Summary.t;
+  xfer_per_io : Sim.Stats.Summary.t;
 }
 
 type event = {
@@ -96,3 +102,7 @@ val stats : t -> stats
 val trace : t -> event Sim.Trace.t
 val track_buffer_stats : t -> int * int
 (** (hits, misses). *)
+
+val register_metrics : t -> Sim.Metrics.t -> instance:string -> unit
+(** Register this drive's counters and latency breakdown (queue wait vs
+    service vs per-I/O seek/rotation/transfer) as a ["disk"] source. *)

@@ -16,6 +16,18 @@ type file = {
   iodone : Sim.Condition.t;
 }
 
+type stats = {
+  mutable read_calls : int;
+  mutable write_calls : int;
+  mutable extent_ins : int;  (** extent-sized read requests issued *)
+  mutable extent_in_blocks : int;
+  mutable ra_extents : int;  (** of which asynchronous read-ahead *)
+  mutable ra_used_blocks : int;
+  mutable push_ios : int;
+  mutable push_blocks : int;
+  mutable extent_allocs : int;
+}
+
 type t = {
   engine : Sim.Engine.t;
   cpu : Sim.Cpu.t;
@@ -27,6 +39,7 @@ type t = {
   mutable next_vid : int;
   (* first-fit free list of (sector, sectors), ascending *)
   mutable free : (int * int) list;
+  stats : stats;
 }
 
 let charge t ~label d = Sim.Cpu.charge t.cpu ~label d
@@ -45,12 +58,45 @@ let create engine cpu pool dev ~extent_kb ?(costs = Ufs.Costs.default) () =
     files = Hashtbl.create 64;
     next_vid = 1_000_000 (* clear of any UFS inode numbers on the pool *);
     free = [ (0, total_sectors) ];
+    stats =
+      {
+        read_calls = 0;
+        write_calls = 0;
+        extent_ins = 0;
+        extent_in_blocks = 0;
+        ra_extents = 0;
+        ra_used_blocks = 0;
+        push_ios = 0;
+        push_blocks = 0;
+        extent_allocs = 0;
+      };
   }
+
+let stats t = t.stats
+
+let register_metrics t reg ~instance =
+  Sim.Metrics.register reg ~layer:"efs" ~instance (fun () ->
+      let s = t.stats in
+      Sim.Metrics.
+        [
+          ("read_calls", Int s.read_calls);
+          ("write_calls", Int s.write_calls);
+          ("extent_ins", Int s.extent_ins);
+          ("extent_in_blocks", Int s.extent_in_blocks);
+          ("ra_extents", Int s.ra_extents);
+          ("ra_used_blocks", Int s.ra_used_blocks);
+          ("push_ios", Int s.push_ios);
+          ("push_blocks", Int s.push_blocks);
+          ("extent_allocs", Int s.extent_allocs);
+          ("files", Int (Hashtbl.length t.files));
+          ("free_segments", Int (List.length t.free));
+        ])
 
 (* ---------- extent allocation (first fit) ---------- *)
 
 let alloc_sectors t n =
   charge t ~label:"alloc" t.costs.Ufs.Costs.alloc_block;
+  t.stats.extent_allocs <- t.stats.extent_allocs + 1;
   let rec take acc = function
     | [] -> Vfs.Errno.raise_err Vfs.Errno.ENOSPC "efs: no free extent"
     | (s, len) :: rest when len >= n ->
@@ -135,6 +181,12 @@ let extent_in t f (e : extent) ~sync =
               Vm.Page.unbusy p)
             mine);
       charge_io t;
+      t.stats.extent_ins <- t.stats.extent_ins + 1;
+      t.stats.extent_in_blocks <- t.stats.extent_in_blocks + e.blocks;
+      if not sync then begin
+        t.stats.ra_extents <- t.stats.ra_extents + 1;
+        List.iter (fun ((p : Vm.Page.t), _) -> Vm.Page.set_prefetched p true) mine
+      end;
       Disk.Blkdev.submit t.dev req;
       if sync then Disk.Request.wait t.engine req
 
@@ -173,6 +225,8 @@ let push_range t f ~from ~len =
                   ~count:(nblocks * sectors_per_block) ~buf ~buf_off:0 ()
               in
               f.outstanding <- f.outstanding + nblocks;
+              t.stats.push_ios <- t.stats.push_ios + 1;
+              t.stats.push_blocks <- t.stats.push_blocks + nblocks;
               Disk.Request.on_complete req (fun () ->
                   f.outstanding <- f.outstanding - nblocks;
                   List.iter
@@ -262,12 +316,20 @@ let reset_readahead t f =
   f.nextrio <- 0
 
 (* find-or-create the cache page at [off]; zero-fill fresh pages *)
+let consume_prefetch t (p : Vm.Page.t) =
+  if p.Vm.Page.prefetched then begin
+    t.stats.ra_used_blocks <- t.stats.ra_used_blocks + 1;
+    Vm.Page.set_prefetched p false
+  end
+
 let rec grab_page t f off =
   match Vm.Pool.lookup t.pool (ident f off) with
   | Some p when p.Vm.Page.busy ->
       Vm.Page.wait_unbusy t.engine p;
       grab_page t f off
-  | Some p when p.Vm.Page.valid -> p
+  | Some p when p.Vm.Page.valid ->
+      consume_prefetch t p;
+      p
   | Some _ | None -> (
       match Vm.Pool.alloc t.pool (ident f off) with
       | `Fresh p ->
@@ -280,6 +342,7 @@ let rec grab_page t f off =
 
 let write t f ~off ~buf ~len =
   charge t ~label:"syscall" t.costs.Ufs.Costs.syscall;
+  t.stats.write_calls <- t.stats.write_calls + 1;
   let pos = ref 0 in
   while !pos < len do
     let o = off + !pos in
@@ -313,11 +376,14 @@ let rec wait_valid t f po =
   | Some p when p.Vm.Page.busy ->
       Vm.Page.wait_unbusy t.engine p;
       wait_valid t f po
-  | Some p when p.Vm.Page.valid -> Some p
+  | Some p when p.Vm.Page.valid ->
+      consume_prefetch t p;
+      Some p
   | Some _ | None -> None
 
 let read t f ~off ~buf ~len =
   charge t ~label:"syscall" t.costs.Ufs.Costs.syscall;
+  t.stats.read_calls <- t.stats.read_calls + 1;
   let len = max 0 (min len (f.fsize - off)) in
   let pos = ref 0 in
   while !pos < len do

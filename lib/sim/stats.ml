@@ -29,8 +29,11 @@ module Summary = struct
   let mean t = if t.n = 0 then 0. else t.mean
   let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
   let stddev t = sqrt (variance t)
-  let min t = t.mn
-  let max t = t.mx
+
+  (* like [mean], an empty summary reads 0., not nan: these values feed
+     printed tables and the metrics JSON export, where nan is invalid *)
+  let min t = if t.n = 0 then 0. else t.mn
+  let max t = if t.n = 0 then 0. else t.mx
   let total t = t.total
 end
 
@@ -76,6 +79,7 @@ end
 let percentile values p =
   if Array.length values = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let values = Array.copy values in
   Array.sort compare values;
   let n = Array.length values in
   let rank = p /. 100. *. float_of_int (n - 1) in

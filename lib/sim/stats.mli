@@ -16,10 +16,11 @@ module Summary : sig
 
   val stddev : t -> float
   val min : t -> float
-  (** [nan] when empty. *)
+  (** 0.0 when empty, like [mean] — empty summaries must not leak nan
+      into tables or the metrics JSON export. *)
 
   val max : t -> float
-  (** [nan] when empty. *)
+  (** 0.0 when empty. *)
 
   val total : t -> float
 end
@@ -42,5 +43,5 @@ end
 
 val percentile : float array -> float -> float
 (** [percentile values p] for [p] in [0,100]; linear interpolation
-    between closest ranks.  The array is sorted in place.
-    Raises [Invalid_argument] on an empty array. *)
+    between closest ranks.  Sorts a copy — the caller's array is left
+    untouched.  Raises [Invalid_argument] on an empty array. *)

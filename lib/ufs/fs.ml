@@ -142,6 +142,38 @@ let mount engine cpu pool dev ~features ?(costs = Costs.default) () =
     trace = Sim.Trace.create ();
   }
 
+let register_metrics (fs : fs) reg ~instance =
+  Sim.Metrics.register reg ~layer:"ufs" ~instance (fun () ->
+      let s = fs.stats in
+      Sim.Metrics.
+        [
+          ("getpage_calls", Int s.getpage_calls);
+          ("getpage_hits", Int s.getpage_hits);
+          ("pgin_ios", Int s.pgin_ios);
+          ("pgin_blocks", Int s.pgin_blocks);
+          ("ra_ios", Int s.ra_ios);
+          ("ra_blocks", Int s.ra_blocks);
+          ("ra_used_blocks", Int s.ra_used_blocks);
+          ("putpage_calls", Int s.putpage_calls);
+          ("delayed_pages", Int s.delayed_pages);
+          ("push_ios", Int s.push_ios);
+          ("push_blocks", Int s.push_blocks);
+          ("freebehind_pages", Int s.freebehind_pages);
+          ("freebehind_suppressed", Int s.freebehind_suppressed);
+          ("bmap_calls", Int s.bmap_calls);
+          ("bmap_cache_hits", Int s.bmap_cache_hits);
+          ("block_allocs", Int s.block_allocs);
+          ("frag_allocs", Int s.frag_allocs);
+          ("cg_switches", Int s.cg_switches);
+          ("wlimit_sleeps", Int s.wlimit_sleeps);
+          ("idata_reads", Int s.idata_reads);
+          ("read_call_us", Summary s.read_call_us);
+          ("write_call_us", Summary s.write_call_us);
+          ("pgin_wait_us", Summary s.pgin_wait_us);
+          ("read_io_blocks", Hist s.read_io_blocks);
+          ("push_io_blocks", Hist s.push_io_blocks);
+        ])
+
 let tunefs (fs : fs) ?rotdelay_ms ?maxcontig ?maxbpg () =
   Option.iter (fun v -> fs.sb.Superblock.rotdelay_ms <- v) rotdelay_ms;
   Option.iter (fun v -> fs.sb.Superblock.maxcontig <- v) maxcontig;

@@ -38,6 +38,10 @@ val mount :
 (** Read the superblock and cylinder groups into memory.
     Raises [EINVAL] on a bad or unclean file system. *)
 
+val register_metrics : Types.fs -> Sim.Metrics.t -> instance:string -> unit
+(** Register the mounted file system's counters, call-latency summaries
+    and I/O-size histograms as a ["ufs"] source. *)
+
 val tunefs : Types.fs -> ?rotdelay_ms:int -> ?maxcontig:int -> ?maxbpg:int -> unit -> unit
 (** Adjust the layout knobs of a mounted file system (tunefs(8) — this
     is exactly how the paper reconfigures between runs without

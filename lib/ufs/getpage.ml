@@ -52,6 +52,7 @@ let rec handle_page fs (ip : inode) ~po ~hint =
       handle_page fs ip ~po ~hint
   | Some p when p.Vm.Page.valid ->
       fs.stats.getpage_hits <- fs.stats.getpage_hits + 1;
+      Io.consume_prefetch fs p;
       Sim.Trace.emit fs.trace (fun () -> Ev_getpage { off = po; cached = true });
       (* figure 2: bmap is consulted even on a hit, to learn whether the
          page has backing store — unless the UFS_HOLE fast path applies *)
@@ -86,7 +87,9 @@ and find_ready fs ip ~po ~hint =
   | Some p when p.Vm.Page.busy ->
       Vm.Page.wait_unbusy fs.engine p;
       find_ready fs ip ~po ~hint
-  | Some p when p.Vm.Page.valid -> p
+  | Some p when p.Vm.Page.valid ->
+      Io.consume_prefetch fs p;
+      p
   | Some _ | None ->
       (* freed or never entered (raced); start over *)
       handle_page fs ip ~po ~hint

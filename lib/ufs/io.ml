@@ -12,6 +12,15 @@ let charge_io fs =
   charge fs ~label:"driver"
     (fs.costs.Costs.driver_submit + fs.costs.Costs.intr)
 
+(* First access to a read-ahead page: the prefetch paid off.  Clearing
+   the flag here is what keeps the pool's free-time "wasted" count
+   honest. *)
+let consume_prefetch fs (p : Vm.Page.t) =
+  if p.Vm.Page.prefetched then begin
+    fs.stats.ra_used_blocks <- fs.stats.ra_used_blocks + 1;
+    Vm.Page.set_prefetched p false
+  end
+
 let page_in fs (ip : inode) ~off ~frag ~blocks ~sync ~read_ahead =
   assert (off mod Layout.bsize = 0);
   let lbn0 = off / Layout.bsize in
@@ -52,9 +61,11 @@ let page_in fs (ip : inode) ~off ~frag ~blocks ~sync ~read_ahead =
               Vm.Page.unbusy p)
             mine);
       charge_io fs;
+      Sim.Stats.Hist.add fs.stats.read_io_blocks blocks;
       if read_ahead then begin
         fs.stats.ra_ios <- fs.stats.ra_ios + 1;
         fs.stats.ra_blocks <- fs.stats.ra_blocks + blocks;
+        List.iter (fun ((p : Vm.Page.t), _) -> Vm.Page.set_prefetched p true) mine;
         Sim.Trace.emit fs.trace (fun () ->
             Ev_read_ahead { lbn = lbn0; blocks })
       end
@@ -64,7 +75,12 @@ let page_in fs (ip : inode) ~off ~frag ~blocks ~sync ~read_ahead =
         Sim.Trace.emit fs.trace (fun () -> Ev_read_sync { lbn = lbn0; blocks })
       end;
       Disk.Blkdev.submit fs.dev req;
-      if sync then Disk.Request.wait fs.engine req
+      if sync then begin
+        let t0 = Sim.Engine.now fs.engine in
+        Disk.Request.wait fs.engine req;
+        Sim.Stats.Summary.add fs.stats.pgin_wait_us
+          (float_of_int (Sim.Engine.now fs.engine - t0))
+      end
 
 let zero_fill fs (ip : inode) ~off ~blocks =
   for k = 0 to blocks - 1 do
@@ -147,6 +163,7 @@ let push_pages fs (ip : inode) pages ~frag ~off ~sync ~free_after ~throttle
           pages;
       Sim.Condition.broadcast ip.iodone);
   charge_io fs;
+  Sim.Stats.Hist.add fs.stats.push_io_blocks blocks;
   fs.stats.push_ios <- fs.stats.push_ios + 1;
   fs.stats.push_blocks <- fs.stats.push_blocks + blocks;
   Sim.Trace.emit fs.trace (fun () ->

@@ -11,6 +11,11 @@
 
 val ident : Types.inode -> int -> Vm.Page.ident
 
+val consume_prefetch : Types.fs -> Vm.Page.t -> unit
+(** If the page still carries the read-ahead flag, count it as a used
+    prefetch and clear the flag (first-consumer accounting; see
+    {!Vm.Page.t.prefetched}). *)
+
 val page_in : Types.fs -> Types.inode -> off:int -> frag:int -> blocks:int ->
   sync:bool -> read_ahead:bool -> unit
 (** Read [blocks] logical blocks of the file starting at page-aligned
@@ -19,8 +24,9 @@ val page_in : Types.fs -> Types.inode -> off:int -> frag:int -> blocks:int ->
     (possibly newer) contents; missing pages are allocated, filled from
     the request buffer at completion, validated and unbusied.  The tail
     block's transfer length respects its fragment allocation.
-    When [sync], blocks until the data is in.  [read_ahead] only selects
-    statistics/trace classification. *)
+    When [sync], blocks until the data is in.  [read_ahead] selects
+    statistics/trace classification and marks the freshly-claimed pages
+    {!Vm.Page.t.prefetched} for used/wasted accounting. *)
 
 val zero_fill : Types.fs -> Types.inode -> off:int -> blocks:int -> unit
 (** Enter valid zeroed pages for a hole (no I/O). *)

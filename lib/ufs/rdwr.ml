@@ -11,18 +11,26 @@ let memory_pressure fs =
   Vm.Pool.freecnt fs.pool
   <= 2 * (Vm.Pool.param fs.pool).Vm.Param.lotsfree
 
-let maybe_free_behind fs (ip : inode) ~po =
+(* [seq] is the stream's sequentiality as observed BEFORE getpage ran
+   for this access: getpage's after_access unconditionally sets
+   [nextr <- po + bsize], so testing nextr here would be vacuously true
+   for every access — including random ones, which is exactly the bug
+   that made free-behind evict a random reader's cache under memory
+   pressure. *)
+let maybe_free_behind fs (ip : inode) ~po ~seq =
   if
     fs.feat.free_behind
-    && ip.nextr = po + Layout.bsize (* sequential read mode *)
     && po >= free_behind_threshold fs
     && memory_pressure fs
-  then begin
-    fs.stats.freebehind_pages <- fs.stats.freebehind_pages + 1;
-    Sim.Trace.emit fs.trace (fun () -> Ev_free_behind { off = po });
-    charge fs ~label:"freebehind" fs.costs.Costs.freebehind;
-    Putpage.putpage fs ip ~off:po ~len:Layout.bsize ~flags:[ Vfs.Vnode.P_FREE ]
-  end
+  then
+    if seq then begin
+      fs.stats.freebehind_pages <- fs.stats.freebehind_pages + 1;
+      Sim.Trace.emit fs.trace (fun () -> Ev_free_behind { off = po });
+      charge fs ~label:"freebehind" fs.costs.Costs.freebehind;
+      Putpage.putpage fs ip ~off:po ~len:Layout.bsize ~flags:[ Vfs.Vnode.P_FREE ]
+    end
+    else
+      fs.stats.freebehind_suppressed <- fs.stats.freebehind_suppressed + 1
 
 (* ---------- small-file fast path ---------- *)
 
@@ -82,6 +90,10 @@ let do_read fs (ip : inode) (uio : Vfs.Uio.t) =
       in
       if n <= 0 then continue := false
       else begin
+        (* sequential read mode, judged before getpage moves nextr: the
+           access either starts the block nextr predicted, or continues
+           inside a block whose start matched the prediction *)
+        let seq = ip.nextr = po || (off > po && ip.nextr = po + Layout.bsize) in
         charge fs ~label:"rdwr" fs.costs.Costs.map_block;
         (match Getpage.getpage fs ip ~off:po ~len:Layout.bsize ~hint with
         | [ p ] ->
@@ -92,7 +104,7 @@ let do_read fs (ip : inode) (uio : Vfs.Uio.t) =
         | _ -> assert false);
         (* unmap: free-behind fires once we leave the page *)
         if off + n >= po + Layout.bsize || uio.Vfs.Uio.off >= ip.size then
-          maybe_free_behind fs ip ~po
+          maybe_free_behind fs ip ~po ~seq
       end
     done
   end
@@ -106,7 +118,9 @@ let rec grab_page fs (ip : inode) po =
   | Some p when p.Vm.Page.busy ->
       Vm.Page.wait_unbusy fs.engine p;
       grab_page fs ip po
-  | Some p when p.Vm.Page.valid -> p
+  | Some p when p.Vm.Page.valid ->
+      Io.consume_prefetch fs p;
+      p
   | Some _ | None -> (
       match Vm.Pool.alloc fs.pool (Io.ident ip po) with
       | `Fresh p ->
@@ -191,7 +205,12 @@ let do_write fs (ip : inode) (uio : Vfs.Uio.t) =
 
 let rdwr fs (ip : inode) (uio : Vfs.Uio.t) =
   charge fs ~label:"syscall" fs.costs.Costs.syscall;
+  let t0 = Sim.Engine.now fs.engine in
   Sim.Mutex.with_lock ip.ilock (fun () ->
       match uio.Vfs.Uio.rw with
       | Vfs.Uio.Read -> do_read fs ip uio
-      | Vfs.Uio.Write -> do_write fs ip uio)
+      | Vfs.Uio.Write -> do_write fs ip uio);
+  let dt = float_of_int (Sim.Engine.now fs.engine - t0) in
+  match uio.Vfs.Uio.rw with
+  | Vfs.Uio.Read -> Sim.Stats.Summary.add fs.stats.read_call_us dt
+  | Vfs.Uio.Write -> Sim.Stats.Summary.add fs.stats.write_call_us dt

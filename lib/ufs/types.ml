@@ -56,6 +56,8 @@ type stats = {
   mutable push_ios : int;
   mutable push_blocks : int;
   mutable freebehind_pages : int;
+  mutable freebehind_suppressed : int;
+  mutable ra_used_blocks : int;
   mutable bmap_calls : int;
   mutable bmap_cache_hits : int;
   mutable block_allocs : int;
@@ -63,6 +65,11 @@ type stats = {
   mutable cg_switches : int;
   mutable wlimit_sleeps : int;
   mutable idata_reads : int;
+  read_call_us : Sim.Stats.Summary.t;
+  write_call_us : Sim.Stats.Summary.t;
+  pgin_wait_us : Sim.Stats.Summary.t;
+  read_io_blocks : Sim.Stats.Hist.t;
+  push_io_blocks : Sim.Stats.Hist.t;
 }
 
 let mk_stats () =
@@ -78,6 +85,8 @@ let mk_stats () =
     push_ios = 0;
     push_blocks = 0;
     freebehind_pages = 0;
+    freebehind_suppressed = 0;
+    ra_used_blocks = 0;
     bmap_calls = 0;
     bmap_cache_hits = 0;
     block_allocs = 0;
@@ -85,6 +94,11 @@ let mk_stats () =
     cg_switches = 0;
     wlimit_sleeps = 0;
     idata_reads = 0;
+    read_call_us = Sim.Stats.Summary.create ();
+    write_call_us = Sim.Stats.Summary.create ();
+    pgin_wait_us = Sim.Stats.Summary.create ();
+    read_io_blocks = Sim.Stats.Hist.create ();
+    push_io_blocks = Sim.Stats.Hist.create ();
   }
 
 type inode = {

@@ -61,6 +61,14 @@ type stats = {
   mutable push_ios : int;
   mutable push_blocks : int;
   mutable freebehind_pages : int;
+  mutable freebehind_suppressed : int;
+      (** reads under memory pressure past the offset threshold where
+          free-behind did {e not} fire because the stream was not
+          sequential — the counter that makes the FRR bug visible *)
+  mutable ra_used_blocks : int;
+      (** prefetched pages consumed by a later access (see
+          {!Vm.Page.t.prefetched}; the wasted side is counted by the
+          pool at free time) *)
   mutable bmap_calls : int;
   mutable bmap_cache_hits : int;
   mutable block_allocs : int;
@@ -68,6 +76,14 @@ type stats = {
   mutable cg_switches : int;
   mutable wlimit_sleeps : int;
   mutable idata_reads : int;  (** small-file reads served from inode *)
+  read_call_us : Sim.Stats.Summary.t;  (** per-read(2) wall time *)
+  write_call_us : Sim.Stats.Summary.t;  (** per-write(2) wall time *)
+  pgin_wait_us : Sim.Stats.Summary.t;
+      (** time a reader slept on a synchronous page-in *)
+  read_io_blocks : Sim.Stats.Hist.t;
+      (** issued read-I/O sizes (sync + read-ahead), in blocks: the
+          clustering histogram *)
+  push_io_blocks : Sim.Stats.Hist.t;  (** issued write-I/O sizes *)
 }
 
 val mk_stats : unit -> stats

@@ -8,6 +8,7 @@ type t = {
   mutable dirty : bool;
   mutable referenced : bool;
   mutable busy : bool;
+  mutable prefetched : bool;
   mutable waiters : (unit -> unit) list;
 }
 
@@ -20,6 +21,7 @@ let make ~frameno ~pagesize =
     dirty = false;
     referenced = false;
     busy = false;
+    prefetched = false;
     waiters = [];
   }
 
@@ -27,6 +29,7 @@ let set_ident t i = t.ident <- i
 let set_valid t b = t.valid <- b
 let set_dirty t b = t.dirty <- b
 let set_referenced t b = t.referenced <- b
+let set_prefetched t b = t.prefetched <- b
 
 let rec lock engine t =
   if t.busy then begin

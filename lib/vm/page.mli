@@ -12,7 +12,11 @@
     - [valid]: contents reflect the file (set after read or zero-fill).
     - [dirty]: modified since last written.
     - [referenced]: software reference bit, cleared by the clock's front
-      hand, set by every lookup. *)
+      hand, set by every lookup.
+    - [prefetched]: brought in by read-ahead and not yet consumed; the
+      consumer clears it on first access (counting the prefetch as
+      used), the pool counts a still-set flag at free time as wasted
+      prefetch. *)
 
 type ident = { vid : int; off : int }
 (** [off] is page-aligned. *)
@@ -25,6 +29,7 @@ type t = private {
   mutable dirty : bool;
   mutable referenced : bool;
   mutable busy : bool;
+  mutable prefetched : bool;
   mutable waiters : (unit -> unit) list;
 }
 
@@ -34,6 +39,7 @@ val set_ident : t -> ident option -> unit
 val set_valid : t -> bool -> unit
 val set_dirty : t -> bool -> unit
 val set_referenced : t -> bool -> unit
+val set_prefetched : t -> bool -> unit
 
 val lock : Sim.Engine.t -> t -> unit
 (** Wait until not busy, then mark busy (the caller owns the page). *)

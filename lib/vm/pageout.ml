@@ -112,3 +112,15 @@ let start ?(config = default_config) pool cpu =
   d
 
 let stats d = d.stats
+
+let register_metrics d reg ~instance =
+  Sim.Metrics.register reg ~layer:"vm.pageout" ~instance (fun () ->
+      let s = d.stats in
+      Sim.Metrics.
+        [
+          ("scans", Int s.scans);
+          ("freed", Int s.freed);
+          ("flushed", Int s.flushed);
+          ("wakeups", Int s.wakeups);
+          ("skipped_no_flusher", Int s.skipped_no_flusher);
+        ])

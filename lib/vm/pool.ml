@@ -6,6 +6,7 @@ type stats = {
   mutable allocs : int;
   mutable alloc_waits : int;
   mutable frees : int;
+  mutable prefetch_wasted : int;
 }
 
 type t = {
@@ -39,7 +40,15 @@ let create engine param =
     memwait = Sim.Condition.create engine "memwait";
     need_pageout = Sim.Condition.create engine "need-pageout";
     flushers = Hashtbl.create 64;
-    stats = { lookups = 0; hits = 0; allocs = 0; alloc_waits = 0; frees = 0 };
+    stats =
+      {
+        lookups = 0;
+        hits = 0;
+        allocs = 0;
+        alloc_waits = 0;
+        frees = 0;
+        prefetch_wasted = 0;
+      };
   }
 
 let engine t = t.engine
@@ -107,10 +116,13 @@ let free_page t (p : Page.t) =
       | Some tbl -> Hashtbl.remove tbl ident.Page.off
       | None -> ())
   | None -> invalid_arg "Pool.free_page: page already free");
+  if p.Page.prefetched then
+    t.stats.prefetch_wasted <- t.stats.prefetch_wasted + 1;
   Page.set_ident p None;
   Page.set_valid p false;
   Page.set_dirty p false;
   Page.set_referenced p false;
+  Page.set_prefetched p false;
   Queue.push p.Page.frameno t.free;
   t.stats.frees <- t.stats.frees + 1;
   Page.unbusy p;
@@ -145,3 +157,18 @@ let register_flusher t vid f = Hashtbl.replace t.flushers vid f
 let unregister_flusher t vid = Hashtbl.remove t.flushers vid
 let flusher_for t vid = Hashtbl.find_opt t.flushers vid
 let stats t = t.stats
+
+let register_metrics t reg ~instance =
+  Sim.Metrics.register reg ~layer:"vm.pool" ~instance (fun () ->
+      let s = t.stats in
+      Sim.Metrics.
+        [
+          ("lookups", Int s.lookups);
+          ("hits", Int s.hits);
+          ("allocs", Int s.allocs);
+          ("alloc_waits", Int s.alloc_waits);
+          ("frees", Int s.frees);
+          ("prefetch_wasted_pages", Int s.prefetch_wasted);
+          ("freecnt", Int (freecnt t));
+          ("physmem_pages", Int t.param.Param.physmem_pages);
+        ])

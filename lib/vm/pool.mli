@@ -22,6 +22,9 @@ type stats = {
   mutable allocs : int;
   mutable alloc_waits : int;  (** allocations that had to sleep *)
   mutable frees : int;
+  mutable prefetch_wasted : int;
+      (** pages freed with the prefetched flag still set: read ahead
+          but never consumed *)
 }
 
 type t
@@ -74,3 +77,7 @@ val unregister_flusher : t -> int -> unit
 val flusher_for : t -> int -> flusher option
 
 val stats : t -> stats
+
+val register_metrics : t -> Sim.Metrics.t -> instance:string -> unit
+(** Register the pool's cache/allocation counters (including wasted
+    prefetch and the free-list gauge) as a ["vm.pool"] source. *)

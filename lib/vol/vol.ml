@@ -304,6 +304,19 @@ let busy t = Array.exists (fun m -> Disk.Device.busy m.dev) t.members
 let queue_length t =
   Array.fold_left (fun acc m -> acc + Disk.Device.queue_length m.dev) 0 t.members
 
+let register_metrics t reg ~instance =
+  Sim.Metrics.register reg ~layer:"vol" ~instance (fun () ->
+      let dropped = Array.fold_left (fun a m -> a + m.dropped_writes) 0 t.members in
+      let failed = Array.fold_left (fun a m -> a + if m.failed then 1 else 0) 0 t.members in
+      Sim.Metrics.
+        [
+          ("splits", Int t.splits);
+          ("dropped_writes", Int dropped);
+          ("n_members", Int (n_members t));
+          ("failed_members", Int failed);
+          ("queue_length", Int (queue_length t));
+        ])
+
 let blkdev t =
   {
     Disk.Blkdev.name = Printf.sprintf "vol-%s×%d" (layout_to_string t.layout)

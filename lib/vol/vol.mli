@@ -91,8 +91,18 @@ val dropped_writes : t -> int array
 val splits : t -> int
 (** Number of parent requests that were split into >1 fragment. *)
 
+val register_metrics : t -> Sim.Metrics.t -> instance:string -> unit
+(** Register the volume's split/drop counters and queue gauge as a
+    ["vol"] source. *)
+
 val blkdev : t -> Disk.Blkdev.t
-(** The volume as a mountable block device.  [geom] is member 0's
-    geometry (the allocator's rotational-layout hints are per-spindle
-    properties; the paper's clustering decisions depend only on
-    contiguity, which striping preserves within a stripe unit). *)
+(** The volume as a mountable block device.
+
+    Contract: [capacity] is the authoritative logical size — it is what
+    mkfs and the extent allocator must size themselves from.  [geom] is
+    member 0's geometry and is a {e timing hint only} (the FFS
+    allocator's rotational-layout decisions are per-spindle properties;
+    the paper's clustering decisions depend only on contiguity, which
+    striping preserves within a stripe unit).  In particular
+    [Geom.capacity_bytes blkdev.geom] describes one member, not the
+    volume — never derive volume capacity from [geom]. *)

@@ -117,6 +117,26 @@ let test_percentile () =
     (Invalid_argument "Stats.percentile: empty") (fun () ->
       ignore (Sim.Stats.percentile [||] 50.))
 
+let test_percentile_does_not_mutate () =
+  let values = [| 50.; 15.; 40.; 20.; 35. |] in
+  ignore (Sim.Stats.percentile values 90.);
+  Alcotest.(check (array (float 0.)))
+    "caller's array untouched"
+    [| 50.; 15.; 40.; 20.; 35. |]
+    values
+
+let test_summary_empty_min_max () =
+  (* empty summaries land in tables and the metrics JSON: they must
+     yield 0 like mean, never the nan of a fold over no samples *)
+  let s = Sim.Stats.Summary.create () in
+  Alcotest.(check (float 0.)) "empty min" 0. (Sim.Stats.Summary.min s);
+  Alcotest.(check (float 0.)) "empty max" 0. (Sim.Stats.Summary.max s);
+  check_bool "min not nan" false (Float.is_nan (Sim.Stats.Summary.min s));
+  check_bool "max not nan" false (Float.is_nan (Sim.Stats.Summary.max s));
+  Sim.Stats.Summary.add s (-3.);
+  Alcotest.(check (float 0.)) "min after add" (-3.) (Sim.Stats.Summary.min s);
+  Alcotest.(check (float 0.)) "max after add" (-3.) (Sim.Stats.Summary.max s)
+
 let test_hist () =
   let h = Sim.Stats.Hist.create () in
   List.iter (Sim.Stats.Hist.add h) [ 0; 1; 2; 3; 900 ];
@@ -388,6 +408,10 @@ let suites =
         Alcotest.test_case "rng exponential" `Quick test_rng_exponential;
         Alcotest.test_case "stats summary" `Quick test_summary;
         Alcotest.test_case "stats percentile" `Quick test_percentile;
+        Alcotest.test_case "stats percentile no mutate" `Quick
+          test_percentile_does_not_mutate;
+        Alcotest.test_case "stats empty summary min/max" `Quick
+          test_summary_empty_min_max;
         Alcotest.test_case "stats hist" `Quick test_hist;
         Alcotest.test_case "engine time order" `Quick test_engine_ordering;
         Alcotest.test_case "engine same-time FIFO" `Quick

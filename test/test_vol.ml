@@ -70,6 +70,28 @@ let test_capacities () =
       ignore
         (Vol.create e Vol.Stripe uneven ~stripe_bytes:(2 * tiny_cap)))
 
+(* [capacity] is the authoritative device size; [geom] is a per-member
+   timing hint.  A file system built on a 2-disk concat must span both
+   members, not stop at what the (member-0) geometry suggests. *)
+let test_blkdev_capacity_authoritative () =
+  let two_small = [| Helpers.small_disk; Helpers.small_disk |] in
+  with_vol Vol.Concat two_small (fun e v ->
+      let bd = Vol.blkdev v in
+      check_int "capacity sums the members" (2 * small_cap)
+        (Disk.Blkdev.capacity_bytes bd);
+      check_int "geom still describes one member" small_cap
+        (Disk.Geom.capacity_bytes (Disk.Blkdev.geom bd));
+      Ufs.Fs.mkfs bd ~opts:Helpers.small_mkfs ();
+      let cpu = Sim.Cpu.create e in
+      let pool = Vm.Pool.create e (Vm.Param.default ~memory_mb:4 ()) in
+      let fs =
+        Ufs.Fs.mount e cpu pool bd ~features:Ufs.Types.features_clustered ()
+      in
+      let s = Ufs.Fs.statfs fs in
+      check_bool "file system spans both spindles" true
+        (s.Ufs.Fs.f_frags * Ufs.Layout.fsize > small_cap);
+      Ufs.Fs.unmount fs)
+
 (* ---------- data round-trips ---------- *)
 
 let pattern n seed = Bytes.init n (fun i -> Helpers.pattern_byte ~seed i)
@@ -255,6 +277,8 @@ let suites =
     ( "vol",
       [
         Alcotest.test_case "capacities and edge cases" `Quick test_capacities;
+        Alcotest.test_case "blkdev capacity is authoritative" `Quick
+          test_blkdev_capacity_authoritative;
         Alcotest.test_case "round-trips across boundaries" `Quick
           test_roundtrips;
         Alcotest.test_case "stripe split: fan-out and mapping" `Quick
