@@ -1,0 +1,247 @@
+(* nfsbench — run the paper's I/O benchmark over the simulated network:
+   N clients against one NFS server machine.
+
+   Examples:
+     dune exec bin/nfsbench.exe -- --config a
+     dune exec bin/nfsbench.exe -- --clients 4 --nfsd 8 --phases fsw,fsr
+     dune exec bin/nfsbench.exe -- --bandwidth-kb 600 --loss 0.01 -v *)
+
+open Cmdliner
+
+let base_config name =
+  match String.lowercase_ascii name with
+  | "a" -> Ok Clusterfs.Config.config_a
+  | "b" -> Ok Clusterfs.Config.config_b
+  | "c" -> Ok Clusterfs.Config.config_c
+  | "d" -> Ok Clusterfs.Config.config_d
+  | other -> Error (Printf.sprintf "unknown config %S (want a|b|c|d)" other)
+
+let phase_of_string s =
+  match String.uppercase_ascii s with
+  | "FSR" -> Ok Workload.Iobench.FSR
+  | "FSU" -> Ok Workload.Iobench.FSU
+  | "FSW" -> Ok Workload.Iobench.FSW
+  | "FRR" -> Ok Workload.Iobench.FRR
+  | "FRU" -> Ok Workload.Iobench.FRU
+  | other -> Error (Printf.sprintf "unknown phase %S" other)
+
+let client_path id = Printf.sprintf "/bench%d" id
+
+(* drop a file from the server's page cache so the next phase pays the
+   same disk reads a local cold-start phase does *)
+let cool_server t path =
+  Clusterfs.Topology.run t (fun t ->
+      let fs = t.Clusterfs.Topology.server.Clusterfs.Machine.fs in
+      let ip = Ufs.Fs.namei fs path in
+      Workload.Iobench.reset_file_state fs ip;
+      Ufs.Iops.iput fs ip)
+
+let cool_all t clients =
+  for id = 0 to clients - 1 do
+    cool_server t (client_path id)
+  done
+
+let run config_name clients nfsd biods ra_depth file_mb bandwidth_kb latency_us
+    loss seed phases verbose =
+  match base_config config_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok config -> (
+      let phases =
+        match phases with
+        | [] -> Ok [ Workload.Iobench.FSW; Workload.Iobench.FSR ]
+        | ps ->
+            List.fold_right
+              (fun p acc ->
+                match (phase_of_string p, acc) with
+                | Ok p, Ok acc -> Ok (p :: acc)
+                | Error e, _ -> Error e
+                | _, (Error _ as e) -> e)
+              ps (Ok [])
+      in
+      match phases with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok phases ->
+          let net =
+            {
+              Net.default_config with
+              Net.bandwidth = bandwidth_kb * 1000;
+              latency = Sim.Time.us latency_us;
+              loss;
+            }
+          in
+          Printf.printf
+            "server: config %s, %d nfsd; %d client%s, %d KB/s links, %d us \
+             latency, %.2f%% loss\n"
+            (String.uppercase_ascii config_name)
+            nfsd clients
+            (if clients = 1 then "" else "s")
+            bandwidth_kb latency_us (loss *. 100.);
+          let t =
+            Clusterfs.Topology.create ~net ~seed ~nfsd ?biods ?ra_depth
+              ~clients config
+          in
+          let engine = Clusterfs.Topology.engine t in
+          let cfg id =
+            {
+              Workload.Iobench.default_config with
+              Workload.Iobench.file_mb;
+              path = client_path id;
+            }
+          in
+          (* non-FSW-first phase lists need the files to exist *)
+          (match phases with
+          | Workload.Iobench.FSW :: _ -> ()
+          | _ ->
+              Clusterfs.Topology.run_clients t (fun c ->
+                  Workload.Remote_iobench.prepare c.Clusterfs.Topology.mount
+                    (cfg c.Clusterfs.Topology.id));
+              cool_all t clients);
+          Printf.printf "\n%-6s %12s %12s %12s %12s\n" "phase" "agg KB/s"
+            "KB/s min" "KB/s mean" "KB/s max";
+          List.iter
+            (fun phase ->
+              let results =
+                Array.make clients
+                  {
+                    Workload.Iobench.kind = phase;
+                    bytes_moved = 0;
+                    elapsed = Sim.Time.zero;
+                    kb_per_sec = 0.;
+                    sys_cpu = Sim.Time.zero;
+                  }
+              in
+              Clusterfs.Topology.run_clients t (fun c ->
+                  results.(c.Clusterfs.Topology.id) <-
+                    Workload.Remote_iobench.run_phase ~engine
+                      ~cpu:c.Clusterfs.Topology.cpu c.Clusterfs.Topology.mount
+                      (cfg c.Clusterfs.Topology.id)
+                      phase);
+              cool_all t clients;
+              let bytes =
+                Array.fold_left
+                  (fun a r -> a + r.Workload.Iobench.bytes_moved)
+                  0 results
+              in
+              let window =
+                Array.fold_left
+                  (fun a r -> max a r.Workload.Iobench.elapsed)
+                  Sim.Time.zero results
+              in
+              let rates =
+                Array.map (fun r -> r.Workload.Iobench.kb_per_sec) results
+              in
+              let agg =
+                if window = Sim.Time.zero then 0.
+                else float_of_int bytes /. 1024. /. Sim.Time.to_sec_float window
+              in
+              Printf.printf "%-6s %12.0f %12.0f %12.0f %12.0f\n"
+                (Workload.Iobench.kind_to_string phase)
+                agg
+                (Array.fold_left min rates.(0) rates)
+                (Array.fold_left ( +. ) 0. rates /. float_of_int clients)
+                (Array.fold_left max rates.(0) rates))
+            phases;
+          if verbose then begin
+            Array.iter
+              (fun c ->
+                let id = c.Clusterfs.Topology.id in
+                let r = Nfs.Rpc.stats c.Clusterfs.Topology.rpc in
+                let s = Nfs.Client.stats c.Clusterfs.Topology.mount in
+                let l = Net.stats c.Clusterfs.Topology.link in
+                Printf.printf
+                  "\nclient %d: %d calls (%d retrans, %d late), link %d msgs \
+                   / %d KB, %d drops\n"
+                  id r.Nfs.Rpc.calls r.Nfs.Rpc.retransmits
+                  r.Nfs.Rpc.late_replies l.Net.msgs_sent
+                  (l.Net.bytes_sent / 1024) l.Net.drops;
+                Printf.printf
+                  "  cache: %d hits / %d misses, ra %d issued (%d used), %d \
+                   gathers, %d dirty sleeps\n"
+                  s.Nfs.Client.cache_hits s.Nfs.Client.cache_misses
+                  s.Nfs.Client.ra_issued s.Nfs.Client.ra_used
+                  s.Nfs.Client.write_gathers s.Nfs.Client.dirty_sleeps)
+              t.Clusterfs.Topology.clients;
+            let sv = Nfs.Server.stats t.Clusterfs.Topology.service in
+            Printf.printf
+              "\nserver: %d calls received, %d dup hits, %d busy drops, queue \
+               wait %.2f ms mean\n"
+              sv.Nfs.Server.received sv.Nfs.Server.dup_hits
+              sv.Nfs.Server.dup_busy_drops
+              (Sim.Stats.Summary.mean sv.Nfs.Server.queue_wait_us /. 1000.);
+            List.iter
+              (fun op ->
+                let n = Nfs.Server.applied t.Clusterfs.Topology.service op in
+                if n > 0 then Printf.printf "  %-8s applied %6d\n" op n)
+              Nfs.Proto.op_names
+          end;
+          0)
+
+let config_t =
+  Arg.(
+    value & opt string "a" & info [ "config"; "c" ] ~doc:"Paper config: a, b, c or d.")
+
+let clients_t =
+  Arg.(value & opt int 1 & info [ "clients" ] ~doc:"Number of client nodes.")
+
+let nfsd_t =
+  Arg.(value & opt int 4 & info [ "nfsd" ] ~doc:"Server worker pool size.")
+
+let biods_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "biods" ] ~doc:"Client I/O daemons (default 4).")
+
+let ra_depth_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "ra-depth" ] ~doc:"Client read-ahead depth in clusters (default 2).")
+
+let file_mb_t =
+  Arg.(value & opt int 4 & info [ "file-mb" ] ~doc:"Per-client file size in MB.")
+
+let bandwidth_t =
+  Arg.(
+    value
+    & opt int 12_500
+    & info [ "bandwidth-kb" ] ~doc:"Link bandwidth in KB/s per client.")
+
+let latency_t =
+  Arg.(value & opt int 500 & info [ "latency-us" ] ~doc:"Link latency in us.")
+
+let loss_t =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "loss" ] ~doc:"Per-message drop probability, 0 <= p < 1.")
+
+let seed_t =
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Fault-injection seed.")
+
+let phases_t =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "phases" ]
+        ~doc:"Comma-separated subset of fsw,fsu,fsr,frr,fru (default fsw,fsr).")
+
+let verbose_t =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ] ~doc:"Print per-client, server and link statistics.")
+
+let cmd =
+  let doc = "IObench over simulated NFS: clustered UFS served to many clients" in
+  Cmd.v
+    (Cmd.info "nfsbench" ~doc)
+    Term.(
+      const run $ config_t $ clients_t $ nfsd_t $ biods_t $ ra_depth_t
+      $ file_mb_t $ bandwidth_t $ latency_t $ loss_t $ seed_t $ phases_t
+      $ verbose_t)
+
+let () = exit (Cmd.eval' cmd)

@@ -724,3 +724,232 @@ let vol_mirror ?(file_mb = 4) ?(readers = 4) () =
     scenario "mirror×3" (mirror 3) ~degrade:false;
     scenario "mirror×2 degraded" (mirror 2) ~degrade:true;
   ]
+
+(* ---------- NFS: the clustered UFS served over the wire ---------- *)
+
+type nfs_row = {
+  nfs_config : string;
+  local_fsr : float;
+  remote_fsr : float;
+  local_fsw : float;
+  remote_fsw : float;
+  remote_ra_issued : int;
+  read_rpcs : int;
+  write_rpcs : int;
+}
+
+let nfs_local_pair (config : Config.t) ~file_mb =
+  let m = Machine.create config in
+  let cfg = { Workload.Iobench.default_config with Workload.Iobench.file_mb } in
+  Machine.run m (fun m ->
+      let fs = m.Machine.fs in
+      let w = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSW in
+      let r = Workload.Iobench.run_phase fs cfg Workload.Iobench.FSR in
+      (r.Workload.Iobench.kb_per_sec, w.Workload.Iobench.kb_per_sec))
+
+(* Drop a file from the *server's* page cache: push its delayed writes,
+   invalidate its pages, reset its read-ahead state.  A remote write
+   phase leaves the whole file in server RAM; without this a following
+   remote read streams from server memory while the local baseline
+   reads cold from disk, and "remote vs local" measures cache warmth
+   instead of wire cost. *)
+let cool_server_file t path =
+  Topology.run t (fun t ->
+      let fs = t.Topology.server.Machine.fs in
+      let ip = Ufs.Fs.namei fs path in
+      Workload.Iobench.reset_file_state fs ip;
+      Ufs.Iops.iput fs ip)
+
+let nfs_remote_pair (config : Config.t) ~file_mb ~net =
+  let t = Topology.create ~net ~clients:1 config in
+  let cfg = { Workload.Iobench.default_config with Workload.Iobench.file_mb } in
+  let engine = Topology.engine t in
+  let w_out = ref 0. in
+  Topology.run_clients t (fun c ->
+      let w =
+        Workload.Remote_iobench.run_phase ~engine ~cpu:c.Topology.cpu
+          c.Topology.mount cfg Workload.Iobench.FSW
+      in
+      w_out := w.Workload.Iobench.kb_per_sec);
+  cool_server_file t cfg.Workload.Iobench.path;
+  let out = ref (0., 0., 0, 0, 0) in
+  Topology.run_clients t (fun c ->
+      let r =
+        Workload.Remote_iobench.run_phase ~engine ~cpu:c.Topology.cpu
+          c.Topology.mount cfg Workload.Iobench.FSR
+      in
+      let st = Nfs.Client.stats c.Topology.mount in
+      out :=
+        ( r.Workload.Iobench.kb_per_sec,
+          !w_out,
+          st.Nfs.Client.ra_issued,
+          Nfs.Rpc.op_calls c.Topology.rpc "read",
+          Nfs.Rpc.op_calls c.Topology.rpc "write" ));
+  !out
+
+let nfs_local_vs_remote ?(file_mb = 8) ?(configs = Config.all_figure9)
+    ?(net = Net.default_config) () =
+  List.map
+    (fun (config : Config.t) ->
+      let lr, lw = nfs_local_pair config ~file_mb in
+      let rr, rw, ra, reads, writes =
+        nfs_remote_pair
+          (Config.with_name config (config.Config.name ^ ".nfs"))
+          ~file_mb ~net
+      in
+      {
+        nfs_config = config.Config.name;
+        local_fsr = lr;
+        remote_fsr = rr;
+        local_fsw = lw;
+        remote_fsw = rw;
+        remote_ra_issued = ra;
+        read_rpcs = reads;
+        write_rpcs = writes;
+      })
+    configs
+
+type nfs_scale_row = {
+  sc_clients : int;
+  sc_nfsd : int;
+  sc_bandwidth_mb : float;
+  aggregate_kb_per_sec : float;
+  per_client_kb_per_sec : float;
+  sc_retransmits : int;
+  server_queue_wait_ms : float;
+}
+
+(* A shared-Ethernet-class client link (1991: 10 Mbit/s Ethernet shared
+   among the machine room) — slower than the server's disk, so a single
+   client is link-limited and aggregate throughput climbs with the
+   client count until the disk saturates.  On the default fast link one
+   streaming client already saturates the disk and more clients only
+   add seek interference. *)
+let nfs_scale_net = { Net.default_config with Net.bandwidth = 600_000 }
+
+let nfs_scaling ?(file_mb = 2) ?(nfsd = 4) ?(net = nfs_scale_net)
+    ?(config = Config.config_a) ~clients () =
+  let config =
+    Config.with_name config
+      (Printf.sprintf "%s.n%d.d%d.bw%dk" config.Config.name clients nfsd
+         (net.Net.bandwidth / 1024))
+  in
+  (* under saturation the server queue can exceed the default 1.1 s
+     retransmission timeout; a congested-server mount runs with timeo
+     raised so queueing is not mistaken for loss *)
+  let t =
+    Topology.create ~net ~nfsd ~rpc_timeout:(Sim.Time.ms 4000) ~clients config
+  in
+  let engine = Topology.engine t in
+  let scale_cfg id =
+    {
+      Workload.Iobench.default_config with
+      Workload.Iobench.file_mb;
+      path = Printf.sprintf "/scale%d" id;
+    }
+  in
+  Topology.run_clients t (fun c ->
+      Workload.Remote_iobench.prepare c.Topology.mount
+        (scale_cfg c.Topology.id));
+  for id = 0 to clients - 1 do
+    cool_server_file t (scale_cfg id).Workload.Iobench.path
+  done;
+  (* all streams spawn at the same instant, so the timed window holds
+     exactly [clients] concurrent readers against a cold server *)
+  let t_start = Sim.Engine.now engine in
+  let finishes = Array.make clients Sim.Time.zero in
+  let bytes = Array.make clients 0 in
+  Topology.run_clients t (fun c ->
+      let id = c.Topology.id in
+      let r =
+        Workload.Remote_iobench.run_phase ~engine ~cpu:c.Topology.cpu
+          c.Topology.mount (scale_cfg id) Workload.Iobench.FSR
+      in
+      bytes.(id) <- r.Workload.Iobench.bytes_moved;
+      finishes.(id) <- Sim.Engine.now engine);
+  let total_bytes = Array.fold_left ( + ) 0 bytes in
+  let wall = Array.fold_left max Sim.Time.zero finishes - t_start in
+  let aggregate =
+    if wall = 0 then 0.
+    else float_of_int total_bytes /. 1024. /. Sim.Time.to_sec_float wall
+  in
+  let retrans =
+    Array.fold_left
+      (fun acc c -> acc + (Nfs.Rpc.stats c.Topology.rpc).Nfs.Rpc.retransmits)
+      0 t.Topology.clients
+  in
+  {
+    sc_clients = clients;
+    sc_nfsd = nfsd;
+    sc_bandwidth_mb = float_of_int net.Net.bandwidth /. 1024. /. 1024.;
+    aggregate_kb_per_sec = aggregate;
+    per_client_kb_per_sec = aggregate /. float_of_int clients;
+    sc_retransmits = retrans;
+    server_queue_wait_ms =
+      Sim.Stats.Summary.mean
+        (Nfs.Server.stats t.Topology.service).Nfs.Server.queue_wait_us
+      /. 1000.;
+  }
+
+type nfs_loss_row = {
+  loss_pct : float;
+  goodput_kb_per_sec : float;
+  zl_retransmits : int;
+  zl_drops : int;
+  zl_dup_hits : int;
+  creates_applied : int;
+  creates_issued : int;
+  writes_applied : int;
+  writes_issued : int;
+}
+
+let nfs_loss ?(file_mb = 1) ?(losses = [ 0.; 0.001; 0.01; 0.05 ]) () =
+  List.map
+    (fun loss ->
+      let config =
+        Config.with_name Config.config_a
+          (Printf.sprintf "A.loss%g" (loss *. 100.))
+      in
+      let t =
+        Topology.create
+          ~net:(Net.lossy Net.default_config loss)
+          ~clients:1 config
+      in
+      let engine = Topology.engine t in
+      let cfg =
+        {
+          Workload.Iobench.default_config with
+          Workload.Iobench.file_mb;
+          path = "/lossy";
+        }
+      in
+      let moved = ref 0 in
+      let spent = ref Sim.Time.zero in
+      let run c k =
+        Workload.Remote_iobench.run_phase ~engine ~cpu:c.Topology.cpu
+          c.Topology.mount cfg k
+      in
+      Topology.run_clients t (fun c ->
+          let w = run c Workload.Iobench.FSW in
+          moved := w.Workload.Iobench.bytes_moved;
+          spent := w.Workload.Iobench.elapsed);
+      cool_server_file t cfg.Workload.Iobench.path;
+      Topology.run_clients t (fun c ->
+          let r = run c Workload.Iobench.FSR in
+          moved := !moved + r.Workload.Iobench.bytes_moved;
+          spent := !spent + r.Workload.Iobench.elapsed);
+      let c = t.Topology.clients.(0) in
+      {
+        loss_pct = loss *. 100.;
+        goodput_kb_per_sec =
+          (if !spent = 0 then 0.
+           else float_of_int !moved /. 1024. /. Sim.Time.to_sec_float !spent);
+        zl_retransmits = (Nfs.Rpc.stats c.Topology.rpc).Nfs.Rpc.retransmits;
+        zl_drops = (Net.stats c.Topology.link).Net.drops;
+        zl_dup_hits = (Nfs.Server.stats t.Topology.service).Nfs.Server.dup_hits;
+        creates_applied = Nfs.Server.applied t.Topology.service "create";
+        creates_issued = Nfs.Rpc.op_calls c.Topology.rpc "create";
+        writes_applied = Nfs.Server.applied t.Topology.service "write";
+        writes_issued = Nfs.Rpc.op_calls c.Topology.rpc "write";
+      })
+    losses

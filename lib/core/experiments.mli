@@ -151,3 +151,74 @@ val vol_mirror :
     second copy.  Expect read scaling with mirror width, writes at
     roughly the one-disk rate (every copy must land), and the degraded
     mirror back at one-disk read throughput. *)
+
+(* ---------- NFS over the simulated network ---------- *)
+
+type nfs_row = {
+  nfs_config : string;
+  local_fsr : float;  (** KB/s on the server's own UFS *)
+  remote_fsr : float;  (** KB/s through the mount, zero-loss link *)
+  local_fsw : float;
+  remote_fsw : float;
+  remote_ra_issued : int;  (** biod read-ahead clusters issued *)
+  read_rpcs : int;  (** READ calls the remote FSR+FSW pair cost *)
+  write_rpcs : int;
+}
+
+val nfs_local_vs_remote :
+  ?file_mb:int -> ?configs:Config.t list -> ?net:Net.config -> unit ->
+  nfs_row list
+(** The tentpole table: IObench FSR/FSW locally on each config's
+    machine vs remotely through a one-client topology on a zero-loss
+    link.  With client-side clustering working, config A's remote
+    streams move cluster-sized RPCs ([read_rpcs] ~ file / 120 KB) and
+    remote FSR holds most of local FSR; without it (configs B-D the
+    client still clusters — the {e server} is what changes) the gap
+    shows where the time went. *)
+
+type nfs_scale_row = {
+  sc_clients : int;
+  sc_nfsd : int;
+  sc_bandwidth_mb : float;
+  aggregate_kb_per_sec : float;  (** all streams, concurrent window *)
+  per_client_kb_per_sec : float;
+  sc_retransmits : int;
+  server_queue_wait_ms : float;  (** mean request wait for an nfsd *)
+}
+
+val nfs_scale_net : Net.config
+(** The default scaling link: shared-Ethernet-class, 600 KB/s — slower
+    than the server disk, so one client is link-limited and the
+    aggregate has room to grow. *)
+
+val nfs_scaling :
+  ?file_mb:int -> ?nfsd:int -> ?net:Net.config -> ?config:Config.t ->
+  clients:int -> unit -> nfs_scale_row
+(** [clients] concurrent streaming readers, each of its own file,
+    spawned at the same instant after an untimed prepare and a
+    server-cache cool-down.  On {!nfs_scale_net} links aggregate
+    throughput grows with the client count until the server disk
+    saturates; on faster links one client already saturates the disk
+    and extra clients only add seek interference.  The mount runs with
+    a raised retransmission timeout so server queueing under
+    saturation is not mistaken for loss. *)
+
+type nfs_loss_row = {
+  loss_pct : float;
+  goodput_kb_per_sec : float;  (** application bytes over elapsed *)
+  zl_retransmits : int;
+  zl_drops : int;  (** messages the link ate (both directions) *)
+  zl_dup_hits : int;  (** retransmits answered from the dup cache *)
+  creates_applied : int;
+  creates_issued : int;
+  writes_applied : int;
+  writes_issued : int;
+}
+
+val nfs_loss : ?file_mb:int -> ?losses:float list -> unit -> nfs_loss_row list
+(** FSW + FSR through one lossy link per row (default 0 / 0.1 / 1 / 5 %
+    drop probability).  The invariant on display: however many
+    retransmissions the loss forces, [creates_applied = creates_issued]
+    and [writes_applied = writes_issued] — the duplicate-request cache
+    absorbs every replay — while goodput degrades but never reaches
+    zero (hard-mount retry). *)

@@ -1,0 +1,104 @@
+type client = {
+  id : int;
+  cpu : Sim.Cpu.t;
+  link : Nfs.Proto.msg Net.t;
+  rpc : Nfs.Rpc.t;
+  mount : Nfs.Client.t;
+}
+
+type t = {
+  server : Machine.t;
+  service : Nfs.Server.t;
+  clients : client array;
+}
+
+let create ?(net = Net.default_config) ?(seed = 0) ?(nfsd = 4) ?biods
+    ?ra_depth ?dirty_limit ?rpc_timeout ~clients config =
+  let server = Machine.create config in
+  let engine = server.Machine.engine in
+  let nodes =
+    Array.init clients (fun id ->
+        let cpu = Sim.Cpu.create engine in
+        let link =
+          Net.create ~seed:(seed + id)
+            ~name:(Printf.sprintf "link.%d" id)
+            engine net ~a_cpu:cpu ~b_cpu:server.Machine.cpu
+        in
+        (id, cpu, link))
+  in
+  let service =
+    Nfs.Server.create engine ~cpu:server.Machine.cpu ~fs:server.Machine.fs
+      ~nfsd
+      ~endpoints:(Array.to_list (Array.map (fun (_, _, l) -> Net.b_end l) nodes))
+      ()
+  in
+  let clients =
+    Array.map
+      (fun (id, cpu, link) ->
+        let rpc =
+          Nfs.Rpc.create engine ~cpu ~ep:(Net.a_end link) ~client_id:id
+            ?timeout:rpc_timeout ()
+        in
+        let mount =
+          Nfs.Client.mount engine ~cpu ~rpc ?biods ?ra_depth ?dirty_limit ()
+        in
+        { id; cpu; link; rpc; mount })
+      nodes
+  in
+  let t = { server; service; clients } in
+  (match Machine.current_metrics_sink () with
+  | Some reg ->
+      let name = config.Config.name in
+      Nfs.Server.register_metrics service reg ~instance:(name ^ ".server");
+      Array.iter
+        (fun c ->
+          Net.register_metrics c.link reg
+            ~instance:(Printf.sprintf "%s.c%d.link" name c.id);
+          Nfs.Client.register_metrics c.mount reg
+            ~instance:(Printf.sprintf "%s.c%d" name c.id))
+        clients
+  | None -> ());
+  t
+
+let engine t = t.server.Machine.engine
+
+let run_clients t f =
+  let n = Array.length t.clients in
+  let completed = ref 0 in
+  let err = ref None in
+  Array.iter
+    (fun c ->
+      Sim.Engine.spawn (engine t)
+        ~name:(Printf.sprintf "client.%d" c.id)
+        (fun () ->
+          (try f c
+           with e ->
+             if !err = None then
+               err := Some (e, Printexc.get_raw_backtrace ()));
+          incr completed))
+    t.clients;
+  Sim.Engine.run (engine t);
+  (match !err with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  if !completed < n then
+    raise
+      (Sim.Engine.Deadlock
+         (Printf.sprintf "%d of %d client processes never completed"
+            (n - !completed) n))
+
+let run t f =
+  let result = ref None in
+  Sim.Engine.spawn (engine t) ~name:"experiment" (fun () ->
+      match f t with
+      | v -> result := Some (Ok v)
+      | exception e ->
+          result := Some (Error (e, Printexc.get_raw_backtrace ())));
+  Sim.Engine.run (engine t);
+  match !result with
+  | Some (Ok v) -> v
+  | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+  | None ->
+      raise
+        (Sim.Engine.Deadlock
+           "experiment process never completed (blocked forever)")

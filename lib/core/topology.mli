@@ -1,0 +1,60 @@
+(** A multi-machine setup: one server machine exporting its UFS over
+    NFS to [n] client nodes, each behind its own duplex {!Net} link.
+
+    Everything shares one {!Sim.Engine} (the server machine's), so a
+    topology is still a single deterministic simulation.  The server is
+    a full {!Machine} — its disk, page pool and pageout daemon behave
+    exactly as in local experiments, with an {!Nfs.Server} worker pool
+    on top.  Clients are light nodes: a CPU, an RPC channel and an
+    {!Nfs.Client} mount, but no local disk or UFS (their cache lives in
+    the mount).
+
+    When a metrics sink is installed ({!Machine.with_metrics_sink}),
+    the server machine, the NFS service, every link and every client
+    mount register themselves; instances are named
+    [<config>.server], [<config>.c<i>.link] and [<config>.c<i>]. *)
+
+type client = {
+  id : int;  (** 0-based; also the RPC client id *)
+  cpu : Sim.Cpu.t;
+  link : Nfs.Proto.msg Net.t;
+  rpc : Nfs.Rpc.t;
+  mount : Nfs.Client.t;
+}
+
+type t = {
+  server : Machine.t;
+  service : Nfs.Server.t;
+  clients : client array;
+}
+
+val create :
+  ?net:Net.config ->
+  ?seed:int ->
+  ?nfsd:int ->
+  ?biods:int ->
+  ?ra_depth:int ->
+  ?dirty_limit:int ->
+  ?rpc_timeout:Sim.Time.t ->
+  clients:int ->
+  Config.t ->
+  t
+(** Build the server from [Config.t] (mkfs + mount as {!Machine.create})
+    and attach [clients] nodes over per-client links.  [seed] (default 0)
+    derives each link's fault-injection stream ([seed + client id]).
+    [nfsd] sizes the server worker pool (default 4); [biods], [ra_depth]
+    and [dirty_limit] configure each client mount (see
+    {!Nfs.Client.mount}); [rpc_timeout] is the initial retransmission
+    timeout. *)
+
+val engine : t -> Sim.Engine.t
+
+val run_clients : t -> (client -> unit) -> unit
+(** Run [f] concurrently on every client node (one simulated process
+    per client), drive the engine until everything completes.  An
+    exception in any client is re-raised; a client blocked forever
+    raises {!Sim.Engine.Deadlock}. *)
+
+val run : t -> (t -> 'a) -> 'a
+(** Run a single driver process against the topology (the analogue of
+    {!Machine.run} — use {!run_clients} for symmetric load). *)

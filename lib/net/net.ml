@@ -1,0 +1,151 @@
+type config = {
+  bandwidth : int;
+  latency : Sim.Time.t;
+  loss : float;
+  spike_prob : float;
+  spike : Sim.Time.t;
+  per_msg_cpu : Sim.Time.t;
+  per_kb_cpu : Sim.Time.t;
+}
+
+let default_config =
+  {
+    bandwidth = 12_500_000;
+    latency = Sim.Time.us 500;
+    loss = 0.;
+    spike_prob = 0.;
+    spike = Sim.Time.ms 20;
+    per_msg_cpu = Sim.Time.us 50;
+    per_kb_cpu = Sim.Time.us 10;
+  }
+
+let lossy c p = { c with loss = p }
+
+type stats = {
+  mutable msgs_sent : int;
+  mutable bytes_sent : int;
+  mutable msgs_delivered : int;
+  mutable drops : int;
+  mutable spikes : int;
+  wire_wait_us : Sim.Stats.Summary.t;
+  transit_us : Sim.Stats.Summary.t;
+}
+
+let mk_stats () =
+  {
+    msgs_sent = 0;
+    bytes_sent = 0;
+    msgs_delivered = 0;
+    drops = 0;
+    spikes = 0;
+    wire_wait_us = Sim.Stats.Summary.create ();
+    transit_us = Sim.Stats.Summary.create ();
+  }
+
+(* One direction of the wire: its own serialization point and FIFO
+   arrival ordering, shared fault-injection RNG and stats with the
+   reverse direction. *)
+type 'a dir = {
+  mutable free_at : Sim.Time.t;  (** wire busy until *)
+  mutable last_arrival : Sim.Time.t;
+  inbox : 'a Queue.t;  (** the RECEIVING endpoint's mailbox *)
+  cond : Sim.Condition.t;
+}
+
+type 'a endpoint = {
+  engine : Sim.Engine.t;
+  cfg : config;
+  cpu : Sim.Cpu.t;  (** sender's CPU: serialization is charged here *)
+  out : 'a dir;  (** direction this endpoint transmits into *)
+  inc : 'a dir;  (** direction this endpoint receives from *)
+  rng : Sim.Rng.t;
+  st : stats;
+}
+
+type 'a t = { a : 'a endpoint; b : 'a endpoint; name : string }
+
+let mk_dir engine name =
+  {
+    free_at = Sim.Time.zero;
+    last_arrival = Sim.Time.zero;
+    inbox = Queue.create ();
+    cond = Sim.Condition.create engine name;
+  }
+
+let create ?(seed = 0) ?(name = "link") engine cfg ~a_cpu ~b_cpu =
+  if cfg.bandwidth <= 0 then invalid_arg "Net.create: bandwidth must be > 0";
+  if cfg.loss < 0. || cfg.loss >= 1. then
+    invalid_arg "Net.create: loss must be in [0, 1)";
+  let ab = mk_dir engine (name ^ ".ab") in
+  let ba = mk_dir engine (name ^ ".ba") in
+  let rng = Sim.Rng.create ~seed in
+  let st = mk_stats () in
+  let a = { engine; cfg; cpu = a_cpu; out = ab; inc = ba; rng; st } in
+  let b = { engine; cfg; cpu = b_cpu; out = ba; inc = ab; rng; st } in
+  { a; b; name }
+
+let a_end t = t.a
+let b_end t = t.b
+
+let xmit_time cfg ~size =
+  (* ceil(size / bandwidth) in integer microseconds *)
+  ((size * 1_000_000) + cfg.bandwidth - 1) / cfg.bandwidth
+
+let send ep ~size msg =
+  let cfg = ep.cfg in
+  Sim.Cpu.charge ep.cpu ~label:"net"
+    (cfg.per_msg_cpu + (cfg.per_kb_cpu * ((size + 1023) / 1024)));
+  let now = Sim.Engine.now ep.engine in
+  let dir = ep.out in
+  let start = max now dir.free_at in
+  let wire_wait = start - now in
+  dir.free_at <- start + xmit_time cfg ~size;
+  ep.st.msgs_sent <- ep.st.msgs_sent + 1;
+  ep.st.bytes_sent <- ep.st.bytes_sent + size;
+  Sim.Stats.Summary.add ep.st.wire_wait_us (float_of_int wire_wait);
+  (* fault injection: the draws happen at send time, in send order, so
+     a run is a pure function of the link seed and the traffic *)
+  let dropped = cfg.loss > 0. && Sim.Rng.float ep.rng 1.0 < cfg.loss in
+  let spiked =
+    cfg.spike_prob > 0. && Sim.Rng.float ep.rng 1.0 < cfg.spike_prob
+  in
+  if spiked then ep.st.spikes <- ep.st.spikes + 1;
+  if dropped then ep.st.drops <- ep.st.drops + 1
+  else begin
+    let arrival =
+      dir.free_at + cfg.latency + (if spiked then cfg.spike else Sim.Time.zero)
+    in
+    (* FIFO delivery: a spike on one message holds every later one
+       behind it *)
+    let arrival = max arrival dir.last_arrival in
+    dir.last_arrival <- arrival;
+    Sim.Engine.schedule ep.engine ~delay:(arrival - now) (fun () ->
+        Queue.push msg dir.inbox;
+        ep.st.msgs_delivered <- ep.st.msgs_delivered + 1;
+        Sim.Stats.Summary.add ep.st.transit_us (float_of_int (arrival - now));
+        Sim.Condition.signal dir.cond)
+  end
+
+let rec recv ep =
+  if Queue.is_empty ep.inc.inbox then begin
+    Sim.Condition.wait ep.inc.cond;
+    recv ep
+  end
+  else Queue.pop ep.inc.inbox
+
+let pending ep = Queue.length ep.inc.inbox
+
+let stats t = t.a.st
+
+let register_metrics t reg ~instance =
+  let s = t.a.st in
+  Sim.Metrics.register reg ~layer:"net" ~instance (fun () ->
+      [
+        ("msgs_sent", Sim.Metrics.Int s.msgs_sent);
+        ("bytes_sent", Sim.Metrics.Int s.bytes_sent);
+        ("msgs_delivered", Sim.Metrics.Int s.msgs_delivered);
+        ("drops", Sim.Metrics.Int s.drops);
+        ("delay_spikes", Sim.Metrics.Int s.spikes);
+        ("wire_wait_us", Sim.Metrics.Summary s.wire_wait_us);
+        ("transit_us", Sim.Metrics.Summary s.transit_us);
+      ])

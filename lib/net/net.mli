@@ -1,0 +1,85 @@
+(** Simulated network: point-to-point links on the {!Sim} engine.
+
+    A link is a duplex pipe between two endpoints (conventionally a
+    client machine and the server).  Each direction is modelled as a
+    serial wire: a message occupies the wire for [size / bandwidth],
+    then arrives [latency] later.  Delivery per direction is strictly
+    FIFO — a delay spike injected on one message pushes every later
+    message behind it, like a queue in a real switch.
+
+    Sending charges a per-message plus per-KB serialization cost to the
+    {e sender's} CPU (each endpoint is bound to its machine's
+    {!Sim.Cpu.t} at link creation), so protocol overhead contends with
+    the rest of that machine's work.
+
+    Fault injection is seeded and deterministic: each message is
+    dropped with probability [loss] (it still occupied the wire — the
+    bits were transmitted, nobody heard them), and delayed by [spike]
+    extra with probability [spike_prob].  Loss applies independently to
+    each direction, so a request/reply protocol above this layer sees
+    both lost calls and lost replies. *)
+
+type config = {
+  bandwidth : int;  (** wire rate, bytes of payload per second *)
+  latency : Sim.Time.t;  (** propagation delay, per message *)
+  loss : float;  (** per-message drop probability, [0, 1) *)
+  spike_prob : float;  (** per-message delay-spike probability *)
+  spike : Sim.Time.t;  (** extra delay when a spike fires *)
+  per_msg_cpu : Sim.Time.t;  (** serialization cost per message *)
+  per_kb_cpu : Sim.Time.t;  (** serialization cost per payload KB *)
+}
+
+val default_config : config
+(** A fast-Ethernet-class link: 12.5 MB/s, 500 us latency, no loss,
+    no spikes, 50 us + 10 us/KB serialization. *)
+
+val lossy : config -> float -> config
+(** [lossy c p] is [c] with drop probability [p]. *)
+
+type 'a endpoint
+(** One end of a link carrying messages of type ['a]. *)
+
+type 'a t
+(** A duplex link. *)
+
+val create :
+  ?seed:int -> ?name:string ->
+  Sim.Engine.t -> config -> a_cpu:Sim.Cpu.t -> b_cpu:Sim.Cpu.t -> 'a t
+(** Build a link; [seed] (default 0) drives the fault injection,
+    [name] appears in metrics and diagnostics. *)
+
+val a_end : 'a t -> 'a endpoint
+val b_end : 'a t -> 'a endpoint
+
+val send : 'a endpoint -> size:int -> 'a -> unit
+(** Transmit a message of [size] wire bytes toward the peer endpoint.
+    Charges serialization to the sender's CPU (must run inside a
+    simulation process), then occupies the wire and delivers — or
+    drops — asynchronously.  Returns once the message is on the wire,
+    not when it arrives. *)
+
+val recv : 'a endpoint -> 'a
+(** Block the calling process until a message arrives, then dequeue it
+    (FIFO). *)
+
+val pending : 'a endpoint -> int
+(** Messages delivered but not yet received. *)
+
+type stats = {
+  mutable msgs_sent : int;
+  mutable bytes_sent : int;
+  mutable msgs_delivered : int;
+  mutable drops : int;
+  mutable spikes : int;
+  wire_wait_us : Sim.Stats.Summary.t;
+      (** time each message waited for the wire (link-queue wait) *)
+  transit_us : Sim.Stats.Summary.t;
+      (** send-to-delivery time of delivered messages *)
+}
+
+val stats : 'a t -> stats
+(** Both directions combined. *)
+
+val register_metrics : 'a t -> Sim.Metrics.t -> instance:string -> unit
+(** Register the link's counters and wire-wait summaries as a ["net"]
+    source. *)

@@ -1,0 +1,572 @@
+let bsize = Ufs.Layout.bsize
+
+type stats = {
+  mutable read_calls : int;
+  mutable write_calls : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable ra_issued : int;
+  mutable ra_used : int;
+  mutable write_gathers : int;
+  mutable dirty_sleeps : int;
+  mutable attr_hits : int;
+  mutable attr_misses : int;
+  mutable evictions : int;
+  gather_bytes : Sim.Stats.Hist.t;
+}
+
+type cpage = {
+  pdata : bytes;
+  mutable pvalid : bool;
+  mutable pdirty : bool;
+  mutable pbusy : bool;  (** a fill RPC is in flight *)
+  mutable pprefetched : bool;
+  pcond : Sim.Condition.t;  (** unbusy waiters *)
+}
+
+type file = {
+  cl : t;
+  fh : Proto.fh;
+  mutable attr : Proto.attr;
+  mutable attr_at : Sim.Time.t option;  (** [None] = stale *)
+  mutable fsize : int;  (** client view: local writes extend it now *)
+  pages : (int, cpage) Hashtbl.t;  (** block offset -> page *)
+  (* read clustering state (client-side nextr / nextrio) *)
+  mutable nextr : int;
+  mutable nextrio : int;
+  (* write gathering (client-side delayoff / delaylen) *)
+  mutable delayoff : int;
+  mutable delaylen : int;
+  (* push bookkeeping *)
+  mutable pending_pushes : int;
+  mutable pushing : bool;  (** a WRITE RPC of this file is in flight *)
+  push_cond : Sim.Condition.t;
+}
+
+and job =
+  | Ra of file * int * int  (** read-ahead: file, offset, length *)
+  | Push of file * int * int * bytes  (** write-behind: file, off, len, data *)
+
+and t = {
+  engine : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  rpc : Rpc.t;
+  cluster : int;
+  ra_depth : int;
+  dirty_limit : int;
+  attr_ttl : Sim.Time.t;
+  cache_pages : int;
+  costs : Ufs.Costs.t;
+  jobs : job Queue.t;
+  work : Sim.Condition.t;
+  mutable dirty_bytes : int;  (** dirty pages + in-flight WRITE payloads *)
+  dirty_cond : Sim.Condition.t;
+  lru : (file * int) Queue.t;  (** eviction candidates, oldest first *)
+  mutable resident : int;
+  files : (string, file) Hashtbl.t;
+  st : stats;
+}
+
+let mk_stats () =
+  {
+    read_calls = 0;
+    write_calls = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    ra_issued = 0;
+    ra_used = 0;
+    write_gathers = 0;
+    dirty_sleeps = 0;
+    attr_hits = 0;
+    attr_misses = 0;
+    evictions = 0;
+    gather_bytes = Sim.Stats.Hist.create ();
+  }
+
+let charge t c = Sim.Cpu.charge t.cpu ~label:"nfs.client" c
+
+(* ---------- page cache ---------- *)
+
+(* Make room: pop eviction candidates until a valid, clean, idle page
+   turns up.  Entries can be stale (the page was already dropped) and
+   dirty/busy pages are skipped and re-queued; if one full sweep finds
+   nothing evictable the cache is allowed to grow past the cap. *)
+let evict_one t =
+  let attempts = ref (Queue.length t.lru) in
+  let evicted = ref false in
+  while (not !evicted) && !attempts > 0 do
+    decr attempts;
+    let f, po = Queue.pop t.lru in
+    match Hashtbl.find_opt f.pages po with
+    | None -> ()  (* stale entry *)
+    | Some p ->
+        if p.pvalid && (not p.pdirty) && not p.pbusy then begin
+          Hashtbl.remove f.pages po;
+          t.resident <- t.resident - 1;
+          t.st.evictions <- t.st.evictions + 1;
+          evicted := true
+        end
+        else Queue.push (f, po) t.lru
+  done
+
+let insert_page t f po =
+  if t.resident >= t.cache_pages then evict_one t;
+  let p =
+    {
+      pdata = Bytes.create bsize;
+      pvalid = false;
+      pdirty = false;
+      pbusy = false;
+      pprefetched = false;
+      pcond = Sim.Condition.create t.engine "nfs.page";
+    }
+  in
+  Hashtbl.replace f.pages po p;
+  Queue.push (f, po) t.lru;
+  t.resident <- t.resident + 1;
+  p
+
+(* Fetch [off, off+len) into the cache with one READ RPC, filling only
+   the pages this call claimed (pages already valid or being filled by
+   someone else are left alone).  Pages past the server's EOF are
+   dropped again.  Runs in whatever process called it: the reader for
+   a demand miss, a biod for read-ahead. *)
+let fetch_range t f ~off ~len ~prefetched =
+  let claims = ref [] in
+  let po = ref off in
+  while !po < off + len do
+    (match Hashtbl.find_opt f.pages !po with
+    | Some p when p.pvalid || p.pbusy -> ()
+    | Some p ->
+        p.pbusy <- true;
+        claims := (!po, p) :: !claims
+    | None ->
+        let p = insert_page t f !po in
+        p.pbusy <- true;
+        claims := (!po, p) :: !claims);
+    po := !po + bsize
+  done;
+  match List.rev !claims with
+  | [] -> ()
+  | claims ->
+      let lo = List.fold_left (fun a (po, _) -> min a po) max_int claims in
+      let hi = List.fold_left (fun a (po, _) -> max a (po + bsize)) 0 claims in
+      let data, _eof =
+        match Rpc.call t.rpc (Proto.Read { fh = f.fh; off = lo; len = hi - lo }) with
+        | Proto.R_read { data; eof } -> (data, eof)
+        | Proto.R_err e -> failwith ("nfs read: " ^ e)
+        | _ -> assert false
+      in
+      let n = Bytes.length data in
+      List.iter
+        (fun (po, p) ->
+          let k = po - lo in
+          if k < n then begin
+            let avail = min bsize (n - k) in
+            Bytes.blit data k p.pdata 0 avail;
+            if avail < bsize then
+              Bytes.fill p.pdata avail (bsize - avail) '\000';
+            p.pvalid <- true;
+            p.pprefetched <- prefetched
+          end
+          else begin
+            (* past server EOF: forget the placeholder *)
+            Hashtbl.remove f.pages po;
+            t.resident <- t.resident - 1
+          end;
+          p.pbusy <- false;
+          Sim.Condition.broadcast p.pcond)
+        claims
+
+(* ---------- biod pool ---------- *)
+
+let do_push t f ~len ~call =
+  (* WRITE pushes of one file are strictly serialized: with
+     retransmission in play, two overlapping writes in flight could
+     land in either order on the server.  Waiters resume FIFO, so the
+     dispatch order (= write order) is preserved. *)
+  while f.pushing do
+    Sim.Condition.wait f.push_cond
+  done;
+  f.pushing <- true;
+  (match Rpc.call t.rpc call with
+  | Proto.R_attr _ -> ()
+  | Proto.R_err e -> failwith ("nfs write: " ^ e)
+  | _ -> assert false);
+  f.pushing <- false;
+  t.dirty_bytes <- t.dirty_bytes - len;
+  f.pending_pushes <- f.pending_pushes - 1;
+  Sim.Condition.broadcast t.dirty_cond;
+  Sim.Condition.broadcast f.push_cond
+
+let biod t () =
+  while true do
+    while Queue.is_empty t.jobs do
+      Sim.Condition.wait t.work
+    done;
+    match Queue.pop t.jobs with
+    | Ra (f, off, len) -> fetch_range t f ~off ~len ~prefetched:true
+    | Push (f, off, len, data) ->
+        do_push t f ~len ~call:(Proto.Write { fh = f.fh; off; data })
+  done
+
+let enqueue t job =
+  Queue.push job t.jobs;
+  Sim.Condition.signal t.work
+
+(* ---------- mount / namespace ---------- *)
+
+let mount engine ~cpu ~rpc ?(biods = 4) ?(cluster_bytes = 120 * 1024)
+    ?(ra_depth = 2) ?(dirty_limit = 240 * 1024)
+    ?(attr_ttl = Sim.Time.sec 3) ?(cache_pages = 1024)
+    ?(costs = Ufs.Costs.default) () =
+  let t =
+    {
+      engine;
+      cpu;
+      rpc;
+      cluster = cluster_bytes;
+      ra_depth;
+      dirty_limit;
+      attr_ttl;
+      cache_pages;
+      costs;
+      jobs = Queue.create ();
+      work = Sim.Condition.create engine "biod.work";
+      dirty_bytes = 0;
+      dirty_cond = Sim.Condition.create engine "nfs.dirty";
+      lru = Queue.create ();
+      resident = 0;
+      files = Hashtbl.create 16;
+      st = mk_stats ();
+    }
+  in
+  for i = 1 to biods do
+    Sim.Engine.spawn engine ~name:(Printf.sprintf "biod.%d" i) (fun () ->
+        biod t ())
+  done;
+  t
+
+let mk_file t ~fh ~name ~(attr : Proto.attr) =
+  let f =
+    {
+      cl = t;
+      fh;
+      attr;
+      attr_at = Some (Sim.Engine.now t.engine);
+      fsize = attr.Proto.size;
+      pages = Hashtbl.create 64;
+      nextr = 0;
+      nextrio = 0;
+      delayoff = 0;
+      delaylen = 0;
+      pending_pushes = 0;
+      pushing = false;
+      push_cond = Sim.Condition.create t.engine ("push." ^ name);
+    }
+  in
+  Hashtbl.replace t.files name f;
+  f
+
+(* NFS names are entries in the exported root directory; accept a
+   "/name" spelling too so callers can't miss the server by passing the
+   path form. *)
+let basename name =
+  if String.length name > 0 && name.[0] = '/' then
+    String.sub name 1 (String.length name - 1)
+  else name
+
+let lookup t name =
+  let name = basename name in
+  charge t t.costs.Ufs.Costs.syscall;
+  match Hashtbl.find_opt t.files name with
+  | Some f -> Some f
+  | None -> (
+      match Rpc.call t.rpc (Proto.Lookup { dir = Proto.root_fh; name }) with
+      | Proto.R_fh { fh; attr } -> Some (mk_file t ~fh ~name ~attr)
+      | Proto.R_err _ -> None
+      | _ -> assert false)
+
+let readdir t =
+  charge t t.costs.Ufs.Costs.syscall;
+  match Rpc.call t.rpc (Proto.Readdir { fh = Proto.root_fh }) with
+  | Proto.R_names names -> names
+  | Proto.R_err e -> failwith ("nfs readdir: " ^ e)
+  | _ -> assert false
+
+(* ---------- attributes ---------- *)
+
+let getattr f =
+  let t = f.cl in
+  let fresh =
+    match f.attr_at with
+    | Some ts -> Sim.Engine.now t.engine - ts <= t.attr_ttl
+    | None -> false
+  in
+  if fresh then begin
+    t.st.attr_hits <- t.st.attr_hits + 1;
+    f.attr
+  end
+  else begin
+    t.st.attr_misses <- t.st.attr_misses + 1;
+    match Rpc.call t.rpc (Proto.Getattr { fh = f.fh }) with
+    | Proto.R_attr a ->
+        f.attr <- a;
+        f.attr_at <- Some (Sim.Engine.now t.engine);
+        (* dirty or in-flight local writes may be ahead of the server's
+           size — never let a stale server attr shrink our view *)
+        f.fsize <-
+          (if f.pending_pushes > 0 || f.delaylen > 0 then
+             max f.fsize a.Proto.size
+           else a.Proto.size);
+        a
+    | Proto.R_err e -> failwith ("nfs getattr: " ^ e)
+    | _ -> assert false
+  end
+
+let size f = f.fsize
+
+(* ---------- read ---------- *)
+
+(* Keep [ra_depth] clusters in flight beyond the reader's position. *)
+let schedule_readahead t f ~po =
+  if f.nextrio < po + t.cluster then f.nextrio <- po + t.cluster;
+  let window_end = po + ((t.ra_depth + 1) * t.cluster) in
+  while f.nextrio < window_end && f.nextrio < f.fsize do
+    let len = min t.cluster (f.fsize - f.nextrio) in
+    t.st.ra_issued <- t.st.ra_issued + 1;
+    enqueue t (Ra (f, f.nextrio, len));
+    f.nextrio <- f.nextrio + t.cluster
+  done
+
+(* The page at [po], fetching on a miss: a whole cluster when the
+   stream looks sequential, a single block when it doesn't.  [None]
+   when the server's file ends before [po]. *)
+let rec ensure_resident t f ~po ~seq ~retried =
+  match Hashtbl.find_opt f.pages po with
+  | Some p when p.pvalid ->
+      if not retried then t.st.cache_hits <- t.st.cache_hits + 1;
+      if p.pprefetched then begin
+        t.st.ra_used <- t.st.ra_used + 1;
+        p.pprefetched <- false
+      end;
+      Some p
+  | Some p when p.pbusy ->
+      Sim.Condition.wait p.pcond;
+      ensure_resident t f ~po ~seq ~retried
+  | _ ->
+      if retried then None
+      else begin
+        t.st.cache_misses <- t.st.cache_misses + 1;
+        let len =
+          if seq then min t.cluster (max bsize (f.fsize - po)) else bsize
+        in
+        fetch_range t f ~off:po ~len ~prefetched:false;
+        ensure_resident t f ~po ~seq ~retried:true
+      end
+
+let read f ~off ~buf ~len =
+  let t = f.cl in
+  t.st.read_calls <- t.st.read_calls + 1;
+  charge t t.costs.Ufs.Costs.syscall;
+  ignore (getattr f);
+  let total = ref 0 in
+  let cur = ref off in
+  let continue = ref true in
+  while !continue && !total < len && !cur < f.fsize do
+    let po = !cur - (!cur mod bsize) in
+    let n = min (len - !total) (min (bsize - (!cur - po)) (f.fsize - !cur)) in
+    if n <= 0 then continue := false
+    else begin
+      (* sequentiality judged before nextr advances, as in ufs_rdwr *)
+      let seq = f.nextr = po || (!cur > po && f.nextr = po + bsize) in
+      charge t t.costs.Ufs.Costs.map_block;
+      (match ensure_resident t f ~po ~seq ~retried:false with
+      | None -> continue := false
+      | Some p ->
+          charge t (Ufs.Costs.copy_cost t.costs ~bytes:n);
+          Bytes.blit p.pdata (!cur - po) buf !total n;
+          f.nextr <- po + bsize;
+          if seq then schedule_readahead t f ~po;
+          total := !total + n;
+          cur := !cur + n)
+    end
+  done;
+  !total
+
+(* ---------- write ---------- *)
+
+let flush_gather t f =
+  if f.delaylen > 0 then begin
+    (* the run is block-granular; the file may end mid-block *)
+    let off = f.delayoff in
+    let len = min f.delaylen (f.fsize - off) in
+    f.delayoff <- 0;
+    f.delaylen <- 0;
+    let data = Bytes.create len in
+    let po = ref off in
+    while !po < off + len do
+      (match Hashtbl.find_opt f.pages !po with
+      | Some p when p.pvalid ->
+          let n = min bsize (off + len - !po) in
+          Bytes.blit p.pdata 0 data (!po - off) n;
+          (* the payload now owns the bytes; the page is clean *)
+          p.pdirty <- false
+      | _ -> assert false);
+      po := !po + bsize
+    done;
+    f.pending_pushes <- f.pending_pushes + 1;
+    t.st.write_gathers <- t.st.write_gathers + 1;
+    Sim.Stats.Hist.add t.st.gather_bytes len;
+    enqueue t (Push (f, off, len, data))
+  end
+
+let write f ~off ~buf ~len =
+  let t = f.cl in
+  t.st.write_calls <- t.st.write_calls + 1;
+  charge t t.costs.Ufs.Costs.syscall;
+  let cur = ref off in
+  let copied = ref 0 in
+  while !copied < len do
+    let po = !cur - (!cur mod bsize) in
+    let n = min (len - !copied) (bsize - (!cur - po)) in
+    (* dirty cap: the write-limit analogue.  Flushing the current run
+       first guarantees in-flight bytes exist to wait on. *)
+    while t.dirty_bytes >= t.dirty_limit do
+      flush_gather t f;
+      t.st.dirty_sleeps <- t.st.dirty_sleeps + 1;
+      Sim.Condition.wait t.dirty_cond
+    done;
+    let page =
+      match Hashtbl.find_opt f.pages po with
+      | Some p when p.pvalid -> p
+      | Some p when p.pbusy ->
+          (* a fill is in flight; wait it out rather than racing it *)
+          while p.pbusy do
+            Sim.Condition.wait p.pcond
+          done;
+          p
+      | _ ->
+          let partial = not (!cur = po && n = bsize) in
+          if partial && po < f.fsize then begin
+            (* read-modify-write of a block the server already has *)
+            fetch_range t f ~off:po ~len:bsize ~prefetched:false;
+            match Hashtbl.find_opt f.pages po with
+            | Some p when p.pvalid -> p
+            | _ ->
+                let p = insert_page t f po in
+                Bytes.fill p.pdata 0 bsize '\000';
+                p.pvalid <- true;
+                p
+          end
+          else begin
+            let p = insert_page t f po in
+            Bytes.fill p.pdata 0 bsize '\000';
+            p.pvalid <- true;
+            p
+          end
+    in
+    if not page.pdirty then begin
+      page.pdirty <- true;
+      t.dirty_bytes <- t.dirty_bytes + bsize
+    end;
+    charge t t.costs.Ufs.Costs.map_block;
+    charge t (Ufs.Costs.copy_cost t.costs ~bytes:n);
+    Bytes.blit buf !copied page.pdata (!cur - po) n;
+    if !cur + n > f.fsize then f.fsize <- !cur + n;
+    (* gather: extend the run while the stream stays contiguous *)
+    if f.delaylen = 0 then begin
+      f.delayoff <- po;
+      f.delaylen <- bsize
+    end
+    else if po = f.delayoff + f.delaylen then f.delaylen <- f.delaylen + bsize
+    else if po >= f.delayoff && po < f.delayoff + f.delaylen then ()
+      (* rewrite inside the current run: already gathered *)
+    else begin
+      flush_gather t f;
+      f.delayoff <- po;
+      f.delaylen <- bsize
+    end;
+    if f.delaylen >= t.cluster then flush_gather t f;
+    copied := !copied + n;
+    cur := !cur + n
+  done
+
+let fsync f =
+  let t = f.cl in
+  flush_gather t f;
+  while f.pending_pushes > 0 do
+    Sim.Condition.wait f.push_cond
+  done
+
+let create t name =
+  let name = basename name in
+  charge t t.costs.Ufs.Costs.syscall;
+  (* Re-creating an open file: settle every outstanding WRITE first, or
+     a queued push could race the CREATE and land after the truncation. *)
+  (match Hashtbl.find_opt t.files name with
+  | Some f -> fsync f
+  | None -> ());
+  match Rpc.call t.rpc (Proto.Create { dir = Proto.root_fh; name }) with
+  | Proto.R_fh { fh; attr } -> (
+      match Hashtbl.find_opt t.files name with
+      | Some f ->
+          (* creat truncates: drop the cached pages and predictor state *)
+          let n = Hashtbl.length f.pages in
+          Hashtbl.reset f.pages;
+          t.resident <- t.resident - n;
+          f.nextr <- 0;
+          f.nextrio <- 0;
+          f.delayoff <- 0;
+          f.delaylen <- 0;
+          f.attr <- attr;
+          f.attr_at <- Some (Sim.Engine.now t.engine);
+          f.fsize <- attr.Proto.size;
+          f
+      | None -> mk_file t ~fh ~name ~attr)
+  | Proto.R_err e -> failwith ("nfs create: " ^ e)
+  | _ -> assert false
+
+let invalidate f =
+  let t = f.cl in
+  fsync f;
+  let n = Hashtbl.length f.pages in
+  Hashtbl.reset f.pages;
+  t.resident <- t.resident - n;
+  f.nextr <- 0;
+  f.nextrio <- 0;
+  f.delayoff <- 0;
+  f.delaylen <- 0;
+  f.attr_at <- None
+
+let stats t = t.st
+
+let register_metrics t reg ~instance =
+  Sim.Metrics.register reg ~layer:"nfs" ~instance (fun () ->
+      let rpc = Rpc.stats t.rpc in
+      let per_op =
+        List.concat_map
+          (fun op ->
+            [
+              (op ^ "_calls", Sim.Metrics.Int (Rpc.op_calls t.rpc op));
+              (op ^ "_rtt_us", Sim.Metrics.Summary (Rpc.rtt_of t.rpc op));
+            ])
+          Proto.op_names
+      in
+      [
+        ("read_calls", Sim.Metrics.Int t.st.read_calls);
+        ("write_calls", Sim.Metrics.Int t.st.write_calls);
+        ("cache_hits", Sim.Metrics.Int t.st.cache_hits);
+        ("cache_misses", Sim.Metrics.Int t.st.cache_misses);
+        ("ra_issued", Sim.Metrics.Int t.st.ra_issued);
+        ("ra_used", Sim.Metrics.Int t.st.ra_used);
+        ("write_gathers", Sim.Metrics.Int t.st.write_gathers);
+        ("gather_bytes", Sim.Metrics.Hist t.st.gather_bytes);
+        ("dirty_sleeps", Sim.Metrics.Int t.st.dirty_sleeps);
+        ("attr_hits", Sim.Metrics.Int t.st.attr_hits);
+        ("attr_misses", Sim.Metrics.Int t.st.attr_misses);
+        ("evictions", Sim.Metrics.Int t.st.evictions);
+        ("rpc_retransmits", Sim.Metrics.Int rpc.Rpc.retransmits);
+        ("rpc_late_replies", Sim.Metrics.Int rpc.Rpc.late_replies);
+      ]
+      @ per_op)

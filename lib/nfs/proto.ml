@@ -1,0 +1,62 @@
+type fh = int
+
+let root_fh = Ufs.Types.rootino
+
+type attr = { size : int; is_dir : bool }
+
+type call =
+  | Lookup of { dir : fh; name : string }
+  | Create of { dir : fh; name : string }
+  | Getattr of { fh : fh }
+  | Read of { fh : fh; off : int; len : int }
+  | Write of { fh : fh; off : int; data : bytes }
+  | Readdir of { fh : fh }
+
+type reply =
+  | R_fh of { fh : fh; attr : attr }
+  | R_attr of attr
+  | R_read of { data : bytes; eof : bool }
+  | R_names of string list
+  | R_err of string
+
+type msg =
+  | Call of { xid : int; client : int; call : call }
+  | Reply of { xid : int; client : int; reply : reply }
+
+(* RPC + XDR framing: credentials, verifier, program/proc numbers.
+   Small against an 8 KB block, noticeable against a GETATTR. *)
+let header_bytes = 128
+
+let call_size = function
+  | Lookup { name; _ } | Create { name; _ } ->
+      header_bytes + 8 + String.length name
+  | Getattr _ -> header_bytes + 8
+  | Read _ -> header_bytes + 24
+  | Write { data; _ } -> header_bytes + 24 + Bytes.length data
+  | Readdir _ -> header_bytes + 16
+
+let attr_bytes = 32
+
+let reply_size = function
+  | R_fh _ -> header_bytes + 8 + attr_bytes
+  | R_attr _ -> header_bytes + attr_bytes
+  | R_read { data; _ } -> header_bytes + 8 + attr_bytes + Bytes.length data
+  | R_names names ->
+      List.fold_left
+        (fun acc n -> acc + 8 + String.length n)
+        header_bytes names
+  | R_err _ -> header_bytes + 4
+
+let msg_size = function
+  | Call { call; _ } -> call_size call
+  | Reply { reply; _ } -> reply_size reply
+
+let op_name = function
+  | Lookup _ -> "lookup"
+  | Create _ -> "create"
+  | Getattr _ -> "getattr"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Readdir _ -> "readdir"
+
+let op_names = [ "lookup"; "create"; "getattr"; "read"; "write"; "readdir" ]

@@ -1,0 +1,53 @@
+(** The wire protocol: an NFSv2-shaped stateless file service.
+
+    File handles are server inode numbers.  READ replies and WRITE
+    calls carry real bytes — the data a client reads back through the
+    network is the data that lives in the server's UFS image, so
+    content checks (the duplicate-apply property tests) are real.
+
+    [call_size]/[reply_size] give the wire size of each message: a
+    fixed RPC header plus the payload, which is what the {!Net} layer
+    charges to the wire and to the sender's CPU. *)
+
+type fh = int
+(** Server inode number. *)
+
+val root_fh : fh
+(** The exported root directory (the server pins this mapping). *)
+
+type attr = { size : int; is_dir : bool }
+
+type call =
+  | Lookup of { dir : fh; name : string }
+  | Create of { dir : fh; name : string }
+      (** creates or truncates, like creat(2) — deliberately
+          non-idempotent so the duplicate-request cache is load-bearing *)
+  | Getattr of { fh : fh }
+  | Read of { fh : fh; off : int; len : int }
+  | Write of { fh : fh; off : int; data : bytes }
+  | Readdir of { fh : fh }
+
+type reply =
+  | R_fh of { fh : fh; attr : attr }  (** lookup / create *)
+  | R_attr of attr  (** getattr / write *)
+  | R_read of { data : bytes; eof : bool }
+  | R_names of string list  (** readdir *)
+  | R_err of string  (** errno name *)
+
+type msg =
+  | Call of { xid : int; client : int; call : call }
+  | Reply of { xid : int; client : int; reply : reply }
+
+val header_bytes : int
+(** Fixed per-message RPC/XDR framing overhead. *)
+
+val call_size : call -> int
+val reply_size : reply -> int
+val msg_size : msg -> int
+
+val op_name : call -> string
+(** ["lookup" | "create" | "getattr" | "read" | "write" | "readdir"] —
+    the metric key for per-op counters. *)
+
+val op_names : string list
+(** All op names, in a fixed order (metrics export). *)

@@ -1,0 +1,113 @@
+type stats = {
+  mutable calls : int;
+  mutable retransmits : int;
+  mutable late_replies : int;
+}
+
+type pending = { mutable reply : Proto.reply option; mutable wake : (unit -> unit) option }
+
+type t = {
+  engine : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  ep : Proto.msg Net.endpoint;
+  id : int;
+  timeout : Sim.Time.t;
+  max_timeout : Sim.Time.t;
+  mutable next_xid : int;
+  pending : (int, pending) Hashtbl.t;
+  st : stats;
+  op_calls : (string, int ref) Hashtbl.t;
+  op_rtt : (string, Sim.Stats.Summary.t) Hashtbl.t;
+}
+
+let create engine ~cpu ~ep ~client_id ?(timeout = Sim.Time.of_ms_float 1100.)
+    ?(max_timeout = Sim.Time.sec 20) () =
+  let t =
+    {
+      engine;
+      cpu;
+      ep;
+      id = client_id;
+      timeout;
+      max_timeout;
+      next_xid = 1;
+      pending = Hashtbl.create 32;
+      st = { calls = 0; retransmits = 0; late_replies = 0 };
+      op_calls = Hashtbl.create 8;
+      op_rtt = Hashtbl.create 8;
+    }
+  in
+  List.iter
+    (fun op ->
+      Hashtbl.replace t.op_calls op (ref 0);
+      Hashtbl.replace t.op_rtt op (Sim.Stats.Summary.create ()))
+    Proto.op_names;
+  Sim.Engine.spawn engine ~name:(Printf.sprintf "rpc.recv.%d" client_id)
+    (fun () ->
+      while true do
+        match Net.recv t.ep with
+        | Proto.Reply { xid; reply; _ } -> (
+            match Hashtbl.find_opt t.pending xid with
+            | Some p ->
+                Hashtbl.remove t.pending xid;
+                p.reply <- Some reply;
+                (match p.wake with Some w -> w () | None -> ())
+            | None -> t.st.late_replies <- t.st.late_replies + 1)
+        | Proto.Call _ -> assert false
+      done);
+  t
+
+let client_id t = t.id
+
+(* Park the caller until the reply lands or [timeout] passes, whichever
+   first; both wakers funnel through a fire-once guard because resuming
+   a parked process twice is an engine error. *)
+let wait_reply_or_timeout t (p : pending) ~timeout =
+  Sim.Engine.suspend t.engine ~register:(fun resume ->
+      let fired = ref false in
+      let once () =
+        if not !fired then begin
+          fired := true;
+          resume ()
+        end
+      in
+      p.wake <- Some once;
+      Sim.Engine.schedule t.engine ~delay:timeout (fun () -> once ()));
+  p.wake <- None
+
+let call t (call : Proto.call) =
+  let xid = t.next_xid in
+  t.next_xid <- t.next_xid + 1;
+  t.st.calls <- t.st.calls + 1;
+  let msg = Proto.Call { xid; client = t.id; call } in
+  let size = Proto.msg_size msg in
+  let p = { reply = None; wake = None } in
+  Hashtbl.replace t.pending xid p;
+  let t0 = Sim.Engine.now t.engine in
+  let timeout = ref t.timeout in
+  let rec attempt ~retry =
+    if retry then t.st.retransmits <- t.st.retransmits + 1;
+    Net.send t.ep ~size msg;
+    wait_reply_or_timeout t p ~timeout:!timeout;
+    match p.reply with
+    | Some r -> r
+    | None ->
+        timeout := min (!timeout * 2) t.max_timeout;
+        attempt ~retry:true
+  in
+  let r = attempt ~retry:false in
+  (* reply deserialization + wakeup dispatch on the client CPU *)
+  Sim.Cpu.charge t.cpu ~label:"rpc" (Sim.Time.us 30);
+  let op = Proto.op_name call in
+  incr (Hashtbl.find t.op_calls op);
+  Sim.Stats.Summary.add (Hashtbl.find t.op_rtt op)
+    (float_of_int (Sim.Engine.now t.engine - t0));
+  r
+
+let stats t = t.st
+let op_calls t op = match Hashtbl.find_opt t.op_calls op with Some r -> !r | None -> 0
+
+let rtt_of t op =
+  match Hashtbl.find_opt t.op_rtt op with
+  | Some s -> s
+  | None -> Sim.Stats.Summary.create ()

@@ -1,0 +1,44 @@
+(** Client-side RPC: xid assignment, reply matching, and timeout-driven
+    retransmission with exponential backoff (an NFS hard mount: a call
+    retries forever, so any loss rate below 1 eventually completes).
+
+    One {!t} serves a whole client machine — the benchmark process and
+    every biod daemon call through it concurrently; a single receiver
+    process demultiplexes replies by xid.  A reply that arrives after
+    its call already completed (the call was retransmitted and both
+    copies were answered) is counted and dropped. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  cpu:Sim.Cpu.t ->
+  ep:Proto.msg Net.endpoint ->
+  client_id:int ->
+  ?timeout:Sim.Time.t ->
+  ?max_timeout:Sim.Time.t ->
+  unit ->
+  t
+(** [timeout] (default 1.1 s) is the initial retransmission timeout;
+    it doubles on every retry up to [max_timeout] (default 20 s). *)
+
+val client_id : t -> int
+
+val call : t -> Proto.call -> Proto.reply
+(** Send the call, block until its reply arrives, retransmitting on
+    timeout.  Must run inside a simulation process. *)
+
+type stats = {
+  mutable calls : int;
+  mutable retransmits : int;
+  mutable late_replies : int;
+}
+
+val stats : t -> stats
+
+val op_calls : t -> string -> int
+(** Completed calls of one op ({!Proto.op_name}). *)
+
+val rtt_of : t -> string -> Sim.Stats.Summary.t
+(** Round-trip latency summary of one op, including retransmission
+    waits. *)

@@ -1,0 +1,238 @@
+type stats = {
+  mutable received : int;
+  mutable dup_hits : int;
+  mutable dup_busy_drops : int;
+  mutable dup_evictions : int;
+  queue_wait_us : Sim.Stats.Summary.t;
+}
+
+type dup_entry = In_progress | Done of Proto.reply
+
+type item = {
+  ep : Proto.msg Net.endpoint;
+  xid : int;
+  client : int;
+  call : Proto.call;
+  arrived : Sim.Time.t;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  fs : Ufs.Types.fs;
+  nfsd : int;
+  queue : item Queue.t;
+  work : Sim.Condition.t;
+  dup : (int * int, dup_entry) Hashtbl.t;
+  dup_order : (int * int) Queue.t;  (* completed non-idempotent keys, oldest first *)
+  dup_cache_size : int;
+  fh_inode : (int, Ufs.Types.inode) Hashtbl.t;
+  fh_path : (int, string) Hashtbl.t;  (* for path-based create *)
+  st : stats;
+  op_applied : (string, int ref) Hashtbl.t;
+  op_service : (string, Sim.Stats.Summary.t) Hashtbl.t;
+}
+
+let root_fh = Ufs.Types.rootino
+
+let nonidempotent = function
+  | Proto.Create _ | Proto.Write _ -> true
+  | Proto.Lookup _ | Proto.Getattr _ | Proto.Read _ | Proto.Readdir _ -> false
+
+(* ---------- op execution ---------- *)
+
+let attr_of (ip : Ufs.Types.inode) =
+  { Proto.size = ip.Ufs.Types.size; is_dir = ip.Ufs.Types.kind = Ufs.Dinode.Dir }
+
+(* The server holds one long-lived reference per handed-out handle, so
+   a handle stays valid however long a client caches it. *)
+let inode_of t fh =
+  match Hashtbl.find_opt t.fh_inode fh with
+  | Some ip -> ip
+  | None ->
+      let ip = Ufs.Iops.iget t.fs fh in
+      Hashtbl.replace t.fh_inode fh ip;
+      ip
+
+let path_of t fh =
+  match Hashtbl.find_opt t.fh_path fh with
+  | Some p -> p
+  | None -> if fh = root_fh then "/" else Vfs.Errno.raise_err Vfs.Errno.ENOENT "nfs fh"
+
+let join dir name = if dir = "/" then "/" ^ name else dir ^ "/" ^ name
+
+let execute t (call : Proto.call) : Proto.reply =
+  match call with
+  | Proto.Lookup { dir; name } -> (
+      let dip = inode_of t dir in
+      match Ufs.Dir.lookup t.fs dip name with
+      | None -> Proto.R_err "ENOENT"
+      | Some inum ->
+          let ip = inode_of t inum in
+          Hashtbl.replace t.fh_path inum (join (path_of t dir) name);
+          Proto.R_fh { fh = inum; attr = attr_of ip })
+  | Proto.Create { dir; name } ->
+      let path = join (path_of t dir) name in
+      let ip = Ufs.Fs.creat t.fs path in
+      let fh = ip.Ufs.Types.inum in
+      (* keep exactly one pinned reference per handle *)
+      if Hashtbl.mem t.fh_inode fh then Ufs.Iops.iput t.fs ip
+      else Hashtbl.replace t.fh_inode fh ip;
+      Hashtbl.replace t.fh_path fh path;
+      Proto.R_fh { fh; attr = attr_of (inode_of t fh) }
+  | Proto.Getattr { fh } -> Proto.R_attr (attr_of (inode_of t fh))
+  | Proto.Read { fh; off; len } ->
+      let ip = inode_of t fh in
+      let buf = Bytes.create len in
+      let n = Ufs.Fs.read t.fs ip ~off ~buf ~len in
+      Proto.R_read
+        {
+          data = (if n = len then buf else Bytes.sub buf 0 n);
+          eof = off + n >= ip.Ufs.Types.size;
+        }
+  | Proto.Write { fh; off; data } ->
+      let ip = inode_of t fh in
+      Ufs.Fs.write t.fs ip ~off ~buf:data ~len:(Bytes.length data);
+      Proto.R_attr (attr_of ip)
+  | Proto.Readdir { fh } ->
+      let dip = inode_of t fh in
+      let names = ref [] in
+      Ufs.Dir.iter t.fs dip (fun name _ -> names := name :: !names);
+      Proto.R_names (List.rev !names)
+
+let execute t call =
+  try execute t call with
+  | Vfs.Errno.Error (code, _) -> Proto.R_err (Vfs.Errno.to_string code)
+
+(* ---------- dup cache ---------- *)
+
+let dup_store t key reply =
+  Hashtbl.replace t.dup key (Done reply);
+  Queue.push key t.dup_order;
+  while Queue.length t.dup_order > t.dup_cache_size do
+    let victim = Queue.pop t.dup_order in
+    Hashtbl.remove t.dup victim;
+    t.st.dup_evictions <- t.st.dup_evictions + 1
+  done
+
+let send_reply (it : item) reply =
+  Net.send it.ep
+    ~size:(Proto.msg_size (Proto.Reply { xid = it.xid; client = it.client; reply }))
+    (Proto.Reply { xid = it.xid; client = it.client; reply })
+
+(* ---------- processes ---------- *)
+
+let svc_overhead = Sim.Time.us 60
+
+let worker t () =
+  while true do
+    while Queue.is_empty t.queue do
+      Sim.Condition.wait t.work
+    done;
+    let it = Queue.pop t.queue in
+    Sim.Stats.Summary.add t.st.queue_wait_us
+      (float_of_int (Sim.Engine.now t.engine - it.arrived));
+    Sim.Cpu.charge t.cpu ~label:"nfsd" svc_overhead;
+    let key = (it.client, it.xid) in
+    let ni = nonidempotent it.call in
+    match if ni then Hashtbl.find_opt t.dup key else None with
+    | Some (Done reply) ->
+        t.st.dup_hits <- t.st.dup_hits + 1;
+        send_reply it reply
+    | Some In_progress -> t.st.dup_busy_drops <- t.st.dup_busy_drops + 1
+    | None ->
+        if ni then Hashtbl.replace t.dup key In_progress;
+        let op = Proto.op_name it.call in
+        incr (Hashtbl.find t.op_applied op);
+        let t0 = Sim.Engine.now t.engine in
+        let reply = execute t it.call in
+        Sim.Stats.Summary.add
+          (Hashtbl.find t.op_service op)
+          (float_of_int (Sim.Engine.now t.engine - t0));
+        if ni then dup_store t key reply;
+        send_reply it reply
+  done
+
+let dispatcher t ep () =
+  while true do
+    match Net.recv ep with
+    | Proto.Call { xid; client; call } ->
+        t.st.received <- t.st.received + 1;
+        Queue.push
+          { ep; xid; client; call; arrived = Sim.Engine.now t.engine }
+          t.queue;
+        Sim.Condition.signal t.work
+    | Proto.Reply _ -> assert false
+  done
+
+let create engine ~cpu ~fs ?(nfsd = 4) ?(dup_cache_size = 256) ~endpoints () =
+  let t =
+    {
+      engine;
+      cpu;
+      fs;
+      nfsd;
+      queue = Queue.create ();
+      work = Sim.Condition.create engine "nfsd.work";
+      dup = Hashtbl.create 512;
+      dup_order = Queue.create ();
+      dup_cache_size;
+      fh_inode = Hashtbl.create 64;
+      fh_path = Hashtbl.create 64;
+      st =
+        {
+          received = 0;
+          dup_hits = 0;
+          dup_busy_drops = 0;
+          dup_evictions = 0;
+          queue_wait_us = Sim.Stats.Summary.create ();
+        };
+      op_applied = Hashtbl.create 8;
+      op_service = Hashtbl.create 8;
+    }
+  in
+  List.iter
+    (fun op ->
+      Hashtbl.replace t.op_applied op (ref 0);
+      Hashtbl.replace t.op_service op (Sim.Stats.Summary.create ()))
+    Proto.op_names;
+  List.iteri
+    (fun i ep ->
+      Sim.Engine.spawn engine ~name:(Printf.sprintf "nfs.dispatch.%d" i)
+        (dispatcher t ep))
+    endpoints;
+  for i = 1 to nfsd do
+    Sim.Engine.spawn engine ~name:(Printf.sprintf "nfsd.%d" i) (worker t)
+  done;
+  t
+
+let applied t op =
+  match Hashtbl.find_opt t.op_applied op with Some r -> !r | None -> 0
+
+let stats t = t.st
+
+let service_us t op =
+  match Hashtbl.find_opt t.op_service op with
+  | Some s -> s
+  | None -> Sim.Stats.Summary.create ()
+
+let register_metrics t reg ~instance =
+  Sim.Metrics.register reg ~layer:"nfs" ~instance (fun () ->
+      let per_op =
+        List.concat_map
+          (fun op ->
+            [
+              (op ^ "_applied", Sim.Metrics.Int (applied t op));
+              (op ^ "_service_us", Sim.Metrics.Summary (service_us t op));
+            ])
+          Proto.op_names
+      in
+      [
+        ("received", Sim.Metrics.Int t.st.received);
+        ("nfsd", Sim.Metrics.Int t.nfsd);
+        ("dup_cache_hits", Sim.Metrics.Int t.st.dup_hits);
+        ("dup_busy_drops", Sim.Metrics.Int t.st.dup_busy_drops);
+        ("dup_evictions", Sim.Metrics.Int t.st.dup_evictions);
+        ("queue_wait_us", Sim.Metrics.Summary t.st.queue_wait_us);
+      ]
+      @ per_op)

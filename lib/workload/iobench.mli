@@ -40,6 +40,17 @@ type result = {
   sys_cpu : Sim.Time.t;  (** system CPU charged during the phase *)
 }
 
+val reset_file_state : Ufs.Types.fs -> Ufs.Types.inode -> unit
+(** Push the file's delayed writes, drop its cached pages and reset its
+    read-ahead state — the between-phases cold start.  Exported so the
+    NFS experiments can cool the {e server's} cache between remote
+    phases the way local phases cool theirs. *)
+
+val random_offsets : config -> int array
+(** The block-aligned offset sequence of the random phases, derived
+    from [cfg.seed] — exported so remote (NFS) variants replay the
+    exact same access stream. *)
+
 val run_phase : Ufs.Types.fs -> config -> kind -> result
 (** Run one phase.  FSU/FSR/FRR/FRU require the file to exist (run FSW
     first, or call {!prepare}). *)

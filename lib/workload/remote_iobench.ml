@@ -1,0 +1,101 @@
+let strip_slash path =
+  if String.length path > 0 && path.[0] = '/' then
+    String.sub path 1 (String.length path - 1)
+  else path
+
+let measure ~engine ~cpu kind f =
+  let t0 = Sim.Engine.now engine in
+  let c0 = Sim.Cpu.sys_time cpu in
+  let bytes = f () in
+  let elapsed = Sim.Engine.now engine - t0 in
+  let sys_cpu = Sim.Cpu.sys_time cpu - c0 in
+  {
+    Iobench.kind;
+    bytes_moved = bytes;
+    elapsed;
+    kb_per_sec =
+      (if elapsed = 0 then 0.
+       else float_of_int bytes /. 1024. /. Sim.Time.to_sec_float elapsed);
+    sys_cpu;
+  }
+
+let seq_write file (cfg : Iobench.config) ~fill =
+  let total = cfg.file_mb * 1024 * 1024 in
+  let buf = Bytes.make cfg.request_bytes fill in
+  let rec loop off =
+    if off < total then begin
+      Nfs.Client.write file ~off ~buf ~len:cfg.request_bytes;
+      loop (off + cfg.request_bytes)
+    end
+  in
+  loop 0;
+  Nfs.Client.fsync file;
+  total
+
+let seq_read file (cfg : Iobench.config) =
+  let total = cfg.file_mb * 1024 * 1024 in
+  let buf = Bytes.create cfg.request_bytes in
+  let rec loop off acc =
+    if off < total then begin
+      let n = Nfs.Client.read file ~off ~buf ~len:cfg.request_bytes in
+      loop (off + cfg.request_bytes) (acc + n)
+    end
+    else acc
+  in
+  loop 0 0
+
+let random_read file (cfg : Iobench.config) =
+  let buf = Bytes.create cfg.request_bytes in
+  Array.fold_left
+    (fun acc off -> acc + Nfs.Client.read file ~off ~buf ~len:cfg.request_bytes)
+    0
+    (Iobench.random_offsets cfg)
+
+let random_update file (cfg : Iobench.config) =
+  let buf = Bytes.make cfg.request_bytes 'u' in
+  Array.iter
+    (fun off -> Nfs.Client.write file ~off ~buf ~len:cfg.request_bytes)
+    (Iobench.random_offsets cfg);
+  Nfs.Client.fsync file;
+  cfg.random_ops * cfg.request_bytes
+
+let the_file mount (cfg : Iobench.config) ~create =
+  let name = strip_slash cfg.path in
+  if create then Nfs.Client.create mount name
+  else
+    match Nfs.Client.lookup mount name with
+    | Some f -> f
+    | None -> failwith ("remote iobench: no such file " ^ name)
+
+let prepare mount (cfg : Iobench.config) =
+  let f = the_file mount cfg ~create:true in
+  ignore (seq_write f cfg ~fill:'p');
+  Nfs.Client.invalidate f
+
+let run_phase ~engine ~cpu mount (cfg : Iobench.config) (kind : Iobench.kind) =
+  let measure = measure ~engine ~cpu in
+  match kind with
+  | Iobench.FSW ->
+      let f = the_file mount cfg ~create:true in
+      measure Iobench.FSW (fun () -> seq_write f cfg ~fill:'w')
+  | Iobench.FSU ->
+      let f = the_file mount cfg ~create:false in
+      Nfs.Client.invalidate f;
+      measure Iobench.FSU (fun () -> seq_write f cfg ~fill:'u')
+  | Iobench.FSR ->
+      let f = the_file mount cfg ~create:false in
+      Nfs.Client.invalidate f;
+      measure Iobench.FSR (fun () -> seq_read f cfg)
+  | Iobench.FRR ->
+      let f = the_file mount cfg ~create:false in
+      Nfs.Client.invalidate f;
+      measure Iobench.FRR (fun () -> random_read f cfg)
+  | Iobench.FRU ->
+      let f = the_file mount cfg ~create:false in
+      Nfs.Client.invalidate f;
+      measure Iobench.FRU (fun () -> random_update f cfg)
+
+let run_all ~engine ~cpu mount cfg =
+  List.map
+    (run_phase ~engine ~cpu mount cfg)
+    [ Iobench.FSW; Iobench.FSU; Iobench.FSR; Iobench.FRR; Iobench.FRU ]

@@ -1,0 +1,34 @@
+(** IObench over the wire: the same five phases as {!Iobench}, issued
+    through an {!Nfs.Client} mount instead of a local UFS.
+
+    The request stream is identical to the local benchmark — same 8 KB
+    requests, same seeded random offsets ({!Iobench.random_offsets}) —
+    so a remote/local pair of runs isolates exactly the cost of the
+    network hop and what the client-side clustering machinery (biod
+    read-ahead, write-behind gathering) wins back.
+
+    [engine]/[cpu] are the {e client} machine's engine and CPU: elapsed
+    time and system-CPU are measured on the caller's side of the wire.
+    Phases start cold via {!Nfs.Client.invalidate}.  Write phases time
+    through {!Nfs.Client.fsync}, so every WRITE RPC is acknowledged
+    inside the measured window.
+
+    All functions must run inside a simulation process. *)
+
+val run_phase :
+  engine:Sim.Engine.t ->
+  cpu:Sim.Cpu.t ->
+  Nfs.Client.t ->
+  Iobench.config ->
+  Iobench.kind ->
+  Iobench.result
+
+val prepare : Nfs.Client.t -> Iobench.config -> unit
+(** Create and fully write the benchmark file (untimed, fsynced). *)
+
+val run_all :
+  engine:Sim.Engine.t ->
+  cpu:Sim.Cpu.t ->
+  Nfs.Client.t ->
+  Iobench.config ->
+  Iobench.result list

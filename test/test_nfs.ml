@@ -1,0 +1,409 @@
+(* The simulated network and the NFS-style file service: link modelling,
+   RPC retry, the duplicate-request cache, client-side clustering (biod
+   read-ahead, write gathering, the dirty cap), and the loss-tolerance
+   properties the subsystem exists to demonstrate. *)
+
+module T = Clusterfs.Topology
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let bsize = Ufs.Layout.bsize
+
+let topo ?(clients = 1) ?net ?seed ?nfsd ?biods ?ra_depth ?dirty_limit
+    ?rpc_timeout ?name () =
+  T.create ?net ?seed ?nfsd ?biods ?ra_depth ?dirty_limit ?rpc_timeout
+    ~clients
+    (Helpers.config ?name ())
+
+(* Server-side ground truth: the file's bytes as the UFS has them. *)
+let server_contents t name =
+  T.run t (fun t ->
+      let fs = t.T.server.Clusterfs.Machine.fs in
+      match Ufs.Fs.namei fs ("/" ^ name) with
+      | exception Vfs.Errno.Error (Vfs.Errno.ENOENT, _) -> None
+      | ip ->
+          let size = ip.Ufs.Types.size in
+          let buf = Bytes.create size in
+          let n = Ufs.Fs.read fs ip ~off:0 ~buf ~len:size in
+          Ufs.Iops.iput fs ip;
+          Some (Bytes.sub buf 0 n))
+
+(* ---------- net layer ---------- *)
+
+let test_net_fifo_and_timing () =
+  let engine = Sim.Engine.create () in
+  let cpu_a = Sim.Cpu.create engine in
+  let cpu_b = Sim.Cpu.create engine in
+  let link = Net.create engine Net.default_config ~a_cpu:cpu_a ~b_cpu:cpu_b in
+  let got = ref [] in
+  Sim.Engine.spawn engine (fun () ->
+      for i = 1 to 5 do
+        Net.send (Net.a_end link) ~size:(i * 1000) i
+      done);
+  Sim.Engine.spawn engine (fun () ->
+      for _ = 1 to 5 do
+        got := Net.recv (Net.b_end link) :: !got
+      done);
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "FIFO delivery" [ 1; 2; 3; 4; 5 ] (List.rev !got);
+  let st = Net.stats link in
+  check_int "all sent" 5 st.Net.msgs_sent;
+  check_int "all delivered" 5 st.Net.msgs_delivered;
+  check_int "no drops on a clean link" 0 st.Net.drops;
+  check_bool "sender CPU charged" true (Sim.Cpu.sys_time cpu_a > 0)
+
+let test_net_loss_is_seeded () =
+  let run seed =
+    let engine = Sim.Engine.create () in
+    let cpu = Sim.Cpu.create engine in
+    let link =
+      Net.create ~seed engine
+        (Net.lossy Net.default_config 0.3)
+        ~a_cpu:cpu ~b_cpu:cpu
+    in
+    Sim.Engine.spawn engine (fun () ->
+        for i = 1 to 100 do
+          Net.send (Net.a_end link) ~size:100 i
+        done);
+    Sim.Engine.run engine;
+    (Net.stats link).Net.drops
+  in
+  check_int "same seed, same drops" (run 7) (run 7);
+  check_bool "drops happen at 30%" true (run 7 > 5);
+  check_bool "different seed, different stream" true (run 7 <> run 8)
+
+(* ---------- basic file service ---------- *)
+
+let test_roundtrip () =
+  let t = topo () in
+  let len = 100_000 in
+  let buf = Bytes.init len (fun i -> Helpers.pattern_byte ~seed:1 i) in
+  T.run_clients t (fun c ->
+      let f = Nfs.Client.create c.T.mount "hello" in
+      Nfs.Client.write f ~off:0 ~buf ~len;
+      Nfs.Client.fsync f;
+      (* read back through the cache *)
+      let rbuf = Bytes.create len in
+      check_int "cached read length" len
+        (Nfs.Client.read f ~off:0 ~buf:rbuf ~len);
+      check_bool "cached content" true (Bytes.equal buf rbuf);
+      (* and cold, forcing READ RPCs *)
+      Nfs.Client.invalidate f;
+      let rbuf = Bytes.create len in
+      check_int "cold read length" len
+        (Nfs.Client.read f ~off:0 ~buf:rbuf ~len);
+      check_bool "cold content" true (Bytes.equal buf rbuf);
+      check_int "size view" len (Nfs.Client.size f));
+  match server_contents t "hello" with
+  | Some got ->
+      check_int "server size" len (Bytes.length got);
+      check_bool "bytes live in the server's UFS" true (Bytes.equal buf got)
+  | None -> Alcotest.fail "file missing on server"
+
+let test_lookup_readdir () =
+  let t = topo () in
+  T.run_clients t (fun c ->
+      let m = c.T.mount in
+      ignore (Nfs.Client.create m "a");
+      ignore (Nfs.Client.create m "b");
+      check_bool "lookup hit" true (Nfs.Client.lookup m "a" <> None);
+      check_bool "lookup miss" true (Nfs.Client.lookup m "nope" = None);
+      let names = Nfs.Client.readdir m in
+      check_bool "readdir lists both" true
+        (List.mem "a" names && List.mem "b" names))
+
+let test_create_truncates () =
+  let t = topo () in
+  T.run_clients t (fun c ->
+      let m = c.T.mount in
+      let f = Nfs.Client.create m "trunc" in
+      let buf = Bytes.make (4 * bsize) 'x' in
+      Nfs.Client.write f ~off:0 ~buf ~len:(4 * bsize);
+      Nfs.Client.fsync f;
+      let f2 = Nfs.Client.create m "trunc" in
+      check_int "creat truncated" 0 (Nfs.Client.size f2));
+  match server_contents t "trunc" with
+  | Some got -> check_int "empty on server too" 0 (Bytes.length got)
+  | None -> Alcotest.fail "file missing on server"
+
+(* ---------- client-side clustering ---------- *)
+
+let stream_config ~file_mb path =
+  { Workload.Iobench.default_config with Workload.Iobench.file_mb; path }
+
+let test_readahead_clusters () =
+  let t = topo () in
+  let cfg = stream_config ~file_mb:2 "/seq" in
+  T.run_clients t (fun c ->
+      Workload.Remote_iobench.prepare c.T.mount cfg;
+      let r =
+        Workload.Remote_iobench.run_phase ~engine:(T.engine t) ~cpu:c.T.cpu
+          c.T.mount cfg Workload.Iobench.FSR
+      in
+      check_int "all bytes" (2 * 1024 * 1024) r.Workload.Iobench.bytes_moved;
+      let st = Nfs.Client.stats c.T.mount in
+      check_bool "read-ahead issued" true (st.Nfs.Client.ra_issued > 0);
+      check_bool "read-ahead consumed" true (st.Nfs.Client.ra_used > 0);
+      (* 2 MB in 120 KB clusters is ~18 READs; per-block would be 256 *)
+      let reads = Nfs.Rpc.op_calls c.T.rpc "read" in
+      check_bool
+        (Printf.sprintf "cluster-sized READs (%d RPCs)" reads)
+        true (reads < 64))
+
+let test_random_reads_fetch_single_blocks () =
+  let t = topo () in
+  let cfg =
+    { (stream_config ~file_mb:2 "/rand") with Workload.Iobench.random_ops = 64 }
+  in
+  T.run_clients t (fun c ->
+      Workload.Remote_iobench.prepare c.T.mount cfg;
+      let base = (Net.stats c.T.link).Net.bytes_sent in
+      let _ =
+        Workload.Remote_iobench.run_phase ~engine:(T.engine t) ~cpu:c.T.cpu
+          c.T.mount cfg Workload.Iobench.FRR
+      in
+      let st = Nfs.Client.stats c.T.mount in
+      (* random misses must not drag whole clusters over the wire *)
+      check_int "no read-ahead on random" 0 st.Nfs.Client.ra_issued;
+      let sent = (Net.stats c.T.link).Net.bytes_sent - base in
+      (* 64 single-block reads ~ 550 KB with framing; 64 clusters would
+         be ~7.7 MB on the wire *)
+      check_bool
+        (Printf.sprintf "single-block fetches (%d bytes on wire)" sent)
+        true
+        (sent < 1024 * 1024))
+
+let test_write_gathering () =
+  let t = topo () in
+  let cfg = stream_config ~file_mb:2 "/gather" in
+  T.run_clients t (fun c ->
+      let r =
+        Workload.Remote_iobench.run_phase ~engine:(T.engine t) ~cpu:c.T.cpu
+          c.T.mount cfg Workload.Iobench.FSW
+      in
+      check_int "all bytes" (2 * 1024 * 1024) r.Workload.Iobench.bytes_moved;
+      let writes = Nfs.Rpc.op_calls c.T.rpc "write" in
+      let st = Nfs.Client.stats c.T.mount in
+      check_int "every push was a gather" writes st.Nfs.Client.write_gathers;
+      (* 2 MB in 120 KB gathers is 18 WRITEs; per-block would be 256 *)
+      check_bool
+        (Printf.sprintf "gathered WRITEs (%d RPCs)" writes)
+        true (writes < 64));
+  match server_contents t "gather" with
+  | Some got -> check_int "server got it all" (2 * 1024 * 1024) (Bytes.length got)
+  | None -> Alcotest.fail "file missing on server"
+
+let test_dirty_cap_blocks_writer () =
+  (* dirty limit of one cluster: the writer must block on the cap and
+     the data must still all arrive *)
+  let t = topo ~dirty_limit:(120 * 1024) () in
+  let len = 1024 * 1024 in
+  T.run_clients t (fun c ->
+      let f = Nfs.Client.create c.T.mount "capped" in
+      let buf = Bytes.make bsize 'c' in
+      for i = 0 to (len / bsize) - 1 do
+        Nfs.Client.write f ~off:(i * bsize) ~buf ~len:bsize
+      done;
+      Nfs.Client.fsync f;
+      let st = Nfs.Client.stats c.T.mount in
+      check_bool "writer slept on the cap" true (st.Nfs.Client.dirty_sleeps > 0));
+  match server_contents t "capped" with
+  | Some got -> check_int "nothing lost under the cap" len (Bytes.length got)
+  | None -> Alcotest.fail "file missing on server"
+
+let test_partial_block_rmw () =
+  let t = topo () in
+  let len = 3 * bsize in
+  T.run_clients t (fun c ->
+      let f = Nfs.Client.create c.T.mount "rmw" in
+      let base = Bytes.init len (fun i -> Helpers.pattern_byte ~seed:3 i) in
+      Nfs.Client.write f ~off:0 ~buf:base ~len;
+      Nfs.Client.fsync f;
+      Nfs.Client.invalidate f;
+      (* overwrite 100 bytes in the middle of block 1 *)
+      let patch = Bytes.make 100 'P' in
+      Nfs.Client.write f ~off:(bsize + 50) ~buf:patch ~len:100;
+      Nfs.Client.fsync f);
+  match server_contents t "rmw" with
+  | None -> Alcotest.fail "file missing on server"
+  | Some got ->
+      check_int "size unchanged" len (Bytes.length got);
+      let ok = ref true in
+      for i = 0 to len - 1 do
+        let expect =
+          if i >= bsize + 50 && i < bsize + 150 then 'P'
+          else Helpers.pattern_byte ~seed:3 i
+        in
+        if Bytes.get got i <> expect then ok := false
+      done;
+      check_bool "patch applied, surroundings intact" true !ok
+
+(* ---------- loss, retry, duplicate suppression ---------- *)
+
+let test_lossy_link_completes_and_applies_once () =
+  let t = topo ~net:(Net.lossy Net.default_config 0.15) ~seed:11 () in
+  let len = 512 * 1024 in
+  T.run_clients t (fun c ->
+      let f = Nfs.Client.create c.T.mount "lossy" in
+      let buf = Bytes.init len (fun i -> Helpers.pattern_byte ~seed:5 i) in
+      Nfs.Client.write f ~off:0 ~buf ~len;
+      Nfs.Client.fsync f;
+      Nfs.Client.invalidate f;
+      let rbuf = Bytes.create len in
+      check_int "read completes despite loss" len
+        (Nfs.Client.read f ~off:0 ~buf:rbuf ~len);
+      check_bool "content survives retransmission" true (Bytes.equal buf rbuf);
+      let st = Nfs.Rpc.stats c.T.rpc in
+      check_bool "loss actually forced retries" true
+        (st.Nfs.Rpc.retransmits > 0);
+      check_int "every CREATE applied exactly once"
+        (Nfs.Rpc.op_calls c.T.rpc "create")
+        (Nfs.Server.applied t.T.service "create");
+      check_int "every WRITE applied exactly once"
+        (Nfs.Rpc.op_calls c.T.rpc "write")
+        (Nfs.Server.applied t.T.service "write"))
+
+(* The property the subsystem exists for: for any loss rate < 1 and any
+   op mix, every RPC completes, CREATE/WRITE apply once, and the
+   resulting file contents equal a zero-loss run's. *)
+
+type op =
+  | Create of int
+  | Write of int * int * int  (* file, block, blocks *)
+  | Read of int * int
+  | Stat of int
+
+let gen_ops seed =
+  let rng = Sim.Rng.create ~seed in
+  let nops = 6 + Sim.Rng.int rng 10 in
+  List.init nops (fun _ ->
+      let file = Sim.Rng.int rng 2 in
+      match Sim.Rng.int rng 5 with
+      | 0 -> Create file
+      | 1 | 2 -> Write (file, Sim.Rng.int rng 24, 1 + Sim.Rng.int rng 6)
+      | 3 -> Read (file, Sim.Rng.int rng 24)
+      | _ -> Stat file)
+
+let apply_ops mount ops =
+  let files = Array.make 2 None in
+  let get i =
+    match files.(i) with
+    | Some f -> f
+    | None ->
+        let f = Nfs.Client.create mount (Printf.sprintf "f%d" i) in
+        files.(i) <- Some f;
+        f
+  in
+  List.iteri
+    (fun k op ->
+      match op with
+      | Create i -> files.(i) <- Some (Nfs.Client.create mount (Printf.sprintf "f%d" i))
+      | Write (i, blk, nblks) ->
+          let len = nblks * bsize in
+          let buf = Bytes.init len (fun j -> Helpers.pattern_byte ~seed:k j) in
+          Nfs.Client.write (get i) ~off:(blk * bsize) ~buf ~len
+      | Read (i, blk) ->
+          let buf = Bytes.create bsize in
+          ignore (Nfs.Client.read (get i) ~off:(blk * bsize) ~buf ~len:bsize)
+      | Stat i -> ignore (Nfs.Client.getattr (get i)))
+    ops;
+  Array.iter (function Some f -> Nfs.Client.fsync f | None -> ()) files
+
+let run_mix ~loss ~seed =
+  let t = topo ~net:(Net.lossy Net.default_config loss) ~seed () in
+  let ops = gen_ops seed in
+  T.run_clients t (fun c -> apply_ops c.T.mount ops);
+  let c = t.T.clients.(0) in
+  let applied_once =
+    Nfs.Server.applied t.T.service "create" = Nfs.Rpc.op_calls c.T.rpc "create"
+    && Nfs.Server.applied t.T.service "write" = Nfs.Rpc.op_calls c.T.rpc "write"
+  in
+  let contents = List.map (fun n -> server_contents t n) [ "f0"; "f1" ] in
+  (applied_once, contents)
+
+let prop_lossy_equals_lossless =
+  Helpers.qtest ~count:12 "any op mix, any loss < 1: completes, applies once"
+    QCheck.(pair (int_bound 10_000) (int_bound 89))
+    (fun (seed, loss_pct) ->
+      let loss = float_of_int loss_pct /. 100. in
+      let ok_lossy, lossy = run_mix ~loss ~seed in
+      let ok_zero, zero = run_mix ~loss:0. ~seed in
+      ok_lossy && ok_zero && lossy = zero)
+
+(* ---------- multi-client ---------- *)
+
+let test_clients_are_isolated () =
+  let t = topo ~clients:3 () in
+  let len = 64 * 1024 in
+  T.run_clients t (fun c ->
+      let name = Printf.sprintf "own%d" c.T.id in
+      let f = Nfs.Client.create c.T.mount name in
+      let buf = Bytes.init len (fun i -> Helpers.pattern_byte ~seed:c.T.id i) in
+      Nfs.Client.write f ~off:0 ~buf ~len;
+      Nfs.Client.fsync f);
+  for id = 0 to 2 do
+    match server_contents t (Printf.sprintf "own%d" id) with
+    | None -> Alcotest.fail "client file missing"
+    | Some got ->
+        check_int "size" len (Bytes.length got);
+        let ok = ref true in
+        for i = 0 to len - 1 do
+          if Bytes.get got i <> Helpers.pattern_byte ~seed:id i then ok := false
+        done;
+        check_bool (Printf.sprintf "client %d's bytes" id) true !ok
+  done
+
+(* ---------- determinism ---------- *)
+
+let golden_scale_run () =
+  let reg = Sim.Metrics.create () in
+  let row =
+    Clusterfs.Machine.with_metrics_sink reg (fun () ->
+        Clusterfs.Experiments.nfs_scaling ~file_mb:1 ~clients:4 ())
+  in
+  let layers =
+    List.sort_uniq compare
+      (List.map (fun (l, _, _) -> l) (Sim.Metrics.snapshot reg))
+  in
+  (row, layers, Sim.Metrics.to_json reg, Sim.Metrics.to_csv reg)
+
+let test_golden_nfsscale_determinism () =
+  let row1, layers, json1, csv1 = golden_scale_run () in
+  let row2, _, json2, csv2 = golden_scale_run () in
+  check_bool "scale row identical" true (row1 = row2);
+  Alcotest.(check string) "metrics JSON byte-identical" json1 json2;
+  Alcotest.(check string) "metrics CSV byte-identical" csv1 csv2;
+  check_bool "net and nfs sources present" true
+    (List.mem "net" layers && List.mem "nfs" layers)
+
+let suites =
+  [
+    ( "net",
+      [
+        Alcotest.test_case "FIFO delivery and timing" `Quick
+          test_net_fifo_and_timing;
+        Alcotest.test_case "seeded loss" `Quick test_net_loss_is_seeded;
+      ] );
+    ( "nfs",
+      [
+        Alcotest.test_case "write/read roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "lookup and readdir" `Quick test_lookup_readdir;
+        Alcotest.test_case "create truncates" `Quick test_create_truncates;
+        Alcotest.test_case "biod read-ahead clusters" `Quick
+          test_readahead_clusters;
+        Alcotest.test_case "random reads stay single-block" `Quick
+          test_random_reads_fetch_single_blocks;
+        Alcotest.test_case "write gathering" `Quick test_write_gathering;
+        Alcotest.test_case "dirty cap throttles the writer" `Quick
+          test_dirty_cap_blocks_writer;
+        Alcotest.test_case "partial-block read-modify-write" `Quick
+          test_partial_block_rmw;
+        Alcotest.test_case "lossy link: completes, applies once" `Quick
+          test_lossy_link_completes_and_applies_once;
+        prop_lossy_equals_lossless;
+        Alcotest.test_case "three clients, isolated files" `Quick
+          test_clients_are_isolated;
+        Alcotest.test_case "4-client nfsscale golden determinism" `Slow
+          test_golden_nfsscale_determinism;
+      ] );
+  ]
