@@ -404,7 +404,13 @@ let nfsscale_table () =
           r.Clusterfs.Experiments.aggregate_kb_per_sec
           r.Clusterfs.Experiments.per_client_kb_per_sec
           r.Clusterfs.Experiments.sc_retransmits
-          r.Clusterfs.Experiments.server_queue_wait_ms)
+          r.Clusterfs.Experiments.server_queue_wait_ms;
+        if r.Clusterfs.Experiments.sc_dup_evictions > 0 then
+          Printf.printf
+            "  WARNING: %d dup-cache evictions at %d clients — a delayed \
+             retransmit could re-apply a CREATE/WRITE; raise dup_cache_size\n"
+            r.Clusterfs.Experiments.sc_dup_evictions
+            r.Clusterfs.Experiments.sc_clients)
       rows
   in
   let counts = if !quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8; 16 ] in

@@ -817,6 +817,7 @@ type nfs_scale_row = {
   per_client_kb_per_sec : float;
   sc_retransmits : int;
   server_queue_wait_ms : float;
+  sc_dup_evictions : int;
 }
 
 (* A shared-Ethernet-class client link (1991: 10 Mbit/s Ethernet shared
@@ -889,6 +890,8 @@ let nfs_scaling ?(file_mb = 2) ?(nfsd = 4) ?(net = nfs_scale_net)
       Sim.Stats.Summary.mean
         (Nfs.Server.stats t.Topology.service).Nfs.Server.queue_wait_us
       /. 1000.;
+    sc_dup_evictions =
+      (Nfs.Server.stats t.Topology.service).Nfs.Server.dup_evictions;
   }
 
 type nfs_loss_row = {

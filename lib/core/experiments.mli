@@ -184,6 +184,9 @@ type nfs_scale_row = {
   per_client_kb_per_sec : float;
   sc_retransmits : int;
   server_queue_wait_ms : float;  (** mean request wait for an nfsd *)
+  sc_dup_evictions : int;
+      (** dup-cache entries evicted — nonzero means the exactly-once
+          guarantee for retried CREATE/WRITE is at risk at this scale *)
 }
 
 val nfs_scale_net : Net.config

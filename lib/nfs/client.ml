@@ -20,6 +20,7 @@ type cpage = {
   mutable pvalid : bool;
   mutable pdirty : bool;
   mutable pbusy : bool;  (** a fill RPC is in flight *)
+  mutable pflush : int;  (** in-flight WRITE payloads covering this page *)
   mutable pprefetched : bool;
   pcond : Sim.Condition.t;  (** unbusy waiters *)
 }
@@ -45,7 +46,8 @@ type file = {
 
 and job =
   | Ra of file * int * int  (** read-ahead: file, offset, length *)
-  | Push of file * int * int * bytes  (** write-behind: file, off, len, data *)
+  | Push of file * int * int * bytes * cpage list
+      (** write-behind: file, off, dirty credit, payload, covered pages *)
 
 and t = {
   engine : Sim.Engine.t;
@@ -89,8 +91,11 @@ let charge t c = Sim.Cpu.charge t.cpu ~label:"nfs.client" c
 
 (* Make room: pop eviction candidates until a valid, clean, idle page
    turns up.  Entries can be stale (the page was already dropped) and
-   dirty/busy pages are skipped and re-queued; if one full sweep finds
-   nothing evictable the cache is allowed to grow past the cap. *)
+   dirty/busy pages are skipped and re-queued, as are pages whose only
+   up-to-date copy rides in a still-in-flight WRITE payload (pflush >
+   0): dropping one of those and refetching would resurrect the
+   server's pre-write data.  If one full sweep finds nothing evictable
+   the cache is allowed to grow past the cap. *)
 let evict_one t =
   let attempts = ref (Queue.length t.lru) in
   let evicted = ref false in
@@ -100,7 +105,8 @@ let evict_one t =
     match Hashtbl.find_opt f.pages po with
     | None -> ()  (* stale entry *)
     | Some p ->
-        if p.pvalid && (not p.pdirty) && not p.pbusy then begin
+        if p.pvalid && (not p.pdirty) && (not p.pbusy) && p.pflush = 0
+        then begin
           Hashtbl.remove f.pages po;
           t.resident <- t.resident - 1;
           t.st.evictions <- t.st.evictions + 1;
@@ -117,6 +123,7 @@ let insert_page t f po =
       pvalid = false;
       pdirty = false;
       pbusy = false;
+      pflush = 0;
       pprefetched = false;
       pcond = Sim.Condition.create t.engine "nfs.page";
     }
@@ -180,7 +187,7 @@ let fetch_range t f ~off ~len ~prefetched =
 
 (* ---------- biod pool ---------- *)
 
-let do_push t f ~len ~call =
+let do_push t f ~credit ~pages ~call =
   (* WRITE pushes of one file are strictly serialized: with
      retransmission in play, two overlapping writes in flight could
      land in either order on the server.  Waiters resume FIFO, so the
@@ -194,7 +201,8 @@ let do_push t f ~len ~call =
   | Proto.R_err e -> failwith ("nfs write: " ^ e)
   | _ -> assert false);
   f.pushing <- false;
-  t.dirty_bytes <- t.dirty_bytes - len;
+  List.iter (fun p -> p.pflush <- p.pflush - 1) pages;
+  t.dirty_bytes <- t.dirty_bytes - credit;
   f.pending_pushes <- f.pending_pushes - 1;
   Sim.Condition.broadcast t.dirty_cond;
   Sim.Condition.broadcast f.push_cond
@@ -206,8 +214,8 @@ let biod t () =
     done;
     match Queue.pop t.jobs with
     | Ra (f, off, len) -> fetch_range t f ~off ~len ~prefetched:true
-    | Push (f, off, len, data) ->
-        do_push t f ~len ~call:(Proto.Write { fh = f.fh; off; data })
+    | Push (f, off, credit, data, pages) ->
+        do_push t f ~credit ~pages ~call:(Proto.Write { fh = f.fh; off; data })
   done
 
 let enqueue t job =
@@ -404,21 +412,33 @@ let flush_gather t f =
     f.delayoff <- 0;
     f.delaylen <- 0;
     let data = Bytes.create len in
+    let pages = ref [] in
+    let cleaned = ref 0 in
     let po = ref off in
     while !po < off + len do
       (match Hashtbl.find_opt f.pages !po with
       | Some p when p.pvalid ->
           let n = min bsize (off + len - !po) in
           Bytes.blit p.pdata 0 data (!po - off) n;
-          (* the payload now owns the bytes; the page is clean *)
-          p.pdirty <- false
+          (* the payload now owns the bytes: the page is clean but
+             stays pinned (pflush) until the WRITE RPC completes, so
+             eviction can't drop it and refetch stale server data *)
+          p.pflush <- p.pflush + 1;
+          pages := p :: !pages;
+          if p.pdirty then begin
+            p.pdirty <- false;
+            incr cleaned
+          end
       | _ -> assert false);
       po := !po + bsize
     done;
     f.pending_pushes <- f.pending_pushes + 1;
     t.st.write_gathers <- t.st.write_gathers + 1;
     Sim.Stats.Hist.add t.st.gather_bytes len;
-    enqueue t (Push (f, off, len, data))
+    (* dirty_bytes moved bsize per page when it was dirtied, so credit
+       bsize per page cleaned — crediting the truncated payload length
+       would leak the tail of a run ending mid-block *)
+    enqueue t (Push (f, off, !cleaned * bsize, data, !pages))
   end
 
 let write f ~off ~buf ~len =

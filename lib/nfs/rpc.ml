@@ -61,19 +61,24 @@ let client_id t = t.id
 
 (* Park the caller until the reply lands or [timeout] passes, whichever
    first; both wakers funnel through a fire-once guard because resuming
-   a parked process twice is an engine error. *)
+   a parked process twice is an engine error.  The reply may already
+   have landed while [Net.send]'s CPU charge yielded — with no waker
+   registered yet the receiver couldn't wake us, so suspending then
+   would sleep the whole timeout on top of an answered call. *)
 let wait_reply_or_timeout t (p : pending) ~timeout =
-  Sim.Engine.suspend t.engine ~register:(fun resume ->
-      let fired = ref false in
-      let once () =
-        if not !fired then begin
-          fired := true;
-          resume ()
-        end
-      in
-      p.wake <- Some once;
-      Sim.Engine.schedule t.engine ~delay:timeout (fun () -> once ()));
-  p.wake <- None
+  if p.reply = None then begin
+    Sim.Engine.suspend t.engine ~register:(fun resume ->
+        let fired = ref false in
+        let once () =
+          if not !fired then begin
+            fired := true;
+            resume ()
+          end
+        in
+        p.wake <- Some once;
+        Sim.Engine.schedule t.engine ~delay:timeout (fun () -> once ()));
+    p.wake <- None
+  end
 
 let call t (call : Proto.call) =
   let xid = t.next_xid in

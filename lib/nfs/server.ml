@@ -165,7 +165,16 @@ let dispatcher t ep () =
     | Proto.Reply _ -> assert false
   done
 
-let create engine ~cpu ~fs ?(nfsd = 4) ?(dup_cache_size = 256) ~endpoints () =
+let create engine ~cpu ~fs ?(nfsd = 4) ?dup_cache_size ~endpoints () =
+  (* the cache is shared across clients, so a fixed size gets easier to
+     evict out of as clients multiply — and an evicted entry is exactly
+     a delayed retransmit re-applying a CREATE/WRITE.  Scale the
+     default with the client count (one endpoint per client). *)
+  let dup_cache_size =
+    match dup_cache_size with
+    | Some n -> n
+    | None -> 256 * max 1 (List.length endpoints)
+  in
   let t =
     {
       engine;

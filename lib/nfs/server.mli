@@ -29,7 +29,10 @@ val create :
   unit ->
   t
 (** Start dispatchers and workers.  [nfsd] defaults to 4 workers,
-    [dup_cache_size] to 256 retained non-idempotent replies. *)
+    [dup_cache_size] to 256 retained non-idempotent replies {e per
+    client link} — the cache is shared, and an entry evicted before the
+    last retransmit of its call arrives is a duplicate apply waiting to
+    happen, so the default scales with the endpoint count. *)
 
 val root_fh : Proto.fh
 (** The exported root directory. *)

@@ -211,6 +211,36 @@ let test_dirty_cap_blocks_writer () =
   | Some got -> check_int "nothing lost under the cap" len (Bytes.length got)
   | None -> Alcotest.fail "file missing on server"
 
+let test_unaligned_stream_dirty_accounting () =
+  (* Regression: a flush of a run ending mid-block used to credit back
+     only the truncated payload length against the bsize-per-page debit,
+     leaking dirty_bytes on every such flush until the cap loop slept
+     with nothing in flight — a deadlock on any long unaligned stream. *)
+  let t = topo ~dirty_limit:(120 * 1024) () in
+  let len = 4 * 1024 * 1024 in
+  let chunk = 1000 in
+  T.run_clients t (fun c ->
+      let f = Nfs.Client.create c.T.mount "unaligned" in
+      let off = ref 0 in
+      while !off < len do
+        let n = min chunk (len - !off) in
+        let buf =
+          Bytes.init n (fun i -> Helpers.pattern_byte ~seed:7 (!off + i))
+        in
+        Nfs.Client.write f ~off:!off ~buf ~len:n;
+        off := !off + n
+      done;
+      Nfs.Client.fsync f);
+  match server_contents t "unaligned" with
+  | None -> Alcotest.fail "file missing on server"
+  | Some got ->
+      check_int "size" len (Bytes.length got);
+      let ok = ref true in
+      Bytes.iteri
+        (fun i b -> if b <> Helpers.pattern_byte ~seed:7 i then ok := false)
+        got;
+      check_bool "contents match" true !ok
+
 let test_partial_block_rmw () =
   let t = topo () in
   let len = 3 * bsize in
@@ -396,6 +426,8 @@ let suites =
         Alcotest.test_case "write gathering" `Quick test_write_gathering;
         Alcotest.test_case "dirty cap throttles the writer" `Quick
           test_dirty_cap_blocks_writer;
+        Alcotest.test_case "unaligned stream: dirty accounting stays exact"
+          `Quick test_unaligned_stream_dirty_accounting;
         Alcotest.test_case "partial-block read-modify-write" `Quick
           test_partial_block_rmw;
         Alcotest.test_case "lossy link: completes, applies once" `Quick
