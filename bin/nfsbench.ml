@@ -8,6 +8,8 @@
 
 open Cmdliner
 
+let ( let* ) = Result.bind
+
 let base_config name =
   match String.lowercase_ascii name with
   | "a" -> Ok Clusterfs.Config.config_a
@@ -41,13 +43,28 @@ let cool_all t clients =
     cool_server t (client_path id)
   done
 
+let transport_of_string = function
+  | "fixed" -> Ok Nfs.Rpc.Fixed
+  | "adaptive" -> Ok Nfs.Rpc.Adaptive
+  | other -> Error (Printf.sprintf "unknown transport %S (want fixed|adaptive)" other)
+
+let topology_of_string = function
+  | "p2p" -> Ok Clusterfs.Topology.Point_to_point
+  | "shared" -> Ok Clusterfs.Topology.Shared_medium
+  | other -> Error (Printf.sprintf "unknown topology %S (want p2p|shared)" other)
+
 let run config_name clients nfsd biods ra_depth file_mb bandwidth_kb latency_us
-    loss seed phases verbose =
-  match base_config config_name with
+    loss seed transport topology phases verbose =
+  match
+    let* config = base_config config_name in
+    let* transport = transport_of_string transport in
+    let* topology = topology_of_string topology in
+    Ok (config, transport, topology)
+  with
   | Error e ->
       prerr_endline e;
       1
-  | Ok config -> (
+  | Ok (config, transport, topology) -> (
       let phases =
         match phases with
         | [] -> Ok [ Workload.Iobench.FSW; Workload.Iobench.FSR ]
@@ -74,15 +91,22 @@ let run config_name clients nfsd biods ra_depth file_mb bandwidth_kb latency_us
             }
           in
           Printf.printf
-            "server: config %s, %d nfsd; %d client%s, %d KB/s links, %d us \
-             latency, %.2f%% loss\n"
+            "server: config %s, %d nfsd; %d client%s, %d KB/s %s, %d us \
+             latency, %.2f%% loss, %s transport\n"
             (String.uppercase_ascii config_name)
             nfsd clients
             (if clients = 1 then "" else "s")
-            bandwidth_kb latency_us (loss *. 100.);
+            bandwidth_kb
+            (match topology with
+            | Clusterfs.Topology.Point_to_point -> "links"
+            | Clusterfs.Topology.Shared_medium -> "shared wire")
+            latency_us (loss *. 100.)
+            (match transport with
+            | Nfs.Rpc.Fixed -> "fixed-timeout"
+            | Nfs.Rpc.Adaptive -> "adaptive");
           let t =
-            Clusterfs.Topology.create ~net ~seed ~nfsd ?biods ?ra_depth
-              ~clients config
+            Clusterfs.Topology.create ~net ~seed ~topology ~transport ~nfsd
+              ?biods ?ra_depth ~clients config
           in
           let engine = Clusterfs.Topology.engine t in
           let cfg id =
@@ -151,13 +175,19 @@ let run config_name clients nfsd biods ra_depth file_mb bandwidth_kb latency_us
                 let id = c.Clusterfs.Topology.id in
                 let r = Nfs.Rpc.stats c.Clusterfs.Topology.rpc in
                 let s = Nfs.Client.stats c.Clusterfs.Topology.mount in
-                let l = Net.stats c.Clusterfs.Topology.link in
-                Printf.printf
-                  "\nclient %d: %d calls (%d retrans, %d late), link %d msgs \
-                   / %d KB, %d drops\n"
-                  id r.Nfs.Rpc.calls r.Nfs.Rpc.retransmits
-                  r.Nfs.Rpc.late_replies l.Net.msgs_sent
-                  (l.Net.bytes_sent / 1024) l.Net.drops;
+                (match Clusterfs.Topology.client_link c with
+                | Some link ->
+                    let l = Net.stats link in
+                    Printf.printf
+                      "\nclient %d: %d calls (%d retrans, %d late), link %d \
+                       msgs / %d KB, %d drops\n"
+                      id r.Nfs.Rpc.calls r.Nfs.Rpc.retransmits
+                      r.Nfs.Rpc.late_replies l.Net.msgs_sent
+                      (l.Net.bytes_sent / 1024) l.Net.drops
+                | None ->
+                    Printf.printf "\nclient %d: %d calls (%d retrans, %d late)\n"
+                      id r.Nfs.Rpc.calls r.Nfs.Rpc.retransmits
+                      r.Nfs.Rpc.late_replies);
                 Printf.printf
                   "  cache: %d hits / %d misses, ra %d issued (%d used), %d \
                    gathers, %d dirty sleeps\n"
@@ -223,6 +253,24 @@ let loss_t =
 let seed_t =
   Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Fault-injection seed.")
 
+let transport_t =
+  Arg.(
+    value
+    & opt string "fixed"
+    & info [ "transport" ]
+        ~doc:
+          "RPC retransmission strategy: fixed (NFSv2 timers) or adaptive \
+           (srtt/rttvar RTO + AIMD congestion window).")
+
+let topology_t =
+  Arg.(
+    value
+    & opt string "p2p"
+    & info [ "topology" ]
+        ~doc:
+          "Network wiring: p2p (a private link per client) or shared (one \
+           Ethernet-class medium all stations contend for).")
+
 let phases_t =
   Arg.(
     value
@@ -241,7 +289,7 @@ let cmd =
     (Cmd.info "nfsbench" ~doc)
     Term.(
       const run $ config_t $ clients_t $ nfsd_t $ biods_t $ ra_depth_t
-      $ file_mb_t $ bandwidth_t $ latency_t $ loss_t $ seed_t $ phases_t
-      $ verbose_t)
+      $ file_mb_t $ bandwidth_t $ latency_t $ loss_t $ seed_t $ transport_t
+      $ topology_t $ phases_t $ verbose_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -894,6 +894,116 @@ let nfs_scaling ?(file_mb = 2) ?(nfsd = 4) ?(net = nfs_scale_net)
       (Nfs.Server.stats t.Topology.service).Nfs.Server.dup_evictions;
   }
 
+type nfs_cc_row = {
+  cc_clients : int;
+  cc_transport : string;
+  cc_topology : string;
+  cc_goodput_kb_per_sec : float;
+  cc_retransmits : int;
+  cc_steady_retransmits : int;
+  cc_backoffs : int;
+  cc_dup_hits : int;
+  cc_dup_evictions : int;
+  cc_srtt_ms : float;
+  cc_rto_ms : float;
+  cc_cwnd : float;
+  cc_server_queue_ms : float;
+  cc_medium_util : float;
+}
+
+let transport_name = function
+  | Nfs.Rpc.Fixed -> "fixed"
+  | Nfs.Rpc.Adaptive -> "adaptive"
+
+let topology_name = function
+  | Topology.Point_to_point -> "p2p"
+  | Topology.Shared_medium -> "shared"
+
+(* One cell of the congestion sweep: [clients] concurrent streaming
+   readers against a cold server on Ethernet-class links.  The fixed
+   transport runs with the true NFSv2 default timeout (1.1 s) — at
+   saturation the server queue exceeds it and every client re-injects
+   duplicates on a fixed clock, which is the collapse; the adaptive
+   transport must discover the same queueing delay through its
+   estimator instead of being handed a safe [rpc_timeout].
+   Steady-state retransmits are counted over the second half of the
+   measured window, after the estimator has had time to converge. *)
+let nfs_congestion_point ?(file_mb = 1) ?(net = nfs_scale_net) ~clients
+    ~transport ~topology () =
+  let config =
+    Config.with_name Config.config_a
+      (Printf.sprintf "A.cc.%s.%s.n%d" (transport_name transport)
+         (topology_name topology) clients)
+  in
+  let t = Topology.create ~net ~topology ~transport ~clients config in
+  let engine = Topology.engine t in
+  let cc_cfg id =
+    {
+      Workload.Iobench.default_config with
+      Workload.Iobench.file_mb;
+      path = Printf.sprintf "/cc%d" id;
+    }
+  in
+  Topology.run_clients t (fun c ->
+      Workload.Remote_iobench.prepare c.Topology.mount (cc_cfg c.Topology.id));
+  for id = 0 to clients - 1 do
+    cool_server_file t (cc_cfg id).Workload.Iobench.path
+  done;
+  let t_start = Sim.Engine.now engine in
+  let finishes = Array.make clients Sim.Time.zero in
+  let bytes = Array.make clients 0 in
+  Topology.run_clients t (fun c ->
+      let id = c.Topology.id in
+      let r =
+        Workload.Remote_iobench.run_phase ~engine ~cpu:c.Topology.cpu
+          c.Topology.mount (cc_cfg id) Workload.Iobench.FSR
+      in
+      bytes.(id) <- r.Workload.Iobench.bytes_moved;
+      finishes.(id) <- Sim.Engine.now engine);
+  let total_bytes = Array.fold_left ( + ) 0 bytes in
+  let wall = Array.fold_left max Sim.Time.zero finishes - t_start in
+  let mid = t_start + (wall / 2) in
+  let sum f = Array.fold_left (fun a c -> a + f c) 0 t.Topology.clients in
+  let sv = Nfs.Server.stats t.Topology.service in
+  let rpc0 = t.Topology.clients.(0).Topology.rpc in
+  {
+    cc_clients = clients;
+    cc_transport = transport_name transport;
+    cc_topology = topology_name topology;
+    cc_goodput_kb_per_sec =
+      (if wall = 0 then 0.
+       else float_of_int total_bytes /. 1024. /. Sim.Time.to_sec_float wall);
+    cc_retransmits =
+      sum (fun c -> (Nfs.Rpc.stats c.Topology.rpc).Nfs.Rpc.retransmits);
+    cc_steady_retransmits =
+      sum (fun c -> Nfs.Rpc.retransmits_since c.Topology.rpc mid);
+    cc_backoffs = sum (fun c -> Nfs.Rpc.backoffs c.Topology.rpc);
+    cc_dup_hits = sv.Nfs.Server.dup_hits;
+    cc_dup_evictions = sv.Nfs.Server.dup_evictions;
+    cc_srtt_ms = Nfs.Rpc.srtt_us rpc0 /. 1000.;
+    cc_rto_ms = Nfs.Rpc.rto_us rpc0 /. 1000.;
+    cc_cwnd = Nfs.Rpc.cwnd rpc0;
+    cc_server_queue_ms =
+      Sim.Stats.Summary.mean sv.Nfs.Server.queue_wait_us /. 1000.;
+    cc_medium_util =
+      (match Topology.medium t with
+      | Some m -> Net.Medium.utilization m
+      | None -> 0.);
+  }
+
+let nfs_congestion ?file_mb ?net ?(client_counts = [ 1; 4; 16 ]) () =
+  List.concat_map
+    (fun clients ->
+      List.concat_map
+        (fun topology ->
+          List.map
+            (fun transport ->
+              nfs_congestion_point ?file_mb ?net ~clients ~transport ~topology
+                ())
+            [ Nfs.Rpc.Fixed; Nfs.Rpc.Adaptive ])
+        [ Topology.Point_to_point; Topology.Shared_medium ])
+    client_counts
+
 type nfs_loss_row = {
   loss_pct : float;
   goodput_kb_per_sec : float;
@@ -948,7 +1058,7 @@ let nfs_loss ?(file_mb = 1) ?(losses = [ 0.; 0.001; 0.01; 0.05 ]) () =
           (if !spent = 0 then 0.
            else float_of_int !moved /. 1024. /. Sim.Time.to_sec_float !spent);
         zl_retransmits = (Nfs.Rpc.stats c.Topology.rpc).Nfs.Rpc.retransmits;
-        zl_drops = (Net.stats c.Topology.link).Net.drops;
+        zl_drops = Topology.client_drops c;
         zl_dup_hits = (Nfs.Server.stats t.Topology.service).Nfs.Server.dup_hits;
         creates_applied = Nfs.Server.applied t.Topology.service "create";
         creates_issued = Nfs.Rpc.op_calls c.Topology.rpc "create";

@@ -206,6 +206,42 @@ val nfs_scaling :
     a raised retransmission timeout so server queueing under
     saturation is not mistaken for loss. *)
 
+type nfs_cc_row = {
+  cc_clients : int;
+  cc_transport : string;  (** ["fixed" | "adaptive"] *)
+  cc_topology : string;  (** ["p2p" | "shared"] *)
+  cc_goodput_kb_per_sec : float;  (** all streams, concurrent window *)
+  cc_retransmits : int;  (** all clients, whole measured window *)
+  cc_steady_retransmits : int;
+      (** second half of the window only — after the adaptive
+          estimator converges this should be ~0 *)
+  cc_backoffs : int;  (** adaptive RTO backoff events, all clients *)
+  cc_dup_hits : int;
+  cc_dup_evictions : int;
+  cc_srtt_ms : float;  (** client 0's converged estimate; 0 for fixed *)
+  cc_rto_ms : float;
+  cc_cwnd : float;  (** client 0's final window; 0 for fixed *)
+  cc_server_queue_ms : float;
+  cc_medium_util : float;  (** shared-wire busy fraction; 0 for p2p *)
+}
+
+val nfs_congestion_point :
+  ?file_mb:int -> ?net:Net.config -> clients:int ->
+  transport:Nfs.Rpc.transport -> topology:Topology.kind -> unit -> nfs_cc_row
+(** One cell: [clients] concurrent streaming readers on Ethernet-class
+    links ({!nfs_scale_net}), fixed transport at the true NFSv2 default
+    timeout (1.1 s) so saturation queueing trips it — the congestion
+    collapse — while the adaptive transport must learn the delay
+    through srtt/rttvar instead of being handed a safe timeout. *)
+
+val nfs_congestion :
+  ?file_mb:int -> ?net:Net.config -> ?client_counts:int list -> unit ->
+  nfs_cc_row list
+(** The full sweep: client counts × \{fixed, adaptive\} × \{p2p,
+    shared medium\}.  Expect fixed goodput to collapse as clients grow
+    (retransmit duplicates amplifying the overload) and adaptive
+    goodput to hold, with near-zero steady-state retransmits. *)
+
 type nfs_loss_row = {
   loss_pct : float;
   goodput_kb_per_sec : float;  (** application bytes over elapsed *)

@@ -1,7 +1,13 @@
+type kind = Point_to_point | Shared_medium
+
+type attach =
+  | Link of Nfs.Proto.msg Net.t
+  | Station of Nfs.Proto.msg Net.Medium.station
+
 type client = {
   id : int;
   cpu : Sim.Cpu.t;
-  link : Nfs.Proto.msg Net.t;
+  attach : attach;
   rpc : Nfs.Rpc.t;
   mount : Nfs.Client.t;
 }
@@ -10,50 +16,93 @@ type t = {
   server : Machine.t;
   service : Nfs.Server.t;
   clients : client array;
+  medium : Nfs.Proto.msg Net.Medium.t option;
 }
 
-let create ?(net = Net.default_config) ?(seed = 0) ?(nfsd = 4) ?biods
-    ?ra_depth ?dirty_limit ?rpc_timeout ~clients config =
+let client_link c = match c.attach with Link l -> Some l | Station _ -> None
+let medium t = t.medium
+
+let client_drops c =
+  match c.attach with Link l -> (Net.stats l).Net.drops | Station _ -> 0
+
+let create ?(net = Net.default_config) ?(seed = 0)
+    ?(topology = Point_to_point) ?transport ?(nfsd = 4) ?biods ?ra_depth
+    ?dirty_limit ?rpc_timeout ~clients config =
   let server = Machine.create config in
   let engine = server.Machine.engine in
+  (* On the shared medium the server is station 0 and client [i] is
+     station [i + 1]; the server reaches each client through a virtual
+     per-peer endpoint of its one station. *)
+  let shared = ref None in
   let nodes =
-    Array.init clients (fun id ->
-        let cpu = Sim.Cpu.create engine in
-        let link =
-          Net.create ~seed:(seed + id)
-            ~name:(Printf.sprintf "link.%d" id)
-            engine net ~a_cpu:cpu ~b_cpu:server.Machine.cpu
-        in
-        (id, cpu, link))
+    match topology with
+    | Point_to_point ->
+        Array.init clients (fun id ->
+            let cpu = Sim.Cpu.create engine in
+            let link =
+              Net.create ~seed:(seed + id)
+                ~name:(Printf.sprintf "link.%d" id)
+                engine net ~a_cpu:cpu ~b_cpu:server.Machine.cpu
+            in
+            (id, cpu, Link link))
+    | Shared_medium ->
+        let m = Net.Medium.create ~seed ~name:"ether" engine net in
+        let server_station = Net.Medium.attach m ~cpu:server.Machine.cpu in
+        shared := Some (m, server_station);
+        Array.init clients (fun id ->
+            let cpu = Sim.Cpu.create engine in
+            let st = Net.Medium.attach m ~cpu in
+            (id, cpu, Station st))
+  in
+  let server_ep (id, _, attach) =
+    match attach with
+    | Link l -> Net.b_end l
+    | Station _ -> (
+        match !shared with
+        | Some (_, ss) -> Net.Medium.endpoint ss ~peer:(id + 1)
+        | None -> assert false)
   in
   let service =
     Nfs.Server.create engine ~cpu:server.Machine.cpu ~fs:server.Machine.fs
       ~nfsd
-      ~endpoints:(Array.to_list (Array.map (fun (_, _, l) -> Net.b_end l) nodes))
+      ~endpoints:(Array.to_list (Array.map server_ep nodes))
       ()
   in
   let clients =
     Array.map
-      (fun (id, cpu, link) ->
+      (fun (id, cpu, attach) ->
+        let ep =
+          match attach with
+          | Link l -> Net.a_end l
+          | Station st -> Net.Medium.endpoint st ~peer:0
+        in
         let rpc =
-          Nfs.Rpc.create engine ~cpu ~ep:(Net.a_end link) ~client_id:id
+          Nfs.Rpc.create engine ~cpu ~ep ~client_id:id ?transport
             ?timeout:rpc_timeout ()
         in
         let mount =
           Nfs.Client.mount engine ~cpu ~rpc ?biods ?ra_depth ?dirty_limit ()
         in
-        { id; cpu; link; rpc; mount })
+        { id; cpu; attach; rpc; mount })
       nodes
   in
-  let t = { server; service; clients } in
+  let t =
+    { server; service; clients; medium = Option.map fst !shared }
+  in
   (match Machine.current_metrics_sink () with
   | Some reg ->
       let name = config.Config.name in
       Nfs.Server.register_metrics service reg ~instance:(name ^ ".server");
+      (match t.medium with
+      | Some m -> Net.Medium.register_metrics m reg ~instance:(name ^ ".net")
+      | None -> ());
       Array.iter
         (fun c ->
-          Net.register_metrics c.link reg
-            ~instance:(Printf.sprintf "%s.c%d.link" name c.id);
+          (match c.attach with
+          | Link l ->
+              Net.register_metrics l reg
+                ~instance:(Printf.sprintf "%s.c%d.link" name c.id)
+          | Station _ -> ());
           Nfs.Client.register_metrics c.mount reg
             ~instance:(Printf.sprintf "%s.c%d" name c.id))
         clients

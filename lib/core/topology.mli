@@ -1,5 +1,5 @@
 (** A multi-machine setup: one server machine exporting its UFS over
-    NFS to [n] client nodes, each behind its own duplex {!Net} link.
+    NFS to [n] client nodes.
 
     Everything shares one {!Sim.Engine} (the server machine's), so a
     topology is still a single deterministic simulation.  The server is
@@ -9,15 +9,32 @@
     {!Nfs.Client} mount, but no local disk or UFS (their cache lives in
     the mount).
 
+    Two wirings ({!kind}):
+
+    - {!Point_to_point} (default): each client gets a private duplex
+      {!Net} link to the server — contention only at the server's CPU
+      and disk;
+    - {!Shared_medium}: every machine is a station on one
+      {!Net.Medium} Ethernet segment (server = station 0, client [i] =
+      station [i+1]), so clients also contend for the wire itself.
+
     When a metrics sink is installed ({!Machine.with_metrics_sink}),
-    the server machine, the NFS service, every link and every client
-    mount register themselves; instances are named
-    [<config>.server], [<config>.c<i>.link] and [<config>.c<i>]. *)
+    the server machine, the NFS service, the network and every client
+    mount register themselves; instances are named [<config>.server],
+    [<config>.c<i>.link] (per-client links) or [<config>.net] (the
+    shared medium), and [<config>.c<i>]. *)
+
+type kind = Point_to_point | Shared_medium
+
+type attach =
+  | Link of Nfs.Proto.msg Net.t  (** private duplex link to the server *)
+  | Station of Nfs.Proto.msg Net.Medium.station
+      (** this client's station on the shared segment *)
 
 type client = {
   id : int;  (** 0-based; also the RPC client id *)
   cpu : Sim.Cpu.t;
-  link : Nfs.Proto.msg Net.t;
+  attach : attach;
   rpc : Nfs.Rpc.t;
   mount : Nfs.Client.t;
 }
@@ -26,11 +43,24 @@ type t = {
   server : Machine.t;
   service : Nfs.Server.t;
   clients : client array;
+  medium : Nfs.Proto.msg Net.Medium.t option;
+      (** the shared segment, when [kind] was {!Shared_medium} *)
 }
+
+val client_link : client -> Nfs.Proto.msg Net.t option
+(** The client's private link ([None] on a shared medium). *)
+
+val client_drops : client -> int
+(** Drops on the client's private link, both directions; 0 on a shared
+    medium (drops there are per-segment — see {!medium}). *)
+
+val medium : t -> Nfs.Proto.msg Net.Medium.t option
 
 val create :
   ?net:Net.config ->
   ?seed:int ->
+  ?topology:kind ->
+  ?transport:Nfs.Rpc.transport ->
   ?nfsd:int ->
   ?biods:int ->
   ?ra_depth:int ->
@@ -40,12 +70,14 @@ val create :
   Config.t ->
   t
 (** Build the server from [Config.t] (mkfs + mount as {!Machine.create})
-    and attach [clients] nodes over per-client links.  [seed] (default 0)
-    derives each link's fault-injection stream ([seed + client id]).
-    [nfsd] sizes the server worker pool (default 4); [biods], [ra_depth]
-    and [dirty_limit] configure each client mount (see
-    {!Nfs.Client.mount}); [rpc_timeout] is the initial retransmission
-    timeout. *)
+    and attach [clients] nodes.  [seed] (default 0) derives the
+    fault-injection streams ([seed + client id] per link, [seed] for a
+    shared medium).  [topology] picks the wiring (default
+    {!Point_to_point}); [transport] the RPC retransmission strategy
+    (default {!Nfs.Rpc.Fixed}).  [nfsd] sizes the server worker pool
+    (default 4); [biods], [ra_depth] and [dirty_limit] configure each
+    client mount (see {!Nfs.Client.mount}); [rpc_timeout] is the
+    initial retransmission timeout. *)
 
 val engine : t -> Sim.Engine.t
 

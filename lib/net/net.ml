@@ -21,6 +21,11 @@ let default_config =
 
 let lossy c p = { c with loss = p }
 
+let validate ~who cfg =
+  if cfg.bandwidth <= 0 then invalid_arg (who ^ ": bandwidth must be > 0");
+  if cfg.loss < 0. || cfg.loss >= 1. then
+    invalid_arg (who ^ ": loss must be in [0, 1)")
+
 type stats = {
   mutable msgs_sent : int;
   mutable bytes_sent : int;
@@ -42,27 +47,56 @@ let mk_stats () =
     transit_us = Sim.Stats.Summary.create ();
   }
 
-(* One direction of the wire: its own serialization point and FIFO
-   arrival ordering, shared fault-injection RNG and stats with the
-   reverse direction. *)
+let xmit_time cfg ~size =
+  (* ceil(size / bandwidth) in integer microseconds *)
+  ((size * 1_000_000) + cfg.bandwidth - 1) / cfg.bandwidth
+
+let serialization_cpu cfg ~size =
+  cfg.per_msg_cpu + (cfg.per_kb_cpu * ((size + 1023) / 1024))
+
+(* An endpoint is an interface, not a wire: the same RPC machinery runs
+   over a private point-to-point link or over one station of a shared
+   medium without knowing which. *)
+type 'a endpoint = {
+  ep_send : size:int -> 'a -> unit;
+  ep_recv : unit -> 'a;
+  ep_pending : unit -> int;
+}
+
+let send ep ~size msg = ep.ep_send ~size msg
+let recv ep = ep.ep_recv ()
+let pending ep = ep.ep_pending ()
+
+(* ---------- point-to-point duplex links ---------- *)
+
+(* One direction of the wire: its own serialization point, FIFO arrival
+   ordering and stats; fault-injection RNG and the combined stats record
+   are shared with the reverse direction. *)
 type 'a dir = {
   mutable free_at : Sim.Time.t;  (** wire busy until *)
   mutable last_arrival : Sim.Time.t;
   inbox : 'a Queue.t;  (** the RECEIVING endpoint's mailbox *)
   cond : Sim.Condition.t;
+  dst : stats;  (** this direction only *)
 }
 
-type 'a endpoint = {
+type 'a pep = {
   engine : Sim.Engine.t;
   cfg : config;
   cpu : Sim.Cpu.t;  (** sender's CPU: serialization is charged here *)
   out : 'a dir;  (** direction this endpoint transmits into *)
   inc : 'a dir;  (** direction this endpoint receives from *)
   rng : Sim.Rng.t;
-  st : stats;
+  st : stats;  (** both directions combined *)
 }
 
-type 'a t = { a : 'a endpoint; b : 'a endpoint; name : string }
+type 'a t = {
+  a : 'a pep;
+  b : 'a pep;
+  a_ep : 'a endpoint;
+  b_ep : 'a endpoint;
+  name : string;
+}
 
 let mk_dir engine name =
   {
@@ -70,31 +104,12 @@ let mk_dir engine name =
     last_arrival = Sim.Time.zero;
     inbox = Queue.create ();
     cond = Sim.Condition.create engine name;
+    dst = mk_stats ();
   }
 
-let create ?(seed = 0) ?(name = "link") engine cfg ~a_cpu ~b_cpu =
-  if cfg.bandwidth <= 0 then invalid_arg "Net.create: bandwidth must be > 0";
-  if cfg.loss < 0. || cfg.loss >= 1. then
-    invalid_arg "Net.create: loss must be in [0, 1)";
-  let ab = mk_dir engine (name ^ ".ab") in
-  let ba = mk_dir engine (name ^ ".ba") in
-  let rng = Sim.Rng.create ~seed in
-  let st = mk_stats () in
-  let a = { engine; cfg; cpu = a_cpu; out = ab; inc = ba; rng; st } in
-  let b = { engine; cfg; cpu = b_cpu; out = ba; inc = ab; rng; st } in
-  { a; b; name }
-
-let a_end t = t.a
-let b_end t = t.b
-
-let xmit_time cfg ~size =
-  (* ceil(size / bandwidth) in integer microseconds *)
-  ((size * 1_000_000) + cfg.bandwidth - 1) / cfg.bandwidth
-
-let send ep ~size msg =
+let p2p_send ep ~size msg =
   let cfg = ep.cfg in
-  Sim.Cpu.charge ep.cpu ~label:"net"
-    (cfg.per_msg_cpu + (cfg.per_kb_cpu * ((size + 1023) / 1024)));
+  Sim.Cpu.charge ep.cpu ~label:"net" (serialization_cpu cfg ~size);
   let now = Sim.Engine.now ep.engine in
   let dir = ep.out in
   let start = max now dir.free_at in
@@ -102,15 +117,24 @@ let send ep ~size msg =
   dir.free_at <- start + xmit_time cfg ~size;
   ep.st.msgs_sent <- ep.st.msgs_sent + 1;
   ep.st.bytes_sent <- ep.st.bytes_sent + size;
+  dir.dst.msgs_sent <- dir.dst.msgs_sent + 1;
+  dir.dst.bytes_sent <- dir.dst.bytes_sent + size;
   Sim.Stats.Summary.add ep.st.wire_wait_us (float_of_int wire_wait);
+  Sim.Stats.Summary.add dir.dst.wire_wait_us (float_of_int wire_wait);
   (* fault injection: the draws happen at send time, in send order, so
      a run is a pure function of the link seed and the traffic *)
   let dropped = cfg.loss > 0. && Sim.Rng.float ep.rng 1.0 < cfg.loss in
   let spiked =
     cfg.spike_prob > 0. && Sim.Rng.float ep.rng 1.0 < cfg.spike_prob
   in
-  if spiked then ep.st.spikes <- ep.st.spikes + 1;
-  if dropped then ep.st.drops <- ep.st.drops + 1
+  if spiked then begin
+    ep.st.spikes <- ep.st.spikes + 1;
+    dir.dst.spikes <- dir.dst.spikes + 1
+  end;
+  if dropped then begin
+    ep.st.drops <- ep.st.drops + 1;
+    dir.dst.drops <- dir.dst.drops + 1
+  end
   else begin
     let arrival =
       dir.free_at + cfg.latency + (if spiked then cfg.spike else Sim.Time.zero)
@@ -122,23 +146,45 @@ let send ep ~size msg =
     Sim.Engine.schedule ep.engine ~delay:(arrival - now) (fun () ->
         Queue.push msg dir.inbox;
         ep.st.msgs_delivered <- ep.st.msgs_delivered + 1;
+        dir.dst.msgs_delivered <- dir.dst.msgs_delivered + 1;
         Sim.Stats.Summary.add ep.st.transit_us (float_of_int (arrival - now));
+        Sim.Stats.Summary.add dir.dst.transit_us (float_of_int (arrival - now));
         Sim.Condition.signal dir.cond)
   end
 
-let rec recv ep =
+let rec p2p_recv ep =
   if Queue.is_empty ep.inc.inbox then begin
     Sim.Condition.wait ep.inc.cond;
-    recv ep
+    p2p_recv ep
   end
   else Queue.pop ep.inc.inbox
 
-let pending ep = Queue.length ep.inc.inbox
+let iface_of_pep ep =
+  {
+    ep_send = (fun ~size msg -> p2p_send ep ~size msg);
+    ep_recv = (fun () -> p2p_recv ep);
+    ep_pending = (fun () -> Queue.length ep.inc.inbox);
+  }
+
+let create ?(seed = 0) ?(name = "link") engine cfg ~a_cpu ~b_cpu =
+  validate ~who:"Net.create" cfg;
+  let ab = mk_dir engine (name ^ ".ab") in
+  let ba = mk_dir engine (name ^ ".ba") in
+  let rng = Sim.Rng.create ~seed in
+  let st = mk_stats () in
+  let a = { engine; cfg; cpu = a_cpu; out = ab; inc = ba; rng; st } in
+  let b = { engine; cfg; cpu = b_cpu; out = ba; inc = ab; rng; st } in
+  { a; b; a_ep = iface_of_pep a; b_ep = iface_of_pep b; name }
+
+let a_end t = t.a_ep
+let b_end t = t.b_ep
 
 let stats t = t.a.st
+let dir_stats t = (t.a.out.dst, t.b.out.dst)
 
 let register_metrics t reg ~instance =
   let s = t.a.st in
+  let ab = t.a.out.dst and ba = t.b.out.dst in
   Sim.Metrics.register reg ~layer:"net" ~instance (fun () ->
       [
         ("msgs_sent", Sim.Metrics.Int s.msgs_sent);
@@ -148,4 +194,252 @@ let register_metrics t reg ~instance =
         ("delay_spikes", Sim.Metrics.Int s.spikes);
         ("wire_wait_us", Sim.Metrics.Summary s.wire_wait_us);
         ("transit_us", Sim.Metrics.Summary s.transit_us);
+        (* per direction: asymmetric loss and reply-side queuing show
+           up here, invisible in the combined numbers *)
+        ("a2b_msgs", Sim.Metrics.Int ab.msgs_sent);
+        ("a2b_bytes", Sim.Metrics.Int ab.bytes_sent);
+        ("a2b_drops", Sim.Metrics.Int ab.drops);
+        ("a2b_wire_wait_us", Sim.Metrics.Summary ab.wire_wait_us);
+        ("b2a_msgs", Sim.Metrics.Int ba.msgs_sent);
+        ("b2a_bytes", Sim.Metrics.Int ba.bytes_sent);
+        ("b2a_drops", Sim.Metrics.Int ba.drops);
+        ("b2a_wire_wait_us", Sim.Metrics.Summary ba.wire_wait_us);
       ])
+
+(* ---------- shared medium ---------- *)
+
+module Medium = struct
+  type m_stats = {
+    mutable frames_sent : int;
+    mutable m_bytes_sent : int;
+    mutable frames_delivered : int;
+    mutable m_drops : int;
+    mutable m_spikes : int;
+    mutable contentions : int;
+    mutable busy_us : int;
+    m_queue_wait_us : Sim.Stats.Summary.t;
+    m_transit_us : Sim.Stats.Summary.t;
+  }
+
+  type 'a frame = {
+    src : int;
+    f_dst : int;
+    fsize : int;
+    payload : 'a;
+    enq_at : Sim.Time.t;
+  }
+
+  type 'a inbox = { q : 'a Queue.t; ib_cond : Sim.Condition.t }
+
+  type 'a t = {
+    m_engine : Sim.Engine.t;
+    m_cfg : config;
+    slot : Sim.Time.t;
+    max_exp : int;
+    m_name : string;
+    m_rng : Sim.Rng.t;
+    mutable wire_free_at : Sim.Time.t;
+    stations : (int, 'a station) Hashtbl.t;
+    mutable nstations : int;
+    last_arrival : (int, Sim.Time.t) Hashtbl.t;  (** per-dst FIFO floor *)
+    m_st : m_stats;
+  }
+
+  and 'a station = {
+    med : 'a t;
+    sid : int;
+    s_cpu : Sim.Cpu.t;
+    outq : 'a frame Queue.t;
+    mutable pumping : bool;
+    mutable backoff_exp : int;
+    inboxes : (int, 'a inbox) Hashtbl.t;  (** keyed by source station *)
+    s_queue_wait_us : Sim.Stats.Summary.t;
+  }
+
+  let create ?(seed = 0) ?(name = "ether") ?(slot = Sim.Time.us 51)
+      ?(max_backoff_exp = 10) engine cfg =
+    validate ~who:"Net.Medium.create" cfg;
+    if slot <= 0 then invalid_arg "Net.Medium.create: slot must be > 0";
+    {
+      m_engine = engine;
+      m_cfg = cfg;
+      slot;
+      max_exp = max_backoff_exp;
+      m_name = name;
+      m_rng = Sim.Rng.create ~seed;
+      wire_free_at = Sim.Time.zero;
+      stations = Hashtbl.create 16;
+      nstations = 0;
+      last_arrival = Hashtbl.create 16;
+      m_st =
+        {
+          frames_sent = 0;
+          m_bytes_sent = 0;
+          frames_delivered = 0;
+          m_drops = 0;
+          m_spikes = 0;
+          contentions = 0;
+          busy_us = 0;
+          m_queue_wait_us = Sim.Stats.Summary.create ();
+          m_transit_us = Sim.Stats.Summary.create ();
+        };
+    }
+
+  let attach t ~cpu =
+    let s =
+      {
+        med = t;
+        sid = t.nstations;
+        s_cpu = cpu;
+        outq = Queue.create ();
+        pumping = false;
+        backoff_exp = 0;
+        inboxes = Hashtbl.create 4;
+        s_queue_wait_us = Sim.Stats.Summary.create ();
+      }
+    in
+    Hashtbl.replace t.stations s.sid s;
+    t.nstations <- t.nstations + 1;
+    s
+
+  let station_id s = s.sid
+
+  let inbox_of s ~src =
+    match Hashtbl.find_opt s.inboxes src with
+    | Some ib -> ib
+    | None ->
+        let ib =
+          {
+            q = Queue.create ();
+            ib_cond =
+              Sim.Condition.create s.med.m_engine
+                (Printf.sprintf "%s.s%d<-%d" s.med.m_name s.sid src);
+          }
+        in
+        Hashtbl.replace s.inboxes src ib;
+        ib
+
+  (* The station's transmit pump.  One event chain per backlogged
+     station: sense the wire; if busy, defer a seeded jittered backoff
+     past the end of the current transmission (binary-exponential in
+     the station's consecutive-defer count); if free, seize it for the
+     head-of-queue frame.  Contention resolution is deterministic:
+     same-instant attempts are ordered by event sequence, losers back
+     off through the shared RNG. *)
+  let rec try_transmit s () =
+    let m = s.med in
+    let now = Sim.Engine.now m.m_engine in
+    if Queue.is_empty s.outq then s.pumping <- false
+    else if now < m.wire_free_at then begin
+      m.m_st.contentions <- m.m_st.contentions + 1;
+      let window = 1 lsl min s.backoff_exp m.max_exp in
+      s.backoff_exp <- s.backoff_exp + 1;
+      let jitter = m.slot * (1 + Sim.Rng.int m.m_rng window) in
+      Sim.Engine.schedule m.m_engine
+        ~delay:(m.wire_free_at - now + jitter)
+        (try_transmit s)
+    end
+    else begin
+      let fr = Queue.pop s.outq in
+      let wait = now - fr.enq_at in
+      Sim.Stats.Summary.add m.m_st.m_queue_wait_us (float_of_int wait);
+      Sim.Stats.Summary.add s.s_queue_wait_us (float_of_int wait);
+      s.backoff_exp <- 0;
+      let xmit = xmit_time m.m_cfg ~size:fr.fsize in
+      m.wire_free_at <- now + xmit;
+      m.m_st.busy_us <- m.m_st.busy_us + xmit;
+      m.m_st.frames_sent <- m.m_st.frames_sent + 1;
+      m.m_st.m_bytes_sent <- m.m_st.m_bytes_sent + fr.fsize;
+      let cfg = m.m_cfg in
+      let dropped = cfg.loss > 0. && Sim.Rng.float m.m_rng 1.0 < cfg.loss in
+      let spiked =
+        cfg.spike_prob > 0. && Sim.Rng.float m.m_rng 1.0 < cfg.spike_prob
+      in
+      if spiked then m.m_st.m_spikes <- m.m_st.m_spikes + 1;
+      if dropped then m.m_st.m_drops <- m.m_st.m_drops + 1
+      else begin
+        let arrival =
+          m.wire_free_at + cfg.latency
+          + (if spiked then cfg.spike else Sim.Time.zero)
+        in
+        (* one serial wire: everything bound for a station arrives in
+           transmission order, spikes push later frames behind them *)
+        let floor =
+          Option.value
+            (Hashtbl.find_opt m.last_arrival fr.f_dst)
+            ~default:Sim.Time.zero
+        in
+        let arrival = max arrival floor in
+        Hashtbl.replace m.last_arrival fr.f_dst arrival;
+        Sim.Engine.schedule m.m_engine ~delay:(arrival - now) (fun () ->
+            match Hashtbl.find_opt m.stations fr.f_dst with
+            | None -> ()  (* no such station: the bits fall on the floor *)
+            | Some dst ->
+                let ib = inbox_of dst ~src:fr.src in
+                Queue.push fr.payload ib.q;
+                m.m_st.frames_delivered <- m.m_st.frames_delivered + 1;
+                Sim.Stats.Summary.add m.m_st.m_transit_us
+                  (float_of_int (arrival - fr.enq_at));
+                Sim.Condition.signal ib.ib_cond)
+      end;
+      if Queue.is_empty s.outq then s.pumping <- false
+      else Sim.Engine.schedule m.m_engine ~delay:xmit (try_transmit s)
+    end
+
+  let send_to s ~dst ~size payload =
+    let m = s.med in
+    Sim.Cpu.charge s.s_cpu ~label:"net" (serialization_cpu m.m_cfg ~size);
+    Queue.push
+      {
+        src = s.sid;
+        f_dst = dst;
+        fsize = size;
+        payload;
+        enq_at = Sim.Engine.now m.m_engine;
+      }
+      s.outq;
+    if not s.pumping then begin
+      s.pumping <- true;
+      try_transmit s ()
+    end
+
+  let rec recv_from s ~src =
+    let ib = inbox_of s ~src in
+    if Queue.is_empty ib.q then begin
+      Sim.Condition.wait ib.ib_cond;
+      recv_from s ~src
+    end
+    else Queue.pop ib.q
+
+  let endpoint s ~peer =
+    let ib = inbox_of s ~src:peer in
+    {
+      ep_send = (fun ~size msg -> send_to s ~dst:peer ~size msg);
+      ep_recv = (fun () -> recv_from s ~src:peer);
+      ep_pending = (fun () -> Queue.length ib.q);
+    }
+
+  let stats t = t.m_st
+  let station_queue_wait s = s.s_queue_wait_us
+
+  let utilization t =
+    let now = Sim.Engine.now t.m_engine in
+    if now = 0 then 0. else float_of_int t.m_st.busy_us /. float_of_int now
+
+  let register_metrics t reg ~instance =
+    let s = t.m_st in
+    Sim.Metrics.register reg ~layer:"net" ~instance (fun () ->
+        [
+          ("stations", Sim.Metrics.Int t.nstations);
+          ("frames_sent", Sim.Metrics.Int s.frames_sent);
+          ("bytes_sent", Sim.Metrics.Int s.m_bytes_sent);
+          ("frames_delivered", Sim.Metrics.Int s.frames_delivered);
+          ("drops", Sim.Metrics.Int s.m_drops);
+          ("delay_spikes", Sim.Metrics.Int s.m_spikes);
+          ("contentions", Sim.Metrics.Int s.contentions);
+          ("wire_busy_us", Sim.Metrics.Int s.busy_us);
+          ("utilization", Sim.Metrics.Float (utilization t));
+          ("queue_wait_us", Sim.Metrics.Summary s.m_queue_wait_us);
+          ("transit_us", Sim.Metrics.Summary s.m_transit_us);
+        ])
+end

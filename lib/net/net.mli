@@ -1,11 +1,19 @@
-(** Simulated network: point-to-point links on the {!Sim} engine.
+(** Simulated network: point-to-point links and a shared medium on the
+    {!Sim} engine.
 
-    A link is a duplex pipe between two endpoints (conventionally a
-    client machine and the server).  Each direction is modelled as a
-    serial wire: a message occupies the wire for [size / bandwidth],
-    then arrives [latency] later.  Delivery per direction is strictly
-    FIFO — a delay spike injected on one message pushes every later
-    message behind it, like a queue in a real switch.
+    An {!endpoint} is the transport-facing interface — send, blocking
+    receive, pending count — and the RPC layers above are written
+    against it alone, so the same client/server code runs over a
+    private duplex link ({!create}) or over one station of a
+    shared-medium Ethernet ({!Medium}).
+
+    {b Point-to-point links.}  A link is a duplex pipe between two
+    endpoints (conventionally a client machine and the server).  Each
+    direction is modelled as a serial wire: a message occupies the wire
+    for [size / bandwidth], then arrives [latency] later.  Delivery per
+    direction is strictly FIFO — a delay spike injected on one message
+    pushes every later message behind it, like a queue in a real
+    switch.
 
     Sending charges a per-message plus per-KB serialization cost to the
     {e sender's} CPU (each endpoint is bound to its machine's
@@ -37,7 +45,9 @@ val lossy : config -> float -> config
 (** [lossy c p] is [c] with drop probability [p]. *)
 
 type 'a endpoint
-(** One end of a link carrying messages of type ['a]. *)
+(** One transport attachment carrying messages of type ['a]: an end of
+    a point-to-point link, or one peer's view of a shared-medium
+    station. *)
 
 type 'a t
 (** A duplex link. *)
@@ -55,8 +65,8 @@ val send : 'a endpoint -> size:int -> 'a -> unit
 (** Transmit a message of [size] wire bytes toward the peer endpoint.
     Charges serialization to the sender's CPU (must run inside a
     simulation process), then occupies the wire and delivers — or
-    drops — asynchronously.  Returns once the message is on the wire,
-    not when it arrives. *)
+    drops — asynchronously.  Returns once the message is queued for the
+    wire, not when it arrives. *)
 
 val recv : 'a endpoint -> 'a
 (** Block the calling process until a message arrives, then dequeue it
@@ -80,6 +90,89 @@ type stats = {
 val stats : 'a t -> stats
 (** Both directions combined. *)
 
+val dir_stats : 'a t -> stats * stats
+(** [(a_to_b, b_to_a)]: each direction separately, so asymmetric loss
+    and server-side reply queuing are visible rather than averaged away
+    in the combined record. *)
+
 val register_metrics : 'a t -> Sim.Metrics.t -> instance:string -> unit
 (** Register the link's counters and wire-wait summaries as a ["net"]
-    source. *)
+    source — combined totals plus [a2b_*]/[b2a_*] per-direction
+    counters. *)
+
+(** A shared-medium (Ethernet-class) segment: N stations contending for
+    one serial wire.
+
+    Each station keeps a FIFO of outbound frames and runs a transmit
+    pump: sense the wire; if free, seize it for [size / bandwidth]; if
+    busy, defer with a seeded jittered backoff — binary-exponential in
+    the station's consecutive-defer count, in units of [slot] — past
+    the end of the transmission it collided with.  A station that wins
+    the wire resets its backoff.  This is carrier-sense with
+    collision-free deterministic arbitration: same-instant contenders
+    are ordered by event sequence and losers back off through the
+    medium's RNG, so a run is a pure function of the seed and the
+    traffic.
+
+    Frames are addressed (src station, dst station); delivery into the
+    destination is FIFO per destination.  Loss and delay spikes are
+    drawn per frame at wire-grant time from the same config as
+    point-to-point links.  Per-frame serialization is charged to the
+    {e sending station's} CPU.
+
+    The medium exports what a shared wire makes scarce: utilization
+    (busy time over elapsed time), contention/backoff events, and the
+    station queue-wait distribution. *)
+module Medium : sig
+  type 'a t
+  (** One shared wire. *)
+
+  type 'a station
+  (** One attachment point (a machine's network interface). *)
+
+  val create :
+    ?seed:int -> ?name:string -> ?slot:Sim.Time.t -> ?max_backoff_exp:int ->
+    Sim.Engine.t -> config -> 'a t
+  (** [slot] (default 51 us — the classic Ethernet slot time) scales
+      the backoff jitter; [max_backoff_exp] (default 10) caps the
+      binary-exponential window.  [bandwidth] and [latency] come from
+      the shared [config]; [loss]/[spike] fault injection applies per
+      frame. *)
+
+  val attach : 'a t -> cpu:Sim.Cpu.t -> 'a station
+  (** Add a station; ids are assigned in attach order. *)
+
+  val station_id : 'a station -> int
+
+  val endpoint : 'a station -> peer:int -> 'a endpoint
+  (** This station's channel to station [peer]: sends address [peer],
+      receives are demultiplexed by source, so one station can serve
+      many peers through independent endpoints (the NFS server's view
+      of its clients). *)
+
+  type m_stats = {
+    mutable frames_sent : int;
+    mutable m_bytes_sent : int;
+    mutable frames_delivered : int;
+    mutable m_drops : int;
+    mutable m_spikes : int;
+    mutable contentions : int;
+        (** transmit attempts that found the wire busy and backed off *)
+    mutable busy_us : int;  (** total wire occupancy *)
+    m_queue_wait_us : Sim.Stats.Summary.t;
+        (** frame enqueue -> wire grant, all stations *)
+    m_transit_us : Sim.Stats.Summary.t;  (** frame enqueue -> delivery *)
+  }
+
+  val stats : 'a t -> m_stats
+
+  val station_queue_wait : 'a station -> Sim.Stats.Summary.t
+  (** One station's enqueue -> wire-grant summary. *)
+
+  val utilization : 'a t -> float
+  (** Wire busy time over elapsed simulation time, [0, 1]. *)
+
+  val register_metrics : 'a t -> Sim.Metrics.t -> instance:string -> unit
+  (** Register the medium's counters, utilization and queue-wait
+      summaries as a ["net"] source. *)
+end

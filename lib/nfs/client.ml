@@ -58,6 +58,7 @@ and t = {
   dirty_limit : int;
   attr_ttl : Sim.Time.t;
   cache_pages : int;
+  readdir_count : int;
   costs : Ufs.Costs.t;
   jobs : job Queue.t;
   work : Sim.Condition.t;
@@ -227,7 +228,7 @@ let enqueue t job =
 let mount engine ~cpu ~rpc ?(biods = 4) ?(cluster_bytes = 120 * 1024)
     ?(ra_depth = 2) ?(dirty_limit = 240 * 1024)
     ?(attr_ttl = Sim.Time.sec 3) ?(cache_pages = 1024)
-    ?(costs = Ufs.Costs.default) () =
+    ?(readdir_count = 32) ?(costs = Ufs.Costs.default) () =
   let t =
     {
       engine;
@@ -238,6 +239,7 @@ let mount engine ~cpu ~rpc ?(biods = 4) ?(cluster_bytes = 120 * 1024)
       dirty_limit;
       attr_ttl;
       cache_pages;
+      readdir_count;
       costs;
       jobs = Queue.create ();
       work = Sim.Condition.create engine "biod.work";
@@ -295,12 +297,22 @@ let lookup t name =
       | Proto.R_err _ -> None
       | _ -> assert false)
 
+(* Page through the directory with the resume cookie; the caller sees
+   one flat listing however many RPCs it took. *)
 let readdir t =
   charge t t.costs.Ufs.Costs.syscall;
-  match Rpc.call t.rpc (Proto.Readdir { fh = Proto.root_fh }) with
-  | Proto.R_names names -> names
-  | Proto.R_err e -> failwith ("nfs readdir: " ^ e)
-  | _ -> assert false
+  let rec go cookie acc =
+    match
+      Rpc.call t.rpc
+        (Proto.Readdir { fh = Proto.root_fh; cookie; count = t.readdir_count })
+    with
+    | Proto.R_names { names; cookie = next; eof } ->
+        let acc = List.rev_append names acc in
+        if eof then List.rev acc else go next acc
+    | Proto.R_err e -> failwith ("nfs readdir: " ^ e)
+    | _ -> assert false
+  in
+  go 0 []
 
 (* ---------- attributes ---------- *)
 
@@ -588,5 +600,11 @@ let register_metrics t reg ~instance =
         ("evictions", Sim.Metrics.Int t.st.evictions);
         ("rpc_retransmits", Sim.Metrics.Int rpc.Rpc.retransmits);
         ("rpc_late_replies", Sim.Metrics.Int rpc.Rpc.late_replies);
+        ("rpc_srtt_us", Sim.Metrics.Float (Rpc.srtt_us t.rpc));
+        ("rpc_rto_us", Sim.Metrics.Float (Rpc.rto_us t.rpc));
+        ("rpc_cwnd", Sim.Metrics.Float (Rpc.cwnd t.rpc));
+        ("rpc_in_flight", Sim.Metrics.Int (Rpc.in_flight t.rpc));
+        ("rpc_backoffs", Sim.Metrics.Int (Rpc.backoffs t.rpc));
+        ("rpc_window_wait_us", Sim.Metrics.Summary (Rpc.window_wait_us t.rpc));
       ]
       @ per_op)

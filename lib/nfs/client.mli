@@ -38,11 +38,13 @@ val mount :
   ?dirty_limit:int ->
   ?attr_ttl:Sim.Time.t ->
   ?cache_pages:int ->
+  ?readdir_count:int ->
   ?costs:Ufs.Costs.t ->
   unit ->
   t
 (** Defaults: 4 biods, 120 KB clusters, 2 clusters of read-ahead,
-    240 KB dirty cap, 3 s attribute TTL, 1024 cached pages (8 MB). *)
+    240 KB dirty cap, 3 s attribute TTL, 1024 cached pages (8 MB),
+    32 directory entries requested per READDIR page. *)
 
 type file
 
@@ -52,7 +54,10 @@ val create : t -> string -> file
     stripped. *)
 
 val lookup : t -> string -> file option
+
 val readdir : t -> string list
+(** The whole root directory, paged through the READDIR resume cookie
+    [readdir_count] entries at a time. *)
 
 val size : file -> int
 (** The client's view: local writes extend it immediately. *)

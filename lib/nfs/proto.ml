@@ -10,13 +10,13 @@ type call =
   | Getattr of { fh : fh }
   | Read of { fh : fh; off : int; len : int }
   | Write of { fh : fh; off : int; data : bytes }
-  | Readdir of { fh : fh }
+  | Readdir of { fh : fh; cookie : int; count : int }
 
 type reply =
   | R_fh of { fh : fh; attr : attr }
   | R_attr of attr
   | R_read of { data : bytes; eof : bool }
-  | R_names of string list
+  | R_names of { names : string list; cookie : int; eof : bool }
   | R_err of string
 
 type msg =
@@ -33,7 +33,7 @@ let call_size = function
   | Getattr _ -> header_bytes + 8
   | Read _ -> header_bytes + 24
   | Write { data; _ } -> header_bytes + 24 + Bytes.length data
-  | Readdir _ -> header_bytes + 16
+  | Readdir _ -> header_bytes + 24
 
 let attr_bytes = 32
 
@@ -41,10 +41,10 @@ let reply_size = function
   | R_fh _ -> header_bytes + 8 + attr_bytes
   | R_attr _ -> header_bytes + attr_bytes
   | R_read { data; _ } -> header_bytes + 8 + attr_bytes + Bytes.length data
-  | R_names names ->
+  | R_names { names; _ } ->
       List.fold_left
         (fun acc n -> acc + 8 + String.length n)
-        header_bytes names
+        (header_bytes + 12) names
   | R_err _ -> header_bytes + 4
 
 let msg_size = function

@@ -25,13 +25,16 @@ type call =
   | Getattr of { fh : fh }
   | Read of { fh : fh; off : int; len : int }
   | Write of { fh : fh; off : int; data : bytes }
-  | Readdir of { fh : fh }
+  | Readdir of { fh : fh; cookie : int; count : int }
+      (** one page of directory entries: up to [count] names starting
+          at opaque position [cookie] (0 = from the top) *)
 
 type reply =
   | R_fh of { fh : fh; attr : attr }  (** lookup / create *)
   | R_attr of attr  (** getattr / write *)
   | R_read of { data : bytes; eof : bool }
-  | R_names of string list  (** readdir *)
+  | R_names of { names : string list; cookie : int; eof : bool }
+      (** readdir page; resume from [cookie] unless [eof] *)
   | R_err of string  (** errno name *)
 
 type msg =

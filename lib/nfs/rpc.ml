@@ -1,40 +1,74 @@
+type transport = Fixed | Adaptive
+
 type stats = {
   mutable calls : int;
   mutable retransmits : int;
   mutable late_replies : int;
 }
 
-type pending = { mutable reply : Proto.reply option; mutable wake : (unit -> unit) option }
+type pending = {
+  mutable reply : Proto.reply option;
+  mutable wake : (unit -> unit) option;
+  mutable retransmitted : bool;
+}
 
 type t = {
   engine : Sim.Engine.t;
   cpu : Sim.Cpu.t;
   ep : Proto.msg Net.endpoint;
   id : int;
+  transport : transport;
   timeout : Sim.Time.t;
   max_timeout : Sim.Time.t;
+  min_rto : Sim.Time.t;
+  cwnd_limit : float;
   mutable next_xid : int;
   pending : (int, pending) Hashtbl.t;
   st : stats;
   op_calls : (string, int ref) Hashtbl.t;
   op_rtt : (string, Sim.Stats.Summary.t) Hashtbl.t;
+  (* adaptive per-server transport state (one t per server channel) *)
+  mutable srtt : float;  (** us; negative until the first valid sample *)
+  mutable rttvar : float;
+  mutable rto : Sim.Time.t;  (** current RTO, Karn backoff included *)
+  mutable cwnd : float;
+  mutable in_flight : int;
+  mutable next_decrease_at : Sim.Time.t;
+  mutable backoffs : int;
+  window_wait_us : Sim.Stats.Summary.t;
+  win_cond : Sim.Condition.t;
+  mutable retrans_log : Sim.Time.t list;  (** newest first *)
 }
 
-let create engine ~cpu ~ep ~client_id ?(timeout = Sim.Time.of_ms_float 1100.)
-    ?(max_timeout = Sim.Time.sec 20) () =
+let create engine ~cpu ~ep ~client_id ?(transport = Fixed)
+    ?(timeout = Sim.Time.of_ms_float 1100.) ?(max_timeout = Sim.Time.sec 20)
+    ?(min_rto = Sim.Time.ms 200) ?(cwnd_limit = 8.) () =
   let t =
     {
       engine;
       cpu;
       ep;
       id = client_id;
+      transport;
       timeout;
       max_timeout;
+      min_rto;
+      cwnd_limit;
       next_xid = 1;
       pending = Hashtbl.create 32;
       st = { calls = 0; retransmits = 0; late_replies = 0 };
       op_calls = Hashtbl.create 8;
       op_rtt = Hashtbl.create 8;
+      srtt = -1.;
+      rttvar = 0.;
+      rto = timeout;
+      cwnd = 2.;
+      in_flight = 0;
+      next_decrease_at = Sim.Time.zero;
+      backoffs = 0;
+      window_wait_us = Sim.Stats.Summary.create ();
+      win_cond = Sim.Condition.create engine (Printf.sprintf "rpc.win.%d" client_id);
+      retrans_log = [];
     }
   in
   List.iter
@@ -58,15 +92,20 @@ let create engine ~cpu ~ep ~client_id ?(timeout = Sim.Time.of_ms_float 1100.)
   t
 
 let client_id t = t.id
+let transport t = t.transport
 
 (* Park the caller until the reply lands or [timeout] passes, whichever
    first; both wakers funnel through a fire-once guard because resuming
    a parked process twice is an engine error.  The reply may already
    have landed while [Net.send]'s CPU charge yielded — with no waker
    registered yet the receiver couldn't wake us, so suspending then
-   would sleep the whole timeout on top of an answered call. *)
+   would sleep the whole timeout on top of an answered call.  When the
+   reply wins the race the timeout timer is cancelled, releasing its
+   closure — otherwise every answered call would pin a dead event in
+   the engine heap for the full retransmission interval. *)
 let wait_reply_or_timeout t (p : pending) ~timeout =
   if p.reply = None then begin
+    let timer = ref None in
     Sim.Engine.suspend t.engine ~register:(fun resume ->
         let fired = ref false in
         let once () =
@@ -76,31 +115,12 @@ let wait_reply_or_timeout t (p : pending) ~timeout =
           end
         in
         p.wake <- Some once;
-        Sim.Engine.schedule t.engine ~delay:timeout (fun () -> once ()));
-    p.wake <- None
+        timer := Some (Sim.Engine.schedule_cancellable t.engine ~delay:timeout once));
+    p.wake <- None;
+    if p.reply <> None then Option.iter Sim.Engine.cancel !timer
   end
 
-let call t (call : Proto.call) =
-  let xid = t.next_xid in
-  t.next_xid <- t.next_xid + 1;
-  t.st.calls <- t.st.calls + 1;
-  let msg = Proto.Call { xid; client = t.id; call } in
-  let size = Proto.msg_size msg in
-  let p = { reply = None; wake = None } in
-  Hashtbl.replace t.pending xid p;
-  let t0 = Sim.Engine.now t.engine in
-  let timeout = ref t.timeout in
-  let rec attempt ~retry =
-    if retry then t.st.retransmits <- t.st.retransmits + 1;
-    Net.send t.ep ~size msg;
-    wait_reply_or_timeout t p ~timeout:!timeout;
-    match p.reply with
-    | Some r -> r
-    | None ->
-        timeout := min (!timeout * 2) t.max_timeout;
-        attempt ~retry:true
-  in
-  let r = attempt ~retry:false in
+let finish_call t (call : Proto.call) ~t0 r =
   (* reply deserialization + wakeup dispatch on the client CPU *)
   Sim.Cpu.charge t.cpu ~label:"rpc" (Sim.Time.us 30);
   let op = Proto.op_name call in
@@ -109,6 +129,118 @@ let call t (call : Proto.call) =
     (float_of_int (Sim.Engine.now t.engine - t0));
   r
 
+let mk_pending t xid =
+  let p = { reply = None; wake = None; retransmitted = false } in
+  Hashtbl.replace t.pending xid p;
+  p
+
+let note_retransmit t p =
+  t.st.retransmits <- t.st.retransmits + 1;
+  t.retrans_log <- Sim.Engine.now t.engine :: t.retrans_log;
+  p.retransmitted <- true
+
+(* ---------- fixed-timeout transport (the NFSv2 default) ---------- *)
+
+let call_fixed t (call : Proto.call) =
+  let xid = t.next_xid in
+  t.next_xid <- t.next_xid + 1;
+  t.st.calls <- t.st.calls + 1;
+  let msg = Proto.Call { xid; client = t.id; call } in
+  let size = Proto.msg_size msg in
+  let p = mk_pending t xid in
+  let t0 = Sim.Engine.now t.engine in
+  let timeout = ref t.timeout in
+  let rec attempt ~retry =
+    if retry then note_retransmit t p;
+    Net.send t.ep ~size msg;
+    wait_reply_or_timeout t p ~timeout:!timeout;
+    match p.reply with
+    | Some r -> r
+    | None ->
+        timeout := min (!timeout * 2) t.max_timeout;
+        attempt ~retry:true
+  in
+  finish_call t call ~t0 (attempt ~retry:false)
+
+(* ---------- adaptive transport (Jacobson/Karn + AIMD window) ---------- *)
+
+let window t = max 1 (int_of_float t.cwnd)
+
+let clamp_rto t v = max t.min_rto (min v t.max_timeout)
+
+(* Valid (un-retransmitted, Karn) samples drive the standard
+   srtt/rttvar estimator: srtt += err/8, rttvar += (|err|-rttvar)/4,
+   rto = srtt + 4*rttvar — and recomputing rto here is also what
+   retires a Karn backoff once a clean exchange proves the network. *)
+let sample_rtt t rtt =
+  let sample = float_of_int rtt in
+  if t.srtt < 0. then begin
+    t.srtt <- sample;
+    t.rttvar <- sample /. 2.
+  end
+  else begin
+    let err = sample -. t.srtt in
+    t.srtt <- t.srtt +. (err /. 8.);
+    t.rttvar <- t.rttvar +. ((Float.abs err -. t.rttvar) /. 4.)
+  end;
+  t.rto <- clamp_rto t (int_of_float (t.srtt +. (4. *. t.rttvar)))
+
+let call_adaptive t (call : Proto.call) =
+  (* congestion window: bound this client's outstanding RPCs *)
+  (let w0 = Sim.Engine.now t.engine in
+   while t.in_flight >= window t do
+     Sim.Condition.wait t.win_cond
+   done;
+   let waited = Sim.Engine.now t.engine - w0 in
+   if waited > 0 then
+     Sim.Stats.Summary.add t.window_wait_us (float_of_int waited));
+  t.in_flight <- t.in_flight + 1;
+  let xid = t.next_xid in
+  t.next_xid <- t.next_xid + 1;
+  t.st.calls <- t.st.calls + 1;
+  let msg = Proto.Call { xid; client = t.id; call } in
+  let size = Proto.msg_size msg in
+  let p = mk_pending t xid in
+  let t0 = Sim.Engine.now t.engine in
+  let cur = ref t.rto in
+  let rec attempt ~retry =
+    if retry then note_retransmit t p;
+    Net.send t.ep ~size msg;
+    wait_reply_or_timeout t p ~timeout:!cur;
+    match p.reply with
+    | Some r -> r
+    | None ->
+        (* timeout: exponential backoff for this call, published as the
+           channel RTO (Karn: the backed-off value holds until a clean
+           sample), and a multiplicative window decrease at most once
+           per RTO so one loss burst doesn't zero the window *)
+        t.backoffs <- t.backoffs + 1;
+        cur := min (!cur * 2) t.max_timeout;
+        t.rto <- max t.rto !cur;
+        let now = Sim.Engine.now t.engine in
+        if now >= t.next_decrease_at then begin
+          t.cwnd <- Float.max 1. (t.cwnd /. 2.);
+          t.next_decrease_at <- now + !cur
+        end;
+        attempt ~retry:true
+  in
+  let r = attempt ~retry:false in
+  if not p.retransmitted then begin
+    sample_rtt t (Sim.Engine.now t.engine - t0);
+    (* additive increase on clean replies only *)
+    t.cwnd <- Float.min t.cwnd_limit (t.cwnd +. (1. /. t.cwnd))
+  end;
+  t.in_flight <- t.in_flight - 1;
+  Sim.Condition.signal t.win_cond;
+  finish_call t call ~t0 r
+
+let call t (call : Proto.call) =
+  match t.transport with
+  | Fixed -> call_fixed t call
+  | Adaptive -> call_adaptive t call
+
+(* ---------- observability ---------- *)
+
 let stats t = t.st
 let op_calls t op = match Hashtbl.find_opt t.op_calls op with Some r -> !r | None -> 0
 
@@ -116,3 +248,13 @@ let rtt_of t op =
   match Hashtbl.find_opt t.op_rtt op with
   | Some s -> s
   | None -> Sim.Stats.Summary.create ()
+
+let srtt_us t = if t.srtt < 0. then 0. else t.srtt
+let rto_us t = float_of_int t.rto
+let cwnd t = match t.transport with Fixed -> 0. | Adaptive -> t.cwnd
+let in_flight t = t.in_flight
+let backoffs t = t.backoffs
+let window_wait_us t = t.window_wait_us
+
+let retransmits_since t since =
+  List.length (List.filter (fun at -> at >= since) t.retrans_log)

@@ -35,6 +35,10 @@ type t = {
 
 let root_fh = Ufs.Types.rootino
 
+(* hard server-side cap on entries per READDIR reply, whatever the
+   client asked for — the reply must fit a datagram-sized message *)
+let readdir_max_entries = 64
+
 let nonidempotent = function
   | Proto.Create _ | Proto.Write _ -> true
   | Proto.Lookup _ | Proto.Getattr _ | Proto.Read _ | Proto.Readdir _ -> false
@@ -94,11 +98,25 @@ let execute t (call : Proto.call) : Proto.reply =
       let ip = inode_of t fh in
       Ufs.Fs.write t.fs ip ~off ~buf:data ~len:(Bytes.length data);
       Proto.R_attr (attr_of ip)
-  | Proto.Readdir { fh } ->
+  | Proto.Readdir { fh; cookie; count } ->
+      (* One bounded page per call: [Dir.iter] enumerates in stable
+         slot order, so an entry index is a stable resume cookie for an
+         unchanged directory (NFSv2's actual guarantee — no stronger). *)
       let dip = inode_of t fh in
-      let names = ref [] in
-      Ufs.Dir.iter t.fs dip (fun name _ -> names := name :: !names);
-      Proto.R_names (List.rev !names)
+      let all = ref [] in
+      Ufs.Dir.iter t.fs dip (fun name _ -> all := name :: !all);
+      let all = List.rev !all in
+      let total = List.length all in
+      let cookie = max 0 cookie in
+      let count =
+        if count <= 0 then readdir_max_entries
+        else min count readdir_max_entries
+      in
+      let page =
+        List.filteri (fun i _ -> i >= cookie && i < cookie + count) all
+      in
+      let next = min total (cookie + count) in
+      Proto.R_names { names = page; cookie = next; eof = next >= total }
 
 let execute t call =
   try execute t call with

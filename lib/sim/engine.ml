@@ -25,6 +25,26 @@ let schedule t ?(delay = 0) f =
   t.seq <- t.seq + 1;
   Heap.push t.events (t.now + delay, t.seq) f
 
+(* A cancellable event is a heap entry indirected through a mutable
+   cell.  Cancelling empties the cell: the heap slot itself stays (the
+   heap has no removal), but it fires as a no-op and — the point — the
+   cancelled closure and everything it captures are released
+   immediately instead of being pinned until the deadline. *)
+type timer = { mutable cb : (unit -> unit) option }
+
+let schedule_cancellable t ?delay f =
+  let h = { cb = Some f } in
+  schedule t ?delay (fun () ->
+      match h.cb with
+      | Some f ->
+          h.cb <- None;
+          f ()
+      | None -> ());
+  h
+
+let cancel h = h.cb <- None
+let cancelled h = h.cb = None
+
 (* Run [f] as a process: effects performed by [f] are interpreted here.
    A [Suspend register] effect hands the continuation, wrapped as a
    plain thunk, to [register]; resuming the thunk re-enters the handler. *)

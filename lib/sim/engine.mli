@@ -42,6 +42,22 @@ val schedule : t -> ?delay:Time.t -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs callback [f] (not a process: it must not
     sleep or suspend) at [now t + delay].  [delay] defaults to zero. *)
 
+type timer
+(** A cancellable scheduled event (an RPC retransmission timer). *)
+
+val schedule_cancellable : t -> ?delay:Time.t -> (unit -> unit) -> timer
+(** Like {!schedule}, but returns a handle.  {!cancel} before the
+    deadline and the event fires as a no-op; the callback (and whatever
+    it captures) is released at cancel time, not at the deadline —
+    without this, every answered RPC would pin its timeout closure in
+    the heap for the full retransmission interval. *)
+
+val cancel : timer -> unit
+(** Idempotent; a timer that already fired is a no-op to cancel. *)
+
+val cancelled : timer -> bool
+(** True once the timer was cancelled {e or} has fired. *)
+
 val run : t -> unit
 (** Run until the event queue is empty.  Suspended processes that are
     never resumed are simply abandoned (as in a real deadlock); use

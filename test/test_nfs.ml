@@ -9,11 +9,16 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let bsize = Ufs.Layout.bsize
 
-let topo ?(clients = 1) ?net ?seed ?nfsd ?biods ?ra_depth ?dirty_limit
-    ?rpc_timeout ?name () =
-  T.create ?net ?seed ?nfsd ?biods ?ra_depth ?dirty_limit ?rpc_timeout
-    ~clients
+let topo ?(clients = 1) ?net ?seed ?topology ?transport ?nfsd ?biods ?ra_depth
+    ?dirty_limit ?rpc_timeout ?name () =
+  T.create ?net ?seed ?topology ?transport ?nfsd ?biods ?ra_depth ?dirty_limit
+    ?rpc_timeout ~clients
     (Helpers.config ?name ())
+
+let client_link_stats c =
+  match T.client_link c with
+  | Some l -> Net.stats l
+  | None -> Alcotest.fail "client has no private link"
 
 (* Server-side ground truth: the file's bytes as the UFS has them. *)
 let server_contents t name =
@@ -29,6 +34,84 @@ let server_contents t name =
           Some (Bytes.sub buf 0 n))
 
 (* ---------- net layer ---------- *)
+
+let test_medium_contention_and_delivery () =
+  let engine = Sim.Engine.create () in
+  let mk () = Sim.Cpu.create engine in
+  let m =
+    Net.Medium.create engine
+      { Net.default_config with Net.bandwidth = 100_000 }
+  in
+  let s0 = Net.Medium.attach m ~cpu:(mk ()) in
+  let s1 = Net.Medium.attach m ~cpu:(mk ()) in
+  let s2 = Net.Medium.attach m ~cpu:(mk ()) in
+  check_int "ids follow attach order" 2 (Net.Medium.station_id s2);
+  (* stations 1 and 2 blast at station 0 concurrently: the wire is one
+     serial resource, so somebody must sense it busy and back off *)
+  let blast st lo =
+    Sim.Engine.spawn engine (fun () ->
+        let ep = Net.Medium.endpoint st ~peer:0 in
+        for i = lo to lo + 4 do
+          Net.send ep ~size:10_000 i
+        done)
+  in
+  blast s1 100;
+  blast s2 200;
+  let got1 = ref [] and got2 = ref [] in
+  let drain ~peer acc =
+    Sim.Engine.spawn engine (fun () ->
+        let ep = Net.Medium.endpoint s0 ~peer in
+        for _ = 1 to 5 do
+          acc := Net.recv ep :: !acc
+        done)
+  in
+  drain ~peer:1 got1;
+  drain ~peer:2 got2;
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "per-source FIFO (station 1)"
+    [ 100; 101; 102; 103; 104 ] (List.rev !got1);
+  Alcotest.(check (list int)) "per-source FIFO (station 2)"
+    [ 200; 201; 202; 203; 204 ] (List.rev !got2);
+  let st = Net.Medium.stats m in
+  check_int "all frames delivered" 10 st.Net.Medium.frames_delivered;
+  check_int "nothing dropped on a clean wire" 0 st.Net.Medium.m_drops;
+  check_bool "contention observed" true (st.Net.Medium.contentions > 0);
+  check_bool "wire utilization accounted" true (Net.Medium.utilization m > 0.)
+
+let test_medium_is_seeded () =
+  (* same seed, same traffic -> identical backoff history; different
+     seed -> (almost surely) a different contention pattern *)
+  let run seed =
+    let engine = Sim.Engine.create () in
+    let m =
+      Net.Medium.create ~seed engine
+        { Net.default_config with Net.bandwidth = 50_000 }
+    in
+    let s0 = Net.Medium.attach m ~cpu:(Sim.Cpu.create engine) in
+    let senders =
+      Array.init 3 (fun _ -> Net.Medium.attach m ~cpu:(Sim.Cpu.create engine))
+    in
+    Array.iteri
+      (fun k st ->
+        Sim.Engine.spawn engine (fun () ->
+            let ep = Net.Medium.endpoint st ~peer:0 in
+            for i = 1 to 8 do
+              Net.send ep ~size:5_000 ((k * 100) + i)
+            done))
+      senders;
+    Array.iteri
+      (fun k _ ->
+        Sim.Engine.spawn engine (fun () ->
+            let ep = Net.Medium.endpoint s0 ~peer:(k + 1) in
+            for _ = 1 to 8 do
+              ignore (Net.recv ep)
+            done))
+      senders;
+    Sim.Engine.run engine;
+    ((Net.Medium.stats m).Net.Medium.contentions, Sim.Engine.now engine)
+  in
+  check_bool "seed 3 reproducible" true (run 3 = run 3);
+  check_bool "seeds diverge" true (run 3 <> run 4)
 
 let test_net_fifo_and_timing () =
   let engine = Sim.Engine.create () in
@@ -112,6 +195,27 @@ let test_lookup_readdir () =
       check_bool "readdir lists both" true
         (List.mem "a" names && List.mem "b" names))
 
+let test_readdir_pages () =
+  let t = topo () in
+  T.run_clients t (fun c ->
+      let m = c.T.mount in
+      for i = 0 to 79 do
+        ignore (Nfs.Client.create m (Printf.sprintf "pg%02d" i))
+      done;
+      let names = Nfs.Client.readdir m in
+      let mine =
+        List.filter
+          (fun n -> String.length n = 4 && String.sub n 0 2 = "pg")
+          names
+      in
+      check_int "every entry listed across pages" 80 (List.length mine);
+      check_int "no entry repeated at page seams" 80
+        (List.length (List.sort_uniq compare mine));
+      let calls = Nfs.Rpc.op_calls c.T.rpc "readdir" in
+      check_bool
+        (Printf.sprintf "listing was paged (%d READDIR calls)" calls)
+        true (calls >= 3))
+
 let test_create_truncates () =
   let t = topo () in
   T.run_clients t (fun c ->
@@ -157,7 +261,7 @@ let test_random_reads_fetch_single_blocks () =
   in
   T.run_clients t (fun c ->
       Workload.Remote_iobench.prepare c.T.mount cfg;
-      let base = (Net.stats c.T.link).Net.bytes_sent in
+      let base = (client_link_stats c).Net.bytes_sent in
       let _ =
         Workload.Remote_iobench.run_phase ~engine:(T.engine t) ~cpu:c.T.cpu
           c.T.mount cfg Workload.Iobench.FRR
@@ -165,7 +269,7 @@ let test_random_reads_fetch_single_blocks () =
       let st = Nfs.Client.stats c.T.mount in
       (* random misses must not drag whole clusters over the wire *)
       check_int "no read-ahead on random" 0 st.Nfs.Client.ra_issued;
-      let sent = (Net.stats c.T.link).Net.bytes_sent - base in
+      let sent = (client_link_stats c).Net.bytes_sent - base in
       (* 64 single-block reads ~ 550 KB with framing; 64 clusters would
          be ~7.7 MB on the wire *)
       check_bool
@@ -339,8 +443,10 @@ let apply_ops mount ops =
     ops;
   Array.iter (function Some f -> Nfs.Client.fsync f | None -> ()) files
 
-let run_mix ~loss ~seed =
-  let t = topo ~net:(Net.lossy Net.default_config loss) ~seed () in
+let run_mix ?topology ?transport ~loss ~seed () =
+  let t =
+    topo ~net:(Net.lossy Net.default_config loss) ~seed ?topology ?transport ()
+  in
   let ops = gen_ops seed in
   T.run_clients t (fun c -> apply_ops c.T.mount ops);
   let c = t.T.clients.(0) in
@@ -356,9 +462,22 @@ let prop_lossy_equals_lossless =
     QCheck.(pair (int_bound 10_000) (int_bound 89))
     (fun (seed, loss_pct) ->
       let loss = float_of_int loss_pct /. 100. in
-      let ok_lossy, lossy = run_mix ~loss ~seed in
-      let ok_zero, zero = run_mix ~loss:0. ~seed in
+      let ok_lossy, lossy = run_mix ~loss ~seed () in
+      let ok_zero, zero = run_mix ~loss:0. ~seed () in
       ok_lossy && ok_zero && lossy = zero)
+
+let prop_shared_medium_equals_p2p =
+  Helpers.qtest ~count:8
+    "shared medium, adaptive transport: any op mix matches p2p zero-loss"
+    QCheck.(pair (int_bound 10_000) (int_bound 49))
+    (fun (seed, loss_pct) ->
+      let loss = float_of_int loss_pct /. 100. in
+      let ok_shared, shared =
+        run_mix ~topology:T.Shared_medium ~transport:Nfs.Rpc.Adaptive ~loss
+          ~seed ()
+      in
+      let ok_zero, zero = run_mix ~loss:0. ~seed () in
+      ok_shared && ok_zero && shared = zero)
 
 (* ---------- multi-client ---------- *)
 
@@ -406,6 +525,48 @@ let test_golden_nfsscale_determinism () =
   check_bool "net and nfs sources present" true
     (List.mem "net" layers && List.mem "nfs" layers)
 
+let golden_cc_run () =
+  let reg = Sim.Metrics.create () in
+  let row =
+    Clusterfs.Machine.with_metrics_sink reg (fun () ->
+        Clusterfs.Experiments.nfs_congestion_point ~file_mb:1
+          ~net:(Net.lossy Clusterfs.Experiments.nfs_scale_net 0.02)
+          ~clients:2 ~transport:Nfs.Rpc.Adaptive ~topology:T.Shared_medium ())
+  in
+  (row, Sim.Metrics.to_json reg, Sim.Metrics.to_csv reg)
+
+let test_golden_adaptive_determinism () =
+  let row1, json1, csv1 = golden_cc_run () in
+  let row2, json2, csv2 = golden_cc_run () in
+  check_bool "congestion row identical" true (row1 = row2);
+  Alcotest.(check string) "metrics JSON byte-identical" json1 json2;
+  Alcotest.(check string) "metrics CSV byte-identical" csv1 csv2;
+  check_bool "seeded loss actually forced retransmits" true
+    (row1.Clusterfs.Experiments.cc_retransmits > 0)
+
+(* ---------- congestion regression ---------- *)
+
+let cc_point transport =
+  Clusterfs.Experiments.nfs_congestion_point ~file_mb:1 ~clients:16 ~transport
+    ~topology:T.Point_to_point ()
+
+let test_adaptive_beats_fixed_at_16 () =
+  let fixed = cc_point Nfs.Rpc.Fixed in
+  let adaptive = cc_point Nfs.Rpc.Adaptive in
+  let open Clusterfs.Experiments in
+  check_bool
+    (Printf.sprintf "adaptive %.0f KB/s at least 2x fixed %.0f KB/s"
+       adaptive.cc_goodput_kb_per_sec fixed.cc_goodput_kb_per_sec)
+    true (adaptive.cc_goodput_kb_per_sec >= 2. *. fixed.cc_goodput_kb_per_sec);
+  check_bool "fixed transport collapses into a retransmit storm" true
+    (fixed.cc_retransmits > 100);
+  check_bool
+    (Printf.sprintf "adaptive steady-state retransmits ~0 (got %d)"
+       adaptive.cc_steady_retransmits)
+    true (adaptive.cc_steady_retransmits <= 4);
+  check_int "no dup-cache evictions (adaptive)" 0 adaptive.cc_dup_evictions;
+  check_int "no dup-cache evictions (fixed)" 0 fixed.cc_dup_evictions
+
 let suites =
   [
     ( "net",
@@ -413,11 +574,17 @@ let suites =
         Alcotest.test_case "FIFO delivery and timing" `Quick
           test_net_fifo_and_timing;
         Alcotest.test_case "seeded loss" `Quick test_net_loss_is_seeded;
+        Alcotest.test_case "shared medium: contention and per-source FIFO"
+          `Quick test_medium_contention_and_delivery;
+        Alcotest.test_case "shared medium backoff is seeded" `Quick
+          test_medium_is_seeded;
       ] );
     ( "nfs",
       [
         Alcotest.test_case "write/read roundtrip" `Quick test_roundtrip;
         Alcotest.test_case "lookup and readdir" `Quick test_lookup_readdir;
+        Alcotest.test_case "readdir pages large directories" `Quick
+          test_readdir_pages;
         Alcotest.test_case "create truncates" `Quick test_create_truncates;
         Alcotest.test_case "biod read-ahead clusters" `Quick
           test_readahead_clusters;
@@ -433,9 +600,14 @@ let suites =
         Alcotest.test_case "lossy link: completes, applies once" `Quick
           test_lossy_link_completes_and_applies_once;
         prop_lossy_equals_lossless;
+        prop_shared_medium_equals_p2p;
         Alcotest.test_case "three clients, isolated files" `Quick
           test_clients_are_isolated;
         Alcotest.test_case "4-client nfsscale golden determinism" `Slow
           test_golden_nfsscale_determinism;
+        Alcotest.test_case "adaptive-RTO golden determinism under loss" `Slow
+          test_golden_adaptive_determinism;
+        Alcotest.test_case "16 clients: adaptive beats fixed transport" `Slow
+          test_adaptive_beats_fixed_at_16;
       ] );
   ]

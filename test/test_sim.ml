@@ -238,6 +238,30 @@ let test_engine_process_exception () =
        (* the message names the process *)
        String.length msg > 0 && String.sub msg 0 12 = "process boom")
 
+let test_engine_cancellable_timer () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  let note i () = fired := i :: !fired in
+  let t1 = Sim.Engine.schedule_cancellable e ~delay:10 (note 1) in
+  let t2 = Sim.Engine.schedule_cancellable e ~delay:20 (note 2) in
+  Alcotest.(check bool) "live before cancel" false (Sim.Engine.cancelled t1);
+  Sim.Engine.cancel t1;
+  Sim.Engine.cancel t1 (* idempotent *);
+  Alcotest.(check bool) "cancelled" true (Sim.Engine.cancelled t1);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "only the live timer fired" [ 2 ] !fired;
+  Alcotest.(check bool) "fired reads as cancelled" true
+    (Sim.Engine.cancelled t2);
+  Sim.Engine.cancel t2 (* cancelling after firing is a no-op *);
+  (* cancelling mid-run must release the slot without disturbing later
+     events at the same instant *)
+  let t3 = Sim.Engine.schedule_cancellable e ~delay:5 (note 3) in
+  Sim.Engine.schedule e ~delay:5 (fun () -> Sim.Engine.cancel t3);
+  Sim.Engine.schedule e ~delay:5 (note 4);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "t3 fired before its canceller" [ 4; 3; 2 ]
+    !fired
+
 (* ---------- Condition ---------- *)
 
 let test_condition_signal_fifo () =
@@ -426,6 +450,8 @@ let suites =
           test_engine_check_quiescent;
         Alcotest.test_case "engine process exception" `Quick
           test_engine_process_exception;
+        Alcotest.test_case "engine cancellable timer" `Quick
+          test_engine_cancellable_timer;
         Alcotest.test_case "condition FIFO" `Quick test_condition_signal_fifo;
         Alcotest.test_case "condition broadcast once" `Quick
           test_condition_rewait_not_woken_by_same_broadcast;
