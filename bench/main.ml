@@ -497,6 +497,45 @@ let nfscc_table () =
     "   so steady-state retransmits go to ~0 and goodput holds, on private";
   print_endline "   links and on the shared wire alike)"
 
+(* ---------- fio: declarative workloads, cost attribution ---------- *)
+
+let fio_table () =
+  let shrink (s : Fio.Spec.t) =
+    (* quick mode: quarter the data each job moves, floor one op *)
+    if !quick then { s with Fio.Spec.size = max s.Fio.Spec.bs (s.Fio.Spec.size / 4) }
+    else s
+  in
+  List.iter
+    (fun spec ->
+      let spec = shrink spec in
+      print_string (Fio.Report.to_text (Fio.Scenarios.run_local spec));
+      print_string (Fio.Report.to_text (Fio.Scenarios.run_remote spec)))
+    Fio.Scenarios.all;
+  print_endline
+    "  write-gathering ablation (each client streams rw=write bs=8k size=2m):";
+  Printf.printf "  %8s %11s %12s %16s %11s %10s\n" "clients" "WRITE RPCs"
+    "disk writes" "blks/disk-write" "gather KB" "elapsed s";
+  List.iter
+    (fun c ->
+      let g = Fio.Scenarios.write_gather ~clients:c () in
+      Printf.printf "  %8d %11d %12d %16.1f %11.1f %10.2f\n"
+        g.Fio.Scenarios.clients g.Fio.Scenarios.write_rpcs
+        g.Fio.Scenarios.disk_writes g.Fio.Scenarios.blocks_per_disk_write
+        g.Fio.Scenarios.gather_kb_mean
+        (Sim.Time.to_sec_float g.Fio.Scenarios.elapsed))
+    (if !quick then [ 1; 4 ] else [ 1; 4; 8 ]);
+  print_endline
+    "  (same spec against the local UFS and through an NFS mount; the cost";
+  print_endline
+    "   table attributes each op's latency to the layer it blocked in, the";
+  print_endline
+    "   client.cache row being time spent copying in the page cache.  The";
+  print_endline
+    "   remote runs read faster than local: the prewritten file is cold on";
+  print_endline
+    "   the client but still warm in the server's page cache, which is";
+  print_endline "   exactly what a second-level cache is for)"
+
 (* ---------- bechamel micro-benchmarks of simulator hot paths ---------- *)
 
 let microbench () =
@@ -557,48 +596,90 @@ let microbench () =
       | Some _ | None -> Printf.printf "  %-36s (no estimate)\n" name)
     results
 
+(* ---------- the section registry ---------- *)
+
+let registry : (string * string * (unit -> unit)) list =
+  [
+    ("fig9", "Figure 9: IObench run descriptions", fig9);
+    ("fig10", "Figure 10: IObench transfer rates (KB/s)", fig10);
+    ("fig11", "Figure 11: IObench transfer rate ratios", fig11);
+    ("cpu", "CPU utilisation during sequential reads", utilization_table);
+    ("fig12", "Figure 12: system CPU, 16MB mmap read", fig12);
+    ("alloc", "Allocator extents (paper sec. 'Allocator details')", alloc_table);
+    ("readahead", "Figs 3/6/7: I/O request patterns", readahead_table);
+    ("clustersize", "Ablation E11: cluster size sweep", cluster_sweep);
+    ("wlimit", "Ablation E9: write limit sweep", wlimit_sweep);
+    ( "freebehind",
+      "Ablation E10: free-behind / page thrashing",
+      freebehind_table );
+    ( "rotdelay0",
+      "Ablation E12: rotdelay tuning without clustering",
+      rotdelay_table );
+    ("driver", "Ablation E8: driver clustering vs FS clustering", driver_table);
+    ("musbus", "E13: MusBus timesharing", musbus_table);
+    ("efs", "Title claim: clustered UFS vs an extent-based FS", efs_table);
+    ("reqsize", "Ablation: read(2) request size", reqsize_table);
+    ("zoned", "Variable geometry: media rate across zones", zoned_table);
+    ("border", "Further work: B_ORDER ordered metadata writes", border_table);
+    ("volstripe", "Volume manager: striping vs FS clustering", volstripe_table);
+    ("volmirror", "Volume manager: mirroring", volmirror_table);
+    ( "future",
+      "Further-work features (bmap cache, UFS_HOLE, hints)",
+      future_table );
+    ( "nfs",
+      "NFS: local vs remote IObench over the simulated network",
+      nfs_table );
+    ( "nfsscale",
+      "NFS: client / nfsd-pool / link-bandwidth scaling",
+      nfsscale_table );
+    ( "nfsloss",
+      "NFS: goodput and duplicate suppression under loss",
+      nfsloss_table );
+    ("nfscc", "NFS: congestion collapse vs adaptive transport", nfscc_table);
+    ("fio", "fio: declarative workloads, per-layer cost attribution", fio_table);
+    ("micro", "Bechamel micro-benchmarks (simulator hot paths)", microbench);
+  ]
+
+let section_names () = List.map (fun (n, _, _) -> n) registry
+
+let split_commas s =
+  List.filter (fun x -> x <> "") (String.split_on_char ',' s)
+
+let usage () =
+  Printf.eprintf
+    "usage: bench/main.exe [--quick] [--list] [--sections a,b,...] [SECTION...]\n\
+     sections: %s\n"
+    (String.concat " " (section_names ()))
+
 let () =
-  Array.iteri
-    (fun i a ->
-      if i > 0 then
-        match a with
-        | "--quick" -> quick := true
-        | s when String.length s > 0 && s.[0] <> '-' -> only := s :: !only
-        | _ -> ())
-    Sys.argv;
+  let argv = Sys.argv in
+  let i = ref 1 in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "--quick" -> quick := true
+    | "--list" ->
+        List.iter (fun n -> print_endline n) (section_names ());
+        exit 0
+    | "--sections" when !i + 1 < Array.length argv ->
+        incr i;
+        only := !only @ split_commas argv.(!i)
+    | s when String.length s > 11 && String.sub s 0 11 = "--sections=" ->
+        only := !only @ split_commas (String.sub s 11 (String.length s - 11))
+    | s when String.length s > 0 && s.[0] <> '-' -> only := !only @ [ s ]
+    | s ->
+        Printf.eprintf "unknown flag %s\n" s;
+        usage ();
+        exit 2);
+    incr i
+  done;
+  List.iter
+    (fun name ->
+      if not (List.mem name (section_names ())) then begin
+        Printf.eprintf "unknown section %S\n" name;
+        usage ();
+        exit 2
+      end)
+    !only;
   print_endline "UFS clustering reproduction — McVoy & Kleiman, USENIX 1991";
   print_endline "===========================================================";
-  section "fig9" "Figure 9: IObench run descriptions" fig9;
-  section "fig10" "Figure 10: IObench transfer rates (KB/s)" fig10;
-  section "fig11" "Figure 11: IObench transfer rate ratios" fig11;
-  section "cpu" "CPU utilisation during sequential reads" utilization_table;
-  section "fig12" "Figure 12: system CPU, 16MB mmap read" fig12;
-  section "alloc" "Allocator extents (paper sec. 'Allocator details')"
-    alloc_table;
-  section "readahead" "Figs 3/6/7: I/O request patterns" readahead_table;
-  section "clustersize" "Ablation E11: cluster size sweep" cluster_sweep;
-  section "wlimit" "Ablation E9: write limit sweep" wlimit_sweep;
-  section "freebehind" "Ablation E10: free-behind / page thrashing"
-    freebehind_table;
-  section "rotdelay0" "Ablation E12: rotdelay tuning without clustering"
-    rotdelay_table;
-  section "driver" "Ablation E8: driver clustering vs FS clustering"
-    driver_table;
-  section "musbus" "E13: MusBus timesharing" musbus_table;
-  section "efs" "Title claim: clustered UFS vs an extent-based FS" efs_table;
-  section "reqsize" "Ablation: read(2) request size" reqsize_table;
-  section "zoned" "Variable geometry: media rate across zones" zoned_table;
-  section "border" "Further work: B_ORDER ordered metadata writes" border_table;
-  section "volstripe" "Volume manager: striping vs FS clustering"
-    volstripe_table;
-  section "volmirror" "Volume manager: mirroring" volmirror_table;
-  section "future" "Further-work features (bmap cache, UFS_HOLE, hints)"
-    future_table;
-  section "nfs" "NFS: local vs remote IObench over the simulated network"
-    nfs_table;
-  section "nfsscale" "NFS: client / nfsd-pool / link-bandwidth scaling"
-    nfsscale_table;
-  section "nfsloss" "NFS: goodput and duplicate suppression under loss"
-    nfsloss_table;
-  section "nfscc" "NFS: congestion collapse vs adaptive transport" nfscc_table;
-  section "micro" "Bechamel micro-benchmarks (simulator hot paths)" microbench
+  List.iter (fun (name, title, f) -> section name title f) registry

@@ -1,0 +1,130 @@
+(* fiobench — run declarative fio-style workload specs against the
+   simulated file system, locally or over NFS, with a per-layer cost
+   breakdown of where the simulated op time went.
+
+   Examples:
+     dune exec bin/fiobench.exe                      # canned scenarios, both targets
+     dune exec bin/fiobench.exe -- db-oltp --target local
+     dune exec bin/fiobench.exe -- 'name=x file=x rw=randread bs=4k size=2m'
+     dune exec bin/fiobench.exe -- job.fio --clients 4 --json out.json *)
+
+open Cmdliner
+
+let base_config name =
+  match String.lowercase_ascii name with
+  | "a" -> Ok Clusterfs.Config.config_a
+  | "b" -> Ok Clusterfs.Config.config_b
+  | "c" -> Ok Clusterfs.Config.config_c
+  | "d" -> Ok Clusterfs.Config.config_d
+  | other -> Error (Printf.sprintf "unknown config %S (want a|b|c|d)" other)
+
+let scenario_of_name name =
+  List.find_opt
+    (fun s -> s.Fio.Spec.name = name)
+    Fio.Scenarios.all
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let resolve_specs = function
+  | [] -> Ok Fio.Scenarios.all
+  | args ->
+      List.fold_right
+        (fun arg acc ->
+          match acc with
+          | Error _ as e -> e
+          | Ok specs -> (
+              match scenario_of_name arg with
+              | Some s -> Ok (s :: specs)
+              | None -> (
+                  let text = if Sys.file_exists arg then read_file arg else arg in
+                  match Fio.Spec.parse text with
+                  | Ok s -> Ok (s :: specs)
+                  | Error e ->
+                      Error (Printf.sprintf "spec %S: %s" arg e))))
+        args (Ok [])
+
+let run_target config clients spec = function
+  | `Local -> [ Fio.Scenarios.run_local ~config spec ]
+  | `Remote -> [ Fio.Scenarios.run_remote ~config ~clients spec ]
+  | `Both ->
+      [
+        Fio.Scenarios.run_local ~config spec;
+        Fio.Scenarios.run_remote ~config ~clients spec;
+      ]
+
+let run specs config_name clients target json =
+  match
+    ( resolve_specs specs,
+      base_config config_name,
+      match String.lowercase_ascii target with
+      | "local" -> Ok `Local
+      | "remote" -> Ok `Remote
+      | "both" -> Ok `Both
+      | other ->
+          Error (Printf.sprintf "unknown target %S (want local|remote|both)" other)
+    )
+  with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+      prerr_endline e;
+      1
+  | Ok specs, Ok config, Ok target ->
+      let reports =
+        List.concat_map (fun s -> run_target config clients s target) specs
+      in
+      List.iter (fun r -> print_string (Fio.Report.to_text r)) reports;
+      (match json with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc "[\n";
+          List.iteri
+            (fun i r ->
+              if i > 0 then output_string oc ",\n";
+              output_string oc (Fio.Report.to_json r))
+            reports;
+          output_string oc "]\n";
+          close_out oc;
+          Printf.printf "wrote %s\n" path);
+      0
+
+let specs_t =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"SPEC"
+        ~doc:
+          "Workload: a canned scenario name (db-oltp, backup, mixed), a spec \
+           file, or an inline 'key=value ...' spec.  Default: all canned \
+           scenarios.")
+
+let config_t =
+  Arg.(
+    value & opt string "a"
+    & info [ "config"; "c" ] ~doc:"Paper config: a, b, c or d.")
+
+let clients_t =
+  Arg.(
+    value & opt int 2
+    & info [ "clients" ] ~doc:"Client nodes for the remote target.")
+
+let target_t =
+  Arg.(
+    value & opt string "both"
+    & info [ "target"; "t" ] ~doc:"Where to run: local, remote or both.")
+
+let json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Also write reports as JSON.")
+
+let cmd =
+  let doc = "declarative fio-style workloads with per-layer cost attribution" in
+  Cmd.v
+    (Cmd.info "fiobench" ~doc)
+    Term.(const run $ specs_t $ config_t $ clients_t $ target_t $ json_t)
+
+let () = exit (Cmd.eval' cmd)

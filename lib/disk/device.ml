@@ -275,6 +275,11 @@ let rec service_loop d () =
         | None -> service_cost d ~t0 probe
       in
       note_transfer_end d probe ~finish:(t0 + dur);
+      List.iter
+        (fun (x : Request.t) ->
+          let part v = v * x.Request.count / total_count in
+          Request.set_split x ~seek:(part sk) ~rot:(part rw) ~xfer:(part xf))
+        group;
       d.stats.busy <- d.stats.busy + dur;
       d.stats.seek_time <- d.stats.seek_time + sk;
       d.stats.rot_wait <- d.stats.rot_wait + rw;

@@ -11,6 +11,9 @@ type t = {
   mutable enq_at : Sim.Time.t;
   mutable start_at : Sim.Time.t;
   mutable finish_at : Sim.Time.t;
+  mutable seek_us : Sim.Time.t;
+  mutable rot_us : Sim.Time.t;
+  mutable xfer_us : Sim.Time.t;
   mutable completed : bool;
   mutable callbacks : (unit -> unit) list;
   mutable waiters : (unit -> unit) list;
@@ -35,6 +38,9 @@ let make ?(ordered = false) ~kind ~sector ~count ~buf ~buf_off () =
     enq_at = 0;
     start_at = 0;
     finish_at = 0;
+    seek_us = 0;
+    rot_us = 0;
+    xfer_us = 0;
     completed = false;
     callbacks = [];
     waiters = [];
@@ -44,10 +50,43 @@ let make ?(ordered = false) ~kind ~sector ~count ~buf ~buf_off () =
 let on_complete t f =
   if t.completed then f () else t.callbacks <- f :: t.callbacks
 
+let rec resolve t =
+  match t.absorbed_into with Some a -> resolve a | None -> t
+
+(* Attribute [blocked] (time the waiting fiber actually spent blocked on
+   this request) across the request's residence components — queue wait
+   and the seek/rot/xfer split stamped by the device — scaled so that
+   a late waiter (e.g. one that only joined for the tail of an async
+   write) never charges more than it blocked.  Rounding slack and time
+   the device spent on coalesced neighbours land in "disk.wait". *)
+let charge_blocked t blocked =
+  if blocked > 0 then begin
+    let r = resolve t in
+    let queue = max 0 (r.start_at - r.enq_at) in
+    let total = queue + r.seek_us + r.rot_us + r.xfer_us in
+    if total <= 0 then Sim.Attrib.charge_current "disk.wait" blocked
+    else begin
+      let f = Float.min 1.0 (float_of_int blocked /. float_of_int total) in
+      let scale x = int_of_float (f *. float_of_int x) in
+      let q = scale queue in
+      let sk = scale r.seek_us in
+      let ro = scale r.rot_us in
+      let xf = max 0 (min (blocked - q - sk - ro) (scale r.xfer_us)) in
+      Sim.Attrib.charge_current "disk.queue" q;
+      Sim.Attrib.charge_current "disk.seek" sk;
+      Sim.Attrib.charge_current "disk.rot" ro;
+      Sim.Attrib.charge_current "disk.xfer" xf;
+      Sim.Attrib.charge_current "disk.wait" (blocked - q - sk - ro - xf)
+    end
+  end
+
 let wait engine t =
-  if not t.completed then
+  if not t.completed then begin
+    let before = Sim.Engine.now engine in
     Sim.Engine.suspend engine ~register:(fun resume ->
-        t.waiters <- resume :: t.waiters)
+        t.waiters <- resume :: t.waiters);
+    charge_blocked t (Sim.Engine.now engine - before)
+  end
 
 let complete t ~now =
   assert (not t.completed);
@@ -61,5 +100,10 @@ let complete t ~now =
 
 let set_enq_at t at = t.enq_at <- at
 let set_start_at t at = t.start_at <- at
+
+let set_split t ~seek ~rot ~xfer =
+  t.seek_us <- seek;
+  t.rot_us <- rot;
+  t.xfer_us <- xfer
 let latency t = t.finish_at - t.enq_at
 let end_sector t = t.sector + t.count

@@ -23,6 +23,10 @@ type t = private {
   mutable enq_at : Sim.Time.t;
   mutable start_at : Sim.Time.t;
   mutable finish_at : Sim.Time.t;
+  mutable seek_us : Sim.Time.t;
+      (** service-time split stamped by the device; see {!set_split} *)
+  mutable rot_us : Sim.Time.t;
+  mutable xfer_us : Sim.Time.t;
   mutable completed : bool;
   mutable callbacks : (unit -> unit) list;
   mutable waiters : (unit -> unit) list;
@@ -43,7 +47,10 @@ val on_complete : t -> (unit -> unit) -> unit
 
 val wait : Sim.Engine.t -> t -> unit
 (** Block the calling process until the request completes (no-op if it
-    already has). *)
+    already has).  If the caller carries a {!Sim.Attrib} clock, the
+    blocked time is charged to it as ["disk.queue"]/["disk.seek"]/
+    ["disk.rot"]/["disk.xfer"] in proportion to the request's residence
+    components (overflow and unsplit time as ["disk.wait"]). *)
 
 val complete : t -> now:Sim.Time.t -> unit
 (** Mark complete; fires callbacks then wakes waiters.  Internal to the
@@ -54,6 +61,11 @@ val set_enq_at : t -> Sim.Time.t -> unit
 
 val set_start_at : t -> Sim.Time.t -> unit
 (** Internal to the disk layer: stamp service-start time. *)
+
+val set_split : t -> seek:Sim.Time.t -> rot:Sim.Time.t -> xfer:Sim.Time.t -> unit
+(** Internal to the disk layer: stamp this request's share of the
+    mechanical service-time split (a coalesced group's split is
+    apportioned to members by sector count). *)
 
 val latency : t -> Sim.Time.t
 (** [finish_at - enq_at]; only meaningful once completed. *)

@@ -1,0 +1,111 @@
+type job_result = {
+  job : int;
+  read_ops : int;
+  write_ops : int;
+  bytes : int;
+  wall_us : Sim.Time.t;
+  lat_us : int array;
+  fsync_us : Sim.Time.t;
+  cost : (string * Sim.Time.t) list;
+  lat_total_us : Sim.Time.t;
+}
+
+(* One lane: pull the next op off the job's shared cursor, run it under
+   a fresh attribution clock, record latency by op index (so results
+   are identical whatever order lanes interleave in), think, repeat. *)
+let lane (tgt : Target.t) (s : Spec.t) ~job ~lane:lane_id ~(file : Target.file)
+    ~ops ~cursor ~lat ~job_clock ~read_ops ~write_ops ~bytes () =
+  let engine = tgt.Target.engine in
+  let buf = Bytes.create s.Spec.bs in
+  let think = Stream.think_rng s ~job ~lane:lane_id in
+  while !cursor < Array.length ops do
+    let op = ops.(!cursor) in
+    incr cursor;
+    let clk = Sim.Attrib.create () in
+    let t0 = Sim.Engine.now engine in
+    (match op.Stream.kind with
+    | Stream.R ->
+        let n =
+          Sim.Attrib.with_clock clk (fun () ->
+              file.Target.read ~off:op.Stream.off ~buf ~len:op.Stream.len)
+        in
+        incr read_ops;
+        bytes := !bytes + n
+    | Stream.W ->
+        Stream.fill s ~job ~off:op.Stream.off buf ~len:op.Stream.len;
+        Sim.Attrib.with_clock clk (fun () ->
+            file.Target.write ~off:op.Stream.off ~buf ~len:op.Stream.len);
+        incr write_ops;
+        bytes := !bytes + op.Stream.len);
+    lat.(op.Stream.index) <- Sim.Engine.now engine - t0;
+    Sim.Attrib.merge_into ~dst:job_clock clk;
+    if s.Spec.think_us > 0 then
+      Sim.Engine.sleep engine
+        (int_of_float
+           (Sim.Rng.exponential think ~mean:(float_of_int s.Spec.think_us)))
+  done
+
+let run_job (tgt : Target.t) (s : Spec.t) ~job ~(file : Target.file) =
+  let engine = tgt.Target.engine in
+  let ops = Stream.ops s ~job in
+  let cursor = ref 0 in
+  let lat = Array.make (Array.length ops) 0 in
+  let job_clock = Sim.Attrib.create () in
+  let read_ops = ref 0 and write_ops = ref 0 and bytes = ref 0 in
+  let t0 = Sim.Engine.now engine in
+  let lanes = min s.Spec.iodepth (Array.length ops) in
+  let lanes_done = ref 0 in
+  let join = Sim.Condition.create engine (Printf.sprintf "fio.job%d" job) in
+  for l = 0 to lanes - 1 do
+    Sim.Engine.spawn engine
+      ~name:(Printf.sprintf "fio.j%d.l%d" job l)
+      (fun () ->
+        lane tgt s ~job ~lane:l ~file ~ops ~cursor ~lat ~job_clock ~read_ops
+          ~write_ops ~bytes ();
+        incr lanes_done;
+        Sim.Condition.broadcast join)
+  done;
+  while !lanes_done < lanes do
+    Sim.Condition.wait join
+  done;
+  (* the closing fsync drains the job's asynchronous writes inside the
+     measured window, charged like one more op *)
+  let fclk = Sim.Attrib.create () in
+  let tf = Sim.Engine.now engine in
+  Sim.Attrib.with_clock fclk (fun () -> file.Target.fsync ());
+  let fsync_us = Sim.Engine.now engine - tf in
+  Sim.Attrib.merge_into ~dst:job_clock fclk;
+  let lat_total_us = Array.fold_left ( + ) fsync_us lat in
+  {
+    job;
+    read_ops = !read_ops;
+    write_ops = !write_ops;
+    bytes = !bytes;
+    wall_us = Sim.Engine.now engine - t0;
+    lat_us = lat;
+    fsync_us;
+    cost = Sim.Attrib.read job_clock;
+    lat_total_us;
+  }
+
+let execute (tgt : Target.t) (s : Spec.t) =
+  let engine = tgt.Target.engine in
+  let files =
+    Array.init s.Spec.numjobs (fun job -> tgt.Target.prepare ~job s)
+  in
+  let results = Array.make s.Spec.numjobs None in
+  let jobs_done = ref 0 in
+  let join = Sim.Condition.create engine "fio.jobs" in
+  Array.iteri
+    (fun job file ->
+      Sim.Engine.spawn engine
+        ~name:(Printf.sprintf "fio.job%d" job)
+        (fun () ->
+          results.(job) <- Some (run_job tgt s ~job ~file);
+          incr jobs_done;
+          Sim.Condition.broadcast join))
+    files;
+  while !jobs_done < s.Spec.numjobs do
+    Sim.Condition.wait join
+  done;
+  Array.to_list (Array.map Option.get results)

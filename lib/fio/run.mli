@@ -1,0 +1,30 @@
+(** Executing a spec against a target: the job compiler.
+
+    Each job becomes one controller process that spawns [iodepth]
+    lanes; the lanes share the job's op cursor, so together they keep
+    up to [iodepth] ops in flight while preserving the spec's op order
+    at issue time.  Every op runs under its own {!Sim.Attrib} clock —
+    the layers the op blocks in (disk queue/seek/rot/xfer, RPC window,
+    wire, nfsd queue and CPU, dirty-cap throttle) charge it — and the
+    clocks are merged per job for the report's cost-breakdown table.
+
+    Must be called inside a simulation process ({!Clusterfs.Machine.run}
+    or {!Clusterfs.Topology.run} provide one). *)
+
+type job_result = {
+  job : int;
+  read_ops : int;
+  write_ops : int;
+  bytes : int;  (** actually moved (reads can come up short at EOF) *)
+  wall_us : Sim.Time.t;  (** measured-phase start to after final fsync *)
+  lat_us : int array;  (** per-op issue-to-completion, in op order *)
+  fsync_us : Sim.Time.t;  (** the job's closing fsync *)
+  cost : (string * Sim.Time.t) list;
+      (** merged per-phase charges, ops + closing fsync *)
+  lat_total_us : Sim.Time.t;
+      (** attribution denominator: Σ op latencies + closing fsync *)
+}
+
+val execute : Target.t -> Spec.t -> job_result list
+(** Prepare every job's file (untimed), then run all jobs concurrently
+    and return per-job results in job order. *)

@@ -1,0 +1,94 @@
+let mk s =
+  match Spec.parse s with
+  | Ok spec -> spec
+  | Error e -> invalid_arg ("fio scenario: " ^ e)
+
+let db_oltp =
+  mk
+    "name=db-oltp file=oltp rw=randrw rwmixread=70 bs=4k size=4m iodepth=4 \
+     numjobs=2 seed=11"
+
+let backup = mk "name=backup file=backup rw=read bs=1m size=16m seed=12"
+
+let mixed =
+  mk
+    "name=mixed file=mixed rw=rw rwmixread=70 bs=8k size=8m iodepth=2 \
+     numjobs=2 seed=13"
+
+let all = [ db_oltp; backup; mixed ]
+
+let register report =
+  match Clusterfs.Machine.current_metrics_sink () with
+  | Some reg ->
+      Report.register_metrics report reg
+        ~instance:(report.Report.spec.Spec.name ^ "." ^ report.Report.target)
+  | None -> ()
+
+let run_local ?(config = Clusterfs.Config.config_a) spec =
+  let m = Clusterfs.Machine.create config in
+  let jobs =
+    Clusterfs.Machine.run m (fun m -> Run.execute (Target.local m) spec)
+  in
+  let report = Report.make spec ~target:"local" jobs in
+  register report;
+  report
+
+let run_remote ?(config = Clusterfs.Config.config_a) ?(clients = 2) spec =
+  let topo = Clusterfs.Topology.create ~clients config in
+  let jobs =
+    Clusterfs.Topology.run topo (fun topo ->
+        Run.execute (Target.remote topo) spec)
+  in
+  let report = Report.make spec ~target:"remote" jobs in
+  register report;
+  report
+
+(* ---------- server-side write-gathering ablation ---------- *)
+
+type gather_point = {
+  clients : int;
+  write_rpcs : int;
+  disk_writes : int;
+  blocks_per_disk_write : float;
+  gather_kb_mean : float;
+  elapsed : Sim.Time.t;
+}
+
+let write_gather ?(config = Clusterfs.Config.config_a) ~clients () =
+  let spec =
+    mk
+      (Printf.sprintf
+         "name=write-gather file=wg rw=write bs=8k size=2m numjobs=%d seed=17"
+         clients)
+  in
+  let topo = Clusterfs.Topology.create ~clients config in
+  let jobs =
+    Clusterfs.Topology.run topo (fun topo ->
+        Run.execute (Target.remote topo) spec)
+  in
+  let report = Report.make spec ~target:"remote" jobs in
+  let service = topo.Clusterfs.Topology.service in
+  let write_rpcs = Nfs.Server.applied service "write" in
+  let dst =
+    Disk.Device.stats topo.Clusterfs.Topology.server.Clusterfs.Machine.disks.(0)
+  in
+  let disk_writes = dst.Disk.Device.writes in
+  let sectors = dst.Disk.Device.sectors_written in
+  let bsize_sectors = Ufs.Layout.bsize / 512 in
+  {
+    clients;
+    write_rpcs;
+    disk_writes;
+    blocks_per_disk_write =
+      (if disk_writes = 0 then 0.
+       else
+         float_of_int sectors
+         /. float_of_int bsize_sectors
+         /. float_of_int disk_writes);
+    gather_kb_mean =
+      (if write_rpcs = 0 then 0.
+       else
+         float_of_int (clients * spec.Spec.size)
+         /. 1024. /. float_of_int write_rpcs);
+    elapsed = Report.wall_us report;
+  }

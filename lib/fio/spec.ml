@@ -1,0 +1,163 @@
+type dir = Read | Write | Mix of int
+type pattern = Seq | Rand
+
+type t = {
+  name : string;
+  file : string;
+  dir : dir;
+  pattern : pattern;
+  stride : int;
+  bs : int;
+  size : int;
+  iodepth : int;
+  numjobs : int;
+  think_us : int;
+  seed : int;
+}
+
+let default =
+  {
+    name = "job";
+    file = "fio";
+    dir = Read;
+    pattern = Seq;
+    stride = 0;
+    bs = 8 * 1024;
+    size = 1024 * 1024;
+    iodepth = 1;
+    numjobs = 1;
+    think_us = 0;
+    seed = 0;
+  }
+
+let ops_per_job t = max 1 (t.size / t.bs)
+
+(* ---------- printing ---------- *)
+
+let rw_string t =
+  match (t.dir, t.pattern) with
+  | Read, Seq -> "read"
+  | Write, Seq -> "write"
+  | Read, Rand -> "randread"
+  | Write, Rand -> "randwrite"
+  | Mix _, Seq -> "rw"
+  | Mix _, Rand -> "randrw"
+
+let size_string n =
+  let k = 1024 and m = 1024 * 1024 and g = 1024 * 1024 * 1024 in
+  if n > 0 && n mod g = 0 then Printf.sprintf "%dg" (n / g)
+  else if n > 0 && n mod m = 0 then Printf.sprintf "%dm" (n / m)
+  else if n > 0 && n mod k = 0 then Printf.sprintf "%dk" (n / k)
+  else string_of_int n
+
+let to_string t =
+  let mix =
+    match t.dir with Mix p -> Printf.sprintf " rwmixread=%d" p | _ -> ""
+  in
+  Printf.sprintf
+    "name=%s file=%s rw=%s%s bs=%s size=%s stride=%s iodepth=%d numjobs=%d \
+     think=%d seed=%d"
+    t.name t.file (rw_string t) mix (size_string t.bs) (size_string t.size)
+    (size_string t.stride) t.iodepth t.numjobs t.think_us t.seed
+
+(* ---------- parsing ---------- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let parse_size key v =
+  let n = String.length v in
+  if n = 0 then bad "%s: empty size" key;
+  let mult, digits =
+    match v.[n - 1] with
+    | 'k' | 'K' -> (1024, String.sub v 0 (n - 1))
+    | 'm' | 'M' -> (1024 * 1024, String.sub v 0 (n - 1))
+    | 'g' | 'G' -> (1024 * 1024 * 1024, String.sub v 0 (n - 1))
+    | _ -> (1, v)
+  in
+  match int_of_string_opt digits with
+  | Some d when d >= 0 -> d * mult
+  | _ -> bad "%s: bad size %S" key v
+
+let parse_int key v =
+  match int_of_string_opt v with
+  | Some d -> d
+  | None -> bad "%s: bad integer %S" key v
+
+let strip_comments s =
+  let b = Buffer.create (String.length s) in
+  let in_comment = ref false in
+  String.iter
+    (fun c ->
+      if c = '#' then in_comment := true
+      else if c = '\n' then begin
+        in_comment := false;
+        Buffer.add_char b '\n'
+      end
+      else if not !in_comment then Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let tokens s =
+  String.split_on_char '\n' (strip_comments s)
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun tok -> tok <> "")
+
+let parse s =
+  try
+    (* [rw] fixes direction+pattern; [rwmixread] refines a mixed
+       direction whichever order the two keys appear in *)
+    let rwmix = ref None in
+    let spec =
+      List.fold_left
+        (fun acc tok ->
+          match String.index_opt tok '=' with
+          | None -> bad "expected key=value, got %S" tok
+          | Some i -> (
+              let key = String.sub tok 0 i in
+              let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+              match key with
+              | "name" -> { acc with name = v }
+              | "file" -> { acc with file = v }
+              | "rw" -> (
+                  match v with
+                  | "read" -> { acc with dir = Read; pattern = Seq }
+                  | "write" -> { acc with dir = Write; pattern = Seq }
+                  | "randread" -> { acc with dir = Read; pattern = Rand }
+                  | "randwrite" -> { acc with dir = Write; pattern = Rand }
+                  | "rw" | "readwrite" -> { acc with dir = Mix 50; pattern = Seq }
+                  | "randrw" -> { acc with dir = Mix 50; pattern = Rand }
+                  | _ -> bad "rw: unknown mode %S" v)
+              | "rwmixread" ->
+                  rwmix := Some (parse_int key v);
+                  acc
+              | "bs" -> { acc with bs = parse_size key v }
+              | "size" -> { acc with size = parse_size key v }
+              | "stride" -> { acc with stride = parse_size key v }
+              | "iodepth" -> { acc with iodepth = parse_int key v }
+              | "numjobs" -> { acc with numjobs = parse_int key v }
+              | "think" -> { acc with think_us = parse_int key v }
+              | "seed" -> { acc with seed = parse_int key v }
+              | _ -> bad "unknown key %S" key))
+        default (tokens s)
+    in
+    let spec =
+      match (spec.dir, !rwmix) with
+      | Mix _, Some p ->
+          if p < 0 || p > 100 then bad "rwmixread: %d out of [0,100]" p;
+          { spec with dir = Mix p }
+      | Mix _, None -> spec
+      | _, Some _ -> bad "rwmixread only applies to rw=rw / rw=randrw"
+      | _, None -> spec
+    in
+    if spec.bs <= 0 then bad "bs must be positive";
+    if spec.size < spec.bs then bad "size must be at least one block";
+    if spec.stride < 0 then bad "stride must be non-negative";
+    if spec.iodepth < 1 then bad "iodepth must be at least 1";
+    if spec.numjobs < 1 then bad "numjobs must be at least 1";
+    if spec.think_us < 0 then bad "think must be non-negative";
+    if spec.name = "" || spec.file = "" then bad "name and file must be set";
+    Ok spec
+  with Bad e -> Error e

@@ -1,0 +1,67 @@
+(** Declarative workload specifications, modeled on fio's job files.
+
+    A spec is a flat set of [key=value] assignments:
+
+    {v
+    name=db-oltp file=oltp rw=randrw rwmixread=70 bs=4k size=4m
+    iodepth=4 numjobs=2 think=0 seed=7
+    v}
+
+    Whitespace (spaces or newlines) separates assignments; [#] starts a
+    comment running to end of line.  Sizes ([bs], [size], [stride])
+    accept [k]/[m]/[g] binary suffixes.
+
+    Keys:
+    - [rw]: [read] | [write] | [randread] | [randwrite] | [rw] |
+      [randrw] — direction and access pattern, as in fio
+    - [rwmixread]: percent of ops that are reads for [rw]/[randrw]
+      (default 50)
+    - [bs]: bytes per op (default 8k)
+    - [size]: total bytes each job covers (default 1m)
+    - [stride]: for sequential patterns, advance this many bytes per op
+      instead of [bs] (0 = plain sequential)
+    - [iodepth]: concurrent ops in flight per job (default 1)
+    - [numjobs]: identical jobs, each on its own file [<file>.<j>]
+      (default 1)
+    - [think]: mean think time between ops, microseconds, exponentially
+      distributed (default 0)
+    - [seed]: base of every random stream the spec uses (default 0)
+    - [name], [file]: labels; [file] names the target file (a single
+      path component — job [j] works on [<file>.<j>]) *)
+
+type dir =
+  | Read
+  | Write
+  | Mix of int  (** percent of ops that are reads, 0..100 *)
+
+type pattern = Seq | Rand
+
+type t = {
+  name : string;
+  file : string;
+  dir : dir;
+  pattern : pattern;
+  stride : int;  (** bytes; 0 = none (sequential advances by [bs]) *)
+  bs : int;
+  size : int;
+  iodepth : int;
+  numjobs : int;
+  think_us : int;
+  seed : int;
+}
+
+val default : t
+(** [name=job file=fio rw=read bs=8k size=1m stride=0 iodepth=1
+    numjobs=1 think=0 seed=0]. *)
+
+val ops_per_job : t -> int
+(** [max 1 (size / bs)]. *)
+
+val to_string : t -> string
+(** One-line canonical form; {!parse} o {!to_string} is the identity on
+    valid specs. *)
+
+val parse : string -> (t, string) result
+(** Parse a spec, starting from {!default} for unassigned keys.
+    Unknown keys, malformed assignments and invalid values (zero block
+    size, [size < bs], …) are errors. *)

@@ -1,0 +1,48 @@
+type kind = R | W
+
+type op = { index : int; kind : kind; off : int; len : int }
+
+(* Distinct deterministic sub-seeds: SplitMix-style mixing of the base
+   seed with fixed per-purpose tags keeps the offset, direction, think
+   and payload streams independent of one another. *)
+let sub_seed base tag job = (base * 0x9e3779b9) lxor (tag * 0x85ebca6b) lxor job
+
+let needs_data (s : Spec.t) =
+  match s.Spec.dir with Spec.Read | Spec.Mix _ -> true | Spec.Write -> false
+
+let ops (s : Spec.t) ~job =
+  let n = Spec.ops_per_job s in
+  let blocks = max 1 (s.Spec.size / s.Spec.bs) in
+  let region = blocks * s.Spec.bs in
+  let off_rng = Sim.Rng.create ~seed:(sub_seed s.Spec.seed 1 job) in
+  let dir_rng = Sim.Rng.create ~seed:(sub_seed s.Spec.seed 2 job) in
+  let step = if s.Spec.stride > 0 then s.Spec.stride else s.Spec.bs in
+  Array.init n (fun i ->
+      let off =
+        match s.Spec.pattern with
+        | Spec.Seq ->
+            let off = i * step mod region in
+            (* a non-block stride can land past the last whole block *)
+            min off (s.Spec.size - s.Spec.bs)
+        | Spec.Rand -> Sim.Rng.int off_rng blocks * s.Spec.bs
+      in
+      let kind =
+        match s.Spec.dir with
+        | Spec.Read -> R
+        | Spec.Write -> W
+        | Spec.Mix p ->
+            (* draw unconditionally: the direction stream must advance
+               identically whatever [p] is *)
+            if Sim.Rng.int dir_rng 100 < p then R else W
+      in
+      { index = i; kind; off; len = s.Spec.bs })
+
+let fill (s : Spec.t) ~job ~off buf ~len =
+  let base = sub_seed s.Spec.seed 3 job land 0xff in
+  for k = 0 to len - 1 do
+    let v = (base + ((off + k) * 131)) land 0xff in
+    Bytes.unsafe_set buf k (Char.unsafe_chr v)
+  done
+
+let think_rng (s : Spec.t) ~job ~lane =
+  Sim.Rng.create ~seed:(sub_seed s.Spec.seed 4 ((job * 1024) + lane))

@@ -1,0 +1,30 @@
+(** Lowering a {!Spec} into per-job op streams.
+
+    Everything here is a pure function of (spec, job index): two
+    processes lowering the same spec see byte-identical streams, which
+    is what makes local-vs-remote content checks and seeded-determinism
+    tests possible. *)
+
+type kind = R | W
+
+type op = { index : int; kind : kind; off : int; len : int }
+
+val ops : Spec.t -> job:int -> op array
+(** The job's full op stream: {!Spec.ops_per_job} ops of [spec.bs]
+    bytes each, offsets from the spec's pattern (sequential, strided or
+    uniform block-aligned random over [0, size)), directions from the
+    read/write mix — all drawn from streams seeded by
+    [(spec.seed, job)]. *)
+
+val needs_data : Spec.t -> bool
+(** Whether the stream can read ([dir] is [Read] or [Mix]) and the
+    file must therefore exist with [size] bytes of content before the
+    measured phase. *)
+
+val fill : Spec.t -> job:int -> off:int -> bytes -> len:int -> unit
+(** Deterministic payload for the write at [off]: a function of
+    (seed, job, absolute byte offset) only, so any target executing the
+    same spec produces identical file contents. *)
+
+val think_rng : Spec.t -> job:int -> lane:int -> Sim.Rng.t
+(** The think-time stream of one lane of one job. *)

@@ -1,0 +1,66 @@
+type file = {
+  read : off:int -> buf:bytes -> len:int -> int;
+  write : off:int -> buf:bytes -> len:int -> unit;
+  fsync : unit -> unit;
+}
+
+type t = {
+  kind : string;
+  engine : Sim.Engine.t;
+  prepare : job:int -> Spec.t -> file;
+}
+
+let job_name (s : Spec.t) ~job = Printf.sprintf "%s.%d" s.Spec.file job
+
+(* Write the job's deterministic contents in cluster-sized chunks —
+   setup, not measurement, but still simulated I/O (the file must be
+   laid out on the disk like any other). *)
+let prewrite (s : Spec.t) ~job ~write ~fsync =
+  let chunk = 64 * 1024 in
+  let buf = Bytes.create chunk in
+  let off = ref 0 in
+  while !off < s.Spec.size do
+    let n = min chunk (s.Spec.size - !off) in
+    Stream.fill s ~job ~off:!off buf ~len:n;
+    write ~off:!off ~buf ~len:n;
+    off := !off + n
+  done;
+  fsync ()
+
+let local (m : Clusterfs.Machine.t) =
+  let fs = m.Clusterfs.Machine.fs in
+  let prepare ~job (s : Spec.t) =
+    let ip = Ufs.Fs.creat fs ("/" ^ job_name s ~job) in
+    let read ~off ~buf ~len = Ufs.Fs.read fs ip ~off ~buf ~len in
+    let write ~off ~buf ~len = Ufs.Fs.write fs ip ~off ~buf ~len in
+    let fsync () = Ufs.Fs.fsync fs ip in
+    if Stream.needs_data s then begin
+      prewrite s ~job ~write ~fsync;
+      Workload.Iobench.reset_file_state fs ip
+    end;
+    { read; write; fsync }
+  in
+  { kind = "local"; engine = m.Clusterfs.Machine.engine; prepare }
+
+let remote (topo : Clusterfs.Topology.t) =
+  let clients = topo.Clusterfs.Topology.clients in
+  let n = Array.length clients in
+  let prepare ~job (s : Spec.t) =
+    let mount = clients.(job mod n).Clusterfs.Topology.mount in
+    let f = Nfs.Client.create mount (job_name s ~job) in
+    let read ~off ~buf ~len = Nfs.Client.read f ~off ~buf ~len in
+    let write ~off ~buf ~len = Nfs.Client.write f ~off ~buf ~len in
+    let fsync () = Nfs.Client.fsync f in
+    if Stream.needs_data s then begin
+      prewrite s ~job ~write ~fsync;
+      (* cold client cache; the server's page cache stays warm — it is
+         the mount's second-level cache, part of what NFS runs measure *)
+      Nfs.Client.invalidate f
+    end;
+    { read; write; fsync }
+  in
+  {
+    kind = "remote";
+    engine = Clusterfs.Topology.engine topo;
+    prepare;
+  }

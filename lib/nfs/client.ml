@@ -88,6 +88,13 @@ let mk_stats () =
 
 let charge t c = Sim.Cpu.charge t.cpu ~label:"nfs.client" c
 
+(* run a blocking section and charge the caller's attribution clock
+   (if any) with the time it actually spent blocked *)
+let charged t phase f =
+  let before = Sim.Engine.now t.engine in
+  f ();
+  Sim.Attrib.charge_current phase (Sim.Engine.now t.engine - before)
+
 (* ---------- page cache ---------- *)
 
 (* Make room: pop eviction candidates until a valid, clean, idle page
@@ -372,7 +379,7 @@ let rec ensure_resident t f ~po ~seq ~retried =
       end;
       Some p
   | Some p when p.pbusy ->
-      Sim.Condition.wait p.pcond;
+      charged t "rpc.wait" (fun () -> Sim.Condition.wait p.pcond);
       ensure_resident t f ~po ~seq ~retried
   | _ ->
       if retried then None
@@ -467,16 +474,17 @@ let write f ~off ~buf ~len =
     while t.dirty_bytes >= t.dirty_limit do
       flush_gather t f;
       t.st.dirty_sleeps <- t.st.dirty_sleeps + 1;
-      Sim.Condition.wait t.dirty_cond
+      charged t "client.throttle" (fun () -> Sim.Condition.wait t.dirty_cond)
     done;
     let page =
       match Hashtbl.find_opt f.pages po with
       | Some p when p.pvalid -> p
       | Some p when p.pbusy ->
           (* a fill is in flight; wait it out rather than racing it *)
-          while p.pbusy do
-            Sim.Condition.wait p.pcond
-          done;
+          charged t "rpc.wait" (fun () ->
+              while p.pbusy do
+                Sim.Condition.wait p.pcond
+              done);
           p
       | _ ->
           let partial = not (!cur = po && n = bsize) in
@@ -527,9 +535,10 @@ let write f ~off ~buf ~len =
 let fsync f =
   let t = f.cl in
   flush_gather t f;
-  while f.pending_pushes > 0 do
-    Sim.Condition.wait f.push_cond
-  done
+  charged t "rpc.wait" (fun () ->
+      while f.pending_pushes > 0 do
+        Sim.Condition.wait f.push_cond
+      done)
 
 let create t name =
   let name = basename name in

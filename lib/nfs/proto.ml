@@ -20,8 +20,13 @@ type reply =
   | R_err of string
 
 type msg =
-  | Call of { xid : int; client : int; call : call }
-  | Reply of { xid : int; client : int; reply : reply }
+  | Call of { xid : int; client : int; call : call; sent : Sim.Time.t }
+  | Reply of {
+      xid : int;
+      client : int;
+      reply : reply;
+      cost : (string * Sim.Time.t) list;
+    }
 
 (* RPC + XDR framing: credentials, verifier, program/proc numbers.
    Small against an 8 KB block, noticeable against a GETATTR. *)

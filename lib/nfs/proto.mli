@@ -38,8 +38,22 @@ type reply =
   | R_err of string  (** errno name *)
 
 type msg =
-  | Call of { xid : int; client : int; call : call }
-  | Reply of { xid : int; client : int; reply : reply }
+  | Call of { xid : int; client : int; call : call; sent : Sim.Time.t }
+      (** [sent] is the transmit timestamp — legal out-of-band metadata
+          in a simulation sharing one clock; the server uses it to
+          compute outbound wire+queue time for cost attribution.  It
+          does {e not} count in {!msg_size}. *)
+  | Reply of {
+      xid : int;
+      client : int;
+      reply : reply;
+      cost : (string * Sim.Time.t) list;
+    }
+      (** [cost] is the server's per-phase breakdown of this call's
+          life (["wire.out"], ["nfsd.queue"], ["disk.*"], ["nfsd.cpu"],
+          plus the absolute ["srv.sent_at"] stamp so the client can
+          compute inbound wire time).  Attribution metadata only —
+          excluded from {!msg_size}, so wire timing is unchanged. *)
 
 val header_bytes : int
 (** Fixed per-message RPC/XDR framing overhead. *)

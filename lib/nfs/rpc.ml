@@ -8,6 +8,7 @@ type stats = {
 
 type pending = {
   mutable reply : Proto.reply option;
+  mutable cost : (string * Sim.Time.t) list;
   mutable wake : (unit -> unit) option;
   mutable retransmitted : bool;
 }
@@ -80,11 +81,12 @@ let create engine ~cpu ~ep ~client_id ?(transport = Fixed)
     (fun () ->
       while true do
         match Net.recv t.ep with
-        | Proto.Reply { xid; reply; _ } -> (
+        | Proto.Reply { xid; reply; cost; _ } -> (
             match Hashtbl.find_opt t.pending xid with
             | Some p ->
                 Hashtbl.remove t.pending xid;
                 p.reply <- Some reply;
+                p.cost <- cost;
                 (match p.wake with Some w -> w () | None -> ())
             | None -> t.st.late_replies <- t.st.late_replies + 1)
         | Proto.Call _ -> assert false
@@ -130,9 +132,41 @@ let finish_call t (call : Proto.call) ~t0 r =
   r
 
 let mk_pending t xid =
-  let p = { reply = None; wake = None; retransmitted = false } in
+  let p = { reply = None; cost = []; wake = None; retransmitted = false } in
   Hashtbl.replace t.pending xid p;
   p
+
+(* Charge the caller's attribution clock (if any) with this call's life:
+   the server's phase breakdown from the reply, inbound wire time from
+   the server's transmit stamp, congestion-window wait, and whatever is
+   left of the blocked interval (timeout slack, retransmit waits, send
+   CPU) as generic RPC wait.  Every addition is capped at the remaining
+   un-attributed blocked time, so the phases can never sum past what
+   the caller actually waited. *)
+let charge_cost t ~entry ~window_wait (p : pending) =
+  match Sim.Attrib.current () with
+  | None -> ()
+  | Some clk ->
+      let now = Sim.Engine.now t.engine in
+      let elapsed = now - entry in
+      let charged = ref 0 in
+      let add phase d =
+        let d = min (max 0 d) (elapsed - !charged) in
+        if d > 0 then begin
+          Sim.Attrib.charge clk phase d;
+          charged := !charged + d
+        end
+      in
+      add "rpc.wait" window_wait;
+      List.iter
+        (fun (k, v) ->
+          if k = "wire.out" then add "wire" v
+          else if k <> "srv.sent_at" then add k v)
+        p.cost;
+      (match List.assoc_opt "srv.sent_at" p.cost with
+      | Some sent_at -> add "wire" (now - sent_at)
+      | None -> ());
+      add "rpc.wait" (elapsed - !charged)
 
 let note_retransmit t p =
   t.st.retransmits <- t.st.retransmits + 1;
@@ -145,14 +179,15 @@ let call_fixed t (call : Proto.call) =
   let xid = t.next_xid in
   t.next_xid <- t.next_xid + 1;
   t.st.calls <- t.st.calls + 1;
-  let msg = Proto.Call { xid; client = t.id; call } in
-  let size = Proto.msg_size msg in
+  let size = Proto.call_size call in
   let p = mk_pending t xid in
   let t0 = Sim.Engine.now t.engine in
   let timeout = ref t.timeout in
   let rec attempt ~retry =
     if retry then note_retransmit t p;
-    Net.send t.ep ~size msg;
+    Net.send t.ep ~size
+      (Proto.Call
+         { xid; client = t.id; call; sent = Sim.Engine.now t.engine });
     wait_reply_or_timeout t p ~timeout:!timeout;
     match p.reply with
     | Some r -> r
@@ -160,7 +195,9 @@ let call_fixed t (call : Proto.call) =
         timeout := min (!timeout * 2) t.max_timeout;
         attempt ~retry:true
   in
-  finish_call t call ~t0 (attempt ~retry:false)
+  let r = attempt ~retry:false in
+  charge_cost t ~entry:t0 ~window_wait:0 p;
+  finish_call t call ~t0 r
 
 (* ---------- adaptive transport (Jacobson/Karn + AIMD window) ---------- *)
 
@@ -187,25 +224,26 @@ let sample_rtt t rtt =
 
 let call_adaptive t (call : Proto.call) =
   (* congestion window: bound this client's outstanding RPCs *)
-  (let w0 = Sim.Engine.now t.engine in
-   while t.in_flight >= window t do
-     Sim.Condition.wait t.win_cond
-   done;
-   let waited = Sim.Engine.now t.engine - w0 in
-   if waited > 0 then
-     Sim.Stats.Summary.add t.window_wait_us (float_of_int waited));
+  let entry = Sim.Engine.now t.engine in
+  while t.in_flight >= window t do
+    Sim.Condition.wait t.win_cond
+  done;
+  let waited = Sim.Engine.now t.engine - entry in
+  if waited > 0 then
+    Sim.Stats.Summary.add t.window_wait_us (float_of_int waited);
   t.in_flight <- t.in_flight + 1;
   let xid = t.next_xid in
   t.next_xid <- t.next_xid + 1;
   t.st.calls <- t.st.calls + 1;
-  let msg = Proto.Call { xid; client = t.id; call } in
-  let size = Proto.msg_size msg in
+  let size = Proto.call_size call in
   let p = mk_pending t xid in
   let t0 = Sim.Engine.now t.engine in
   let cur = ref t.rto in
   let rec attempt ~retry =
     if retry then note_retransmit t p;
-    Net.send t.ep ~size msg;
+    Net.send t.ep ~size
+      (Proto.Call
+         { xid; client = t.id; call; sent = Sim.Engine.now t.engine });
     wait_reply_or_timeout t p ~timeout:!cur;
     match p.reply with
     | Some r -> r
@@ -232,6 +270,7 @@ let call_adaptive t (call : Proto.call) =
   end;
   t.in_flight <- t.in_flight - 1;
   Sim.Condition.signal t.win_cond;
+  charge_cost t ~entry ~window_wait:waited p;
   finish_call t call ~t0 r
 
 let call t (call : Proto.call) =

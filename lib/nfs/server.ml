@@ -13,6 +13,7 @@ type item = {
   xid : int;
   client : int;
   call : Proto.call;
+  sent : Sim.Time.t;  (* client transmit stamp, for cost attribution *)
   arrived : Sim.Time.t;
 }
 
@@ -133,10 +134,10 @@ let dup_store t key reply =
     t.st.dup_evictions <- t.st.dup_evictions + 1
   done
 
-let send_reply (it : item) reply =
-  Net.send it.ep
-    ~size:(Proto.msg_size (Proto.Reply { xid = it.xid; client = it.client; reply }))
-    (Proto.Reply { xid = it.xid; client = it.client; reply })
+let send_reply t (it : item) ~cost reply =
+  let cost = ("srv.sent_at", Sim.Engine.now t.engine) :: cost in
+  let msg = Proto.Reply { xid = it.xid; client = it.client; reply; cost } in
+  Net.send it.ep ~size:(Proto.msg_size msg) msg
 
 (* ---------- processes ---------- *)
 
@@ -148,36 +149,54 @@ let worker t () =
       Sim.Condition.wait t.work
     done;
     let it = Queue.pop t.queue in
-    Sim.Stats.Summary.add t.st.queue_wait_us
-      (float_of_int (Sim.Engine.now t.engine - it.arrived));
+    let dq = Sim.Engine.now t.engine in
+    Sim.Stats.Summary.add t.st.queue_wait_us (float_of_int (dq - it.arrived));
     Sim.Cpu.charge t.cpu ~label:"nfsd" svc_overhead;
+    (* phase breakdown shipped back in the reply: outbound wire+medium
+       time from the client's transmit stamp, time queued for an nfsd,
+       then whatever [execute] spends (disk waits land on the clock,
+       the rest of the wall time is nfsd CPU) *)
+    let base_cost =
+      [
+        ("wire.out", max 0 (it.arrived - it.sent));
+        ("nfsd.queue", max 0 (dq - it.arrived));
+      ]
+    in
     let key = (it.client, it.xid) in
     let ni = nonidempotent it.call in
     match if ni then Hashtbl.find_opt t.dup key else None with
     | Some (Done reply) ->
         t.st.dup_hits <- t.st.dup_hits + 1;
-        send_reply it reply
+        send_reply t it
+          ~cost:
+            (base_cost @ [ ("nfsd.cpu", Sim.Engine.now t.engine - dq) ])
+          reply
     | Some In_progress -> t.st.dup_busy_drops <- t.st.dup_busy_drops + 1
     | None ->
         if ni then Hashtbl.replace t.dup key In_progress;
         let op = Proto.op_name it.call in
         incr (Hashtbl.find t.op_applied op);
         let t0 = Sim.Engine.now t.engine in
-        let reply = execute t it.call in
+        let clk = Sim.Attrib.create () in
+        let reply = Sim.Attrib.with_clock clk (fun () -> execute t it.call) in
         Sim.Stats.Summary.add
           (Hashtbl.find t.op_service op)
           (float_of_int (Sim.Engine.now t.engine - t0));
         if ni then dup_store t key reply;
-        send_reply it reply
+        let disk = Sim.Attrib.read clk in
+        let cpu =
+          max 0 (Sim.Engine.now t.engine - dq - Sim.Attrib.total clk)
+        in
+        send_reply t it ~cost:(base_cost @ disk @ [ ("nfsd.cpu", cpu) ]) reply
   done
 
 let dispatcher t ep () =
   while true do
     match Net.recv ep with
-    | Proto.Call { xid; client; call } ->
+    | Proto.Call { xid; client; call; sent } ->
         t.st.received <- t.st.received + 1;
         Queue.push
-          { ep; xid; client; call; arrived = Sim.Engine.now t.engine }
+          { ep; xid; client; call; sent; arrived = Sim.Engine.now t.engine }
           t.queue;
         Sim.Condition.signal t.work
     | Proto.Reply _ -> assert false

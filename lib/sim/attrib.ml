@@ -1,0 +1,35 @@
+type clock = { mutable entries : (string * Time.t) list }
+(* a handful of phases per operation: an assoc list beats a table *)
+
+let create () = { entries = [] }
+
+let charge c phase d =
+  if d > 0 then
+    let rec bump = function
+      | [] -> [ (phase, d) ]
+      | (p, t) :: rest when p = phase -> (p, t + d) :: rest
+      | kv :: rest -> kv :: bump rest
+    in
+    c.entries <- bump c.entries
+
+let read c = List.sort (fun (a, _) (b, _) -> compare a b) c.entries
+let find c phase = match List.assoc_opt phase c.entries with Some t -> t | None -> 0
+let total c = List.fold_left (fun acc (_, t) -> acc + t) 0 c.entries
+let merge_into ~dst src = List.iter (fun (p, t) -> charge dst p t) src.entries
+
+type _ Effect.t +=
+  | Get_clock : clock option Effect.t
+  | Set_clock : clock option -> unit Effect.t
+
+(* Outside a spawned process nothing handles these effects; attribution
+   is then simply off rather than an error. *)
+let current () = try Effect.perform Get_clock with Effect.Unhandled _ -> None
+let set c = try Effect.perform (Set_clock c) with Effect.Unhandled _ -> ()
+
+let charge_current phase d =
+  if d > 0 then match current () with Some c -> charge c phase d | None -> ()
+
+let with_clock c f =
+  let prev = current () in
+  set (Some c);
+  Fun.protect ~finally:(fun () -> set prev) f

@@ -47,9 +47,13 @@ let cancelled h = h.cb = None
 
 (* Run [f] as a process: effects performed by [f] are interpreted here.
    A [Suspend register] effect hands the continuation, wrapped as a
-   plain thunk, to [register]; resuming the thunk re-enters the handler. *)
+   plain thunk, to [register]; resuming the thunk re-enters the handler.
+   Each process also owns one attribution-clock slot ([Attrib]): the
+   handler closure holds it, so it survives suspensions and is invisible
+   to every other process. *)
 let spawn t ?name f =
   let name = Option.value name ~default:"process" in
+  let clock : Attrib.clock option ref = ref None in
   let body () =
     match_with f ()
       {
@@ -75,6 +79,13 @@ let spawn t ?name f =
                       schedule t (fun () -> continue k ())
                     in
                     register resume)
+            | Attrib.Get_clock ->
+                Some (fun (k : (a, _) continuation) -> continue k !clock)
+            | Attrib.Set_clock c ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    clock := c;
+                    continue k ())
             | _ -> None);
       }
   in

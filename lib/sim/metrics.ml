@@ -66,13 +66,16 @@ let json_float f =
 let buf_add_summary b s =
   Buffer.add_string b
     (Printf.sprintf
-       "{\"count\":%d,\"mean\":%s,\"stddev\":%s,\"min\":%s,\"max\":%s,\"total\":%s}"
+       "{\"count\":%d,\"mean\":%s,\"stddev\":%s,\"min\":%s,\"max\":%s,\"total\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
        (Stats.Summary.count s)
        (json_float (Stats.Summary.mean s))
        (json_float (Stats.Summary.stddev s))
        (json_float (Stats.Summary.min s))
        (json_float (Stats.Summary.max s))
-       (json_float (Stats.Summary.total s)))
+       (json_float (Stats.Summary.total s))
+       (json_float (Stats.Summary.percentile_of s 50.))
+       (json_float (Stats.Summary.percentile_of s 95.))
+       (json_float (Stats.Summary.percentile_of s 99.)))
 
 let buf_add_hist b h =
   Buffer.add_string b
@@ -150,7 +153,13 @@ let to_csv t =
               row layer instance name "min" (json_float (Stats.Summary.min s));
               row layer instance name "max" (json_float (Stats.Summary.max s));
               row layer instance name "total"
-                (json_float (Stats.Summary.total s))
+                (json_float (Stats.Summary.total s));
+              row layer instance name "p50"
+                (json_float (Stats.Summary.percentile_of s 50.));
+              row layer instance name "p95"
+                (json_float (Stats.Summary.percentile_of s 95.));
+              row layer instance name "p99"
+                (json_float (Stats.Summary.percentile_of s 99.))
           | Hist h ->
               List.iter
                 (fun (lo, hi, n) ->

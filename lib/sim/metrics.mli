@@ -18,7 +18,7 @@ type value =
   | Int of int
   | Float of float
   | Summary of Stats.Summary.t
-      (** exported as count/mean/stddev/min/max/total *)
+      (** exported as count/mean/stddev/min/max/total/p50/p95/p99 *)
   | Hist of Stats.Hist.t  (** exported as [[lo, hi, n], ...] buckets *)
 
 type t
@@ -46,4 +46,4 @@ val to_json : ?meta:(string * string) list -> t -> string
 
 val to_csv : t -> string
 (** Long-format CSV: [layer,instance,metric,field,value] with one row
-    per scalar, six rows per summary, one per histogram bucket. *)
+    per scalar, nine rows per summary, one per histogram bucket. *)

@@ -1,4 +1,24 @@
+let percentile values p =
+  if Array.length values = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let values = Array.copy values in
+  Array.sort compare values;
+  let n = Array.length values in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then values.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    values.(lo) +. (frac *. (values.(hi) -. values.(lo)))
+
 module Summary = struct
+  (* Percentiles need samples, not moments; [reservoir_cap] bounds the
+     memory.  Decimation is deterministic: once the reservoir fills,
+     keep every 2nd retained sample and double the stride — a uniformly
+     spaced subsample of the stream, so long-run percentiles stay
+     representative without any RNG. *)
+  let reservoir_cap = 4096
+
   type t = {
     mutable n : int;
     mutable mean : float;
@@ -6,9 +26,48 @@ module Summary = struct
     mutable mn : float;
     mutable mx : float;
     mutable total : float;
+    mutable samples : float array;
+    mutable slen : int;
+    mutable stride : int;
+    mutable skip : int;  (** stream samples to pass over before keeping one *)
   }
 
-  let create () = { n = 0; mean = 0.; m2 = 0.; mn = nan; mx = nan; total = 0. }
+  let create () =
+    {
+      n = 0;
+      mean = 0.;
+      m2 = 0.;
+      mn = nan;
+      mx = nan;
+      total = 0.;
+      samples = [||];
+      slen = 0;
+      stride = 1;
+      skip = 0;
+    }
+
+  let keep_sample t x =
+    if t.skip > 0 then t.skip <- t.skip - 1
+    else begin
+      let cap = Array.length t.samples in
+      if t.slen = cap then
+        if cap < reservoir_cap then begin
+          let bigger = Array.make (max 64 (min reservoir_cap (cap * 2))) 0. in
+          Array.blit t.samples 0 bigger 0 t.slen;
+          t.samples <- bigger
+        end
+        else begin
+          let half = cap / 2 in
+          for i = 0 to half - 1 do
+            t.samples.(i) <- t.samples.(2 * i)
+          done;
+          t.slen <- half;
+          t.stride <- t.stride * 2
+        end;
+      t.samples.(t.slen) <- x;
+      t.slen <- t.slen + 1;
+      t.skip <- t.stride - 1
+    end
 
   let add t x =
     t.n <- t.n + 1;
@@ -16,6 +75,7 @@ module Summary = struct
     let delta = x -. t.mean in
     t.mean <- t.mean +. (delta /. float_of_int t.n);
     t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    keep_sample t x;
     if t.n = 1 then begin
       t.mn <- x;
       t.mx <- x
@@ -35,6 +95,9 @@ module Summary = struct
   let min t = if t.n = 0 then 0. else t.mn
   let max t = if t.n = 0 then 0. else t.mx
   let total t = t.total
+
+  let percentile_of t p =
+    if t.slen = 0 then 0. else percentile (Array.sub t.samples 0 t.slen) p
 end
 
 module Hist = struct
@@ -75,16 +138,3 @@ module Hist = struct
       (fun (lo, hi, n) -> Format.fprintf ppf "[%d..%d]: %d@." lo hi n)
       (buckets t)
 end
-
-let percentile values p =
-  if Array.length values = 0 then invalid_arg "Stats.percentile: empty";
-  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
-  let values = Array.copy values in
-  Array.sort compare values;
-  let n = Array.length values in
-  let rank = p /. 100. *. float_of_int (n - 1) in
-  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
-  if lo = hi then values.(lo)
-  else
-    let frac = rank -. float_of_int lo in
-    values.(lo) +. (frac *. (values.(hi) -. values.(lo)))

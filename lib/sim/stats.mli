@@ -23,6 +23,13 @@ module Summary : sig
   (** 0.0 when empty. *)
 
   val total : t -> float
+
+  val percentile_of : t -> float -> float
+  (** [percentile_of t p] for [p] in [0,100], 0.0 when empty.  Exact
+      while at most 4096 values have been observed; beyond that the
+      summary keeps a deterministically decimated subsample (every
+      2nd, 4th, … value), so long-run percentiles are approximate but
+      reproducible.  Computed with the non-mutating {!percentile}. *)
 end
 
 module Hist : sig

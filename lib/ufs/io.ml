@@ -171,7 +171,9 @@ let push_pages fs (ip : inode) pages ~frag ~off ~sync ~free_after ~throttle
   Disk.Blkdev.submit fs.dev req;
   if sync then Disk.Request.wait fs.engine req
 
-let wait_writes _fs (ip : inode) =
+let wait_writes fs (ip : inode) =
+  let before = Sim.Engine.now fs.engine in
   while ip.outstanding_writes > 0 do
     Sim.Condition.wait ip.iodone
-  done
+  done;
+  Sim.Attrib.charge_current "disk.wait" (Sim.Engine.now fs.engine - before)

@@ -40,10 +40,12 @@ let rec lock engine t =
   else t.busy <- true
 
 let wait_unbusy engine t =
+  let before = Sim.Engine.now engine in
   while t.busy do
     Sim.Engine.suspend engine ~register:(fun resume ->
         t.waiters <- resume :: t.waiters)
-  done
+  done;
+  Sim.Attrib.charge_current "disk.wait" (Sim.Engine.now engine - before)
 
 let unbusy t =
   if not t.busy then invalid_arg "Page.unbusy: not busy";

@@ -70,7 +70,9 @@ let test_json_export () =
   check_bool "int metric" true (contains "\"n\": 42");
   check_bool "summary mean" true (contains "\"mean\":3");
   check_bool "empty summary renders zeros, not nan" true
-    (contains "\"idle\": {\"count\":0,\"mean\":0,\"stddev\":0,\"min\":0,\"max\":0,\"total\":0}");
+    (contains
+       "\"idle\": \
+        {\"count\":0,\"mean\":0,\"stddev\":0,\"min\":0,\"max\":0,\"total\":0,\"p50\":0,\"p95\":0,\"p99\":0}");
   check_bool "quote escaped in instance" true (contains "q\\\"x");
   check_bool "nan renders as null" true (contains "\"bad\": null");
   check_bool "no bare nan anywhere" false (contains "nan");
