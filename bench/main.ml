@@ -501,8 +501,14 @@ let nfscc_table () =
 
 let fio_table () =
   let shrink (s : Fio.Spec.t) =
-    (* quick mode: quarter the data each job moves, floor one op *)
-    if !quick then { s with Fio.Spec.size = max s.Fio.Spec.bs (s.Fio.Spec.size / 4) }
+    (* quick mode: quarter the data each job moves, floor one op; the
+       per-job shift shrinks with it so shared regions stay adjacent *)
+    if !quick then
+      {
+        s with
+        Fio.Spec.size = max s.Fio.Spec.bs (s.Fio.Spec.size / 4);
+        Fio.Spec.offset_increment = s.Fio.Spec.offset_increment / 4;
+      }
     else s
   in
   List.iter

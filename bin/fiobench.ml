@@ -96,9 +96,9 @@ let specs_t =
     value & pos_all string []
     & info [] ~docv:"SPEC"
         ~doc:
-          "Workload: a canned scenario name (db-oltp, backup, mixed), a spec \
-           file, or an inline 'key=value ...' spec.  Default: all canned \
-           scenarios.")
+          "Workload: a canned scenario name (db-oltp, backup, mixed, \
+           ilv-single, ilv-pair, strided), a spec file, or an inline \
+           'key=value ...' spec.  Default: all canned scenarios.")
 
 let config_t =
   Arg.(

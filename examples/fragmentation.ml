@@ -35,8 +35,7 @@ let show label (meas : Workload.Extents.measurement) =
 let read_rate fs path =
   let ip = Ufs.Fs.namei fs path in
   Vm.Pool.invalidate_vnode fs.Ufs.Types.pool ip.Ufs.Types.inum;
-  ip.Ufs.Types.nextr <- 0;
-  ip.Ufs.Types.nextrio <- 0;
+  Ufs.Types.reset_rstreams ip;
   let engine = fs.Ufs.Types.engine in
   let t0 = Sim.Engine.now engine in
   let buf = Bytes.create 8192 in

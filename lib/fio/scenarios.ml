@@ -15,7 +15,23 @@ let mixed =
     "name=mixed file=mixed rw=rw rwmixread=70 bs=8k size=8m iodepth=2 \
      numjobs=2 seed=13"
 
-let all = [ db_oltp; backup; mixed ]
+(* The interleaved pair and its one-stream baseline: same file size per
+   stream, same think time (think makes each stream latency-bound, so a
+   healthy per-stream predictor lets two streams overlap their stalls
+   and the pair's aggregate bandwidth approaches twice the single's). *)
+let ilv_single = mk "name=ilv-single file=ilv rw=read bs=8k size=4m think=20000 seed=21"
+
+let ilv_pair =
+  mk
+    "name=ilv-pair file=ilv rw=read bs=8k size=4m numjobs=2 share=1 \
+     offset_increment=4m think=20000 seed=21"
+
+(* 64 KB stride: touches one block in eight, so cluster read-ahead is
+   pure waste — the adaptive window should shrink rather than keep
+   prefetching blocks the reader skips *)
+let strided = mk "name=strided file=str rw=read bs=8k size=4m stride=64k seed=22"
+
+let all = [ db_oltp; backup; mixed; ilv_single; ilv_pair; strided ]
 
 let register report =
   match Clusterfs.Machine.current_metrics_sink () with
@@ -54,6 +70,23 @@ type gather_point = {
   elapsed : Sim.Time.t;
 }
 
+let register_gather (g : gather_point) =
+  match Clusterfs.Machine.current_metrics_sink () with
+  | Some reg ->
+      Sim.Metrics.register reg ~layer:"fio"
+        ~instance:(Printf.sprintf "write-gather.%dc" g.clients)
+        (fun () ->
+          Sim.Metrics.
+            [
+              ("clients", Int g.clients);
+              ("write_rpcs", Int g.write_rpcs);
+              ("disk_writes", Int g.disk_writes);
+              ("blocks_per_disk_write", Float g.blocks_per_disk_write);
+              ("gather_kb_mean", Float g.gather_kb_mean);
+              ("elapsed_us", Int g.elapsed);
+            ])
+  | None -> ()
+
 let write_gather ?(config = Clusterfs.Config.config_a) ~clients () =
   let spec =
     mk
@@ -75,20 +108,24 @@ let write_gather ?(config = Clusterfs.Config.config_a) ~clients () =
   let disk_writes = dst.Disk.Device.writes in
   let sectors = dst.Disk.Device.sectors_written in
   let bsize_sectors = Ufs.Layout.bsize / 512 in
-  {
-    clients;
-    write_rpcs;
-    disk_writes;
-    blocks_per_disk_write =
-      (if disk_writes = 0 then 0.
-       else
-         float_of_int sectors
-         /. float_of_int bsize_sectors
-         /. float_of_int disk_writes);
-    gather_kb_mean =
-      (if write_rpcs = 0 then 0.
-       else
-         float_of_int (clients * spec.Spec.size)
-         /. 1024. /. float_of_int write_rpcs);
-    elapsed = Report.wall_us report;
-  }
+  let g =
+    {
+      clients;
+      write_rpcs;
+      disk_writes;
+      blocks_per_disk_write =
+        (if disk_writes = 0 then 0.
+         else
+           float_of_int sectors
+           /. float_of_int bsize_sectors
+           /. float_of_int disk_writes);
+      gather_kb_mean =
+        (if write_rpcs = 0 then 0.
+         else
+           float_of_int (clients * spec.Spec.size)
+           /. 1024. /. float_of_int write_rpcs);
+      elapsed = Report.wall_us report;
+    }
+  in
+  register_gather g;
+  g

@@ -16,8 +16,24 @@ val backup : Spec.t
 val mixed : Spec.t
 (** 8 KB sequential 70/30 mix, iodepth 2, two jobs. *)
 
+val ilv_single : Spec.t
+(** One 8 KB sequential reader with 20 ms mean think time (so the
+    stream is latency-bound, not disk-bound): the baseline the
+    interleaved pair is judged against. *)
+
+val ilv_pair : Spec.t
+(** Two 8 KB sequential readers interleaving over disjoint 4 MB halves
+    of one shared file ([share=1 offset_increment=4m]), same think time
+    as {!ilv_single}.  With per-stream read-ahead windows the pair's
+    aggregate bandwidth approaches twice the single stream's. *)
+
+val strided : Spec.t
+(** 8 KB reads every 64 KB: sequentially predictable to a naive
+    detector but touching one block in eight, so cluster read-ahead is
+    mostly waste. *)
+
 val all : Spec.t list
-(** The three canned scenarios, in the order above. *)
+(** The canned scenarios, in the order above. *)
 
 val run_local : ?config:Clusterfs.Config.t -> Spec.t -> Report.t
 (** Build a machine (default {!Clusterfs.Config.config_a}), run the
@@ -38,6 +54,11 @@ type gather_point = {
   gather_kb_mean : float;  (** mean client WRITE payload, KB *)
   elapsed : Sim.Time.t;
 }
+
+val register_gather : gather_point -> unit
+(** Register the point as a ["fio"]-layer metrics source (instance
+    ["write-gather.<n>c"]) into the current sink, if one is installed.
+    {!write_gather} already calls this. *)
 
 val write_gather : ?config:Clusterfs.Config.t -> clients:int -> unit -> gather_point
 (** The server-side write-gathering ablation: [clients] nodes each

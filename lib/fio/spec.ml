@@ -11,6 +11,8 @@ type t = {
   size : int;
   iodepth : int;
   numjobs : int;
+  share : bool;  (** all jobs operate on one shared file *)
+  offset_increment : int;  (** per-job base offset = job * this *)
   think_us : int;
   seed : int;
 }
@@ -26,11 +28,18 @@ let default =
     size = 1024 * 1024;
     iodepth = 1;
     numjobs = 1;
+    share = false;
+    offset_increment = 0;
     think_us = 0;
     seed = 0;
   }
 
 let ops_per_job t = max 1 (t.size / t.bs)
+
+(* Bytes the job table spans inside one shared file: the last job's
+   base offset plus its region.  Equals [size] when nothing is shared
+   or shifted. *)
+let span t = ((t.numjobs - 1) * t.offset_increment) + t.size
 
 (* ---------- printing ---------- *)
 
@@ -54,11 +63,19 @@ let to_string t =
   let mix =
     match t.dir with Mix p -> Printf.sprintf " rwmixread=%d" p | _ -> ""
   in
+  (* non-default keys only: specs that never share keep their old
+     canonical form (and their old report/metric labels) *)
+  let share = if t.share then " share=1" else "" in
+  let oi =
+    if t.offset_increment > 0 then
+      Printf.sprintf " offset_increment=%s" (size_string t.offset_increment)
+    else ""
+  in
   Printf.sprintf
-    "name=%s file=%s rw=%s%s bs=%s size=%s stride=%s iodepth=%d numjobs=%d \
+    "name=%s file=%s rw=%s%s bs=%s size=%s stride=%s iodepth=%d numjobs=%d%s%s \
      think=%d seed=%d"
     t.name t.file (rw_string t) mix (size_string t.bs) (size_string t.size)
-    (size_string t.stride) t.iodepth t.numjobs t.think_us t.seed
+    (size_string t.stride) t.iodepth t.numjobs share oi t.think_us t.seed
 
 (* ---------- parsing ---------- *)
 
@@ -138,6 +155,13 @@ let parse s =
               | "stride" -> { acc with stride = parse_size key v }
               | "iodepth" -> { acc with iodepth = parse_int key v }
               | "numjobs" -> { acc with numjobs = parse_int key v }
+              | "share" -> (
+                  match v with
+                  | "0" -> { acc with share = false }
+                  | "1" -> { acc with share = true }
+                  | _ -> bad "share: expected 0 or 1, got %S" v)
+              | "offset_increment" ->
+                  { acc with offset_increment = parse_size key v }
               | "think" -> { acc with think_us = parse_int key v }
               | "seed" -> { acc with seed = parse_int key v }
               | _ -> bad "unknown key %S" key))
@@ -157,6 +181,9 @@ let parse s =
     if spec.stride < 0 then bad "stride must be non-negative";
     if spec.iodepth < 1 then bad "iodepth must be at least 1";
     if spec.numjobs < 1 then bad "numjobs must be at least 1";
+    if spec.offset_increment < 0 then bad "offset_increment must be non-negative";
+    if spec.offset_increment > 0 && not spec.share then
+      bad "offset_increment requires share=1 (per-job files are already disjoint)";
     if spec.think_us < 0 then bad "think must be non-negative";
     if spec.name = "" || spec.file = "" then bad "name and file must be set";
     Ok spec

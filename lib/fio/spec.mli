@@ -23,6 +23,13 @@
     - [iodepth]: concurrent ops in flight per job (default 1)
     - [numjobs]: identical jobs, each on its own file [<file>.<j>]
       (default 1)
+    - [share]: [1] makes every job operate on one shared file named
+      [<file>] instead of a private [<file>.<j>] (default 0) — how
+      interleaved multi-stream workloads against a single file are
+      expressed
+    - [offset_increment]: with [share=1], job [j]'s ops are shifted by
+      [j * offset_increment] bytes, giving each job a disjoint region
+      of the shared file (default 0 — all jobs cover the same bytes)
     - [think]: mean think time between ops, microseconds, exponentially
       distributed (default 0)
     - [seed]: base of every random stream the spec uses (default 0)
@@ -46,6 +53,8 @@ type t = {
   size : int;
   iodepth : int;
   numjobs : int;
+  share : bool;  (** all jobs operate on one shared file *)
+  offset_increment : int;  (** per-job base offset = job * this *)
   think_us : int;
   seed : int;
 }
@@ -56,6 +65,11 @@ val default : t
 
 val ops_per_job : t -> int
 (** [max 1 (size / bs)]. *)
+
+val span : t -> int
+(** Bytes the whole job table covers inside one shared file:
+    [(numjobs - 1) * offset_increment + size].  Equals [size] when
+    nothing is shared or shifted. *)
 
 val to_string : t -> string
 (** One-line canonical form; {!parse} o {!to_string} is the identity on

@@ -14,6 +14,8 @@ let ops (s : Spec.t) ~job =
   let n = Spec.ops_per_job s in
   let blocks = max 1 (s.Spec.size / s.Spec.bs) in
   let region = blocks * s.Spec.bs in
+  (* sharing a file: each job works its own region of it *)
+  let base = job * s.Spec.offset_increment in
   let off_rng = Sim.Rng.create ~seed:(sub_seed s.Spec.seed 1 job) in
   let dir_rng = Sim.Rng.create ~seed:(sub_seed s.Spec.seed 2 job) in
   let step = if s.Spec.stride > 0 then s.Spec.stride else s.Spec.bs in
@@ -26,6 +28,7 @@ let ops (s : Spec.t) ~job =
             min off (s.Spec.size - s.Spec.bs)
         | Spec.Rand -> Sim.Rng.int off_rng blocks * s.Spec.bs
       in
+      let off = base + off in
       let kind =
         match s.Spec.dir with
         | Spec.Read -> R

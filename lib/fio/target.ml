@@ -10,32 +10,47 @@ type t = {
   prepare : job:int -> Spec.t -> file;
 }
 
-let job_name (s : Spec.t) ~job = Printf.sprintf "%s.%d" s.Spec.file job
+(* A shared file is one file every job opens; private files carry the
+   job number in their name. *)
+let job_name (s : Spec.t) ~job =
+  if s.Spec.share then s.Spec.file
+  else Printf.sprintf "%s.%d" s.Spec.file job
 
-(* Write the job's deterministic contents in cluster-sized chunks —
+(* Write [bytes] of deterministic contents in cluster-sized chunks —
    setup, not measurement, but still simulated I/O (the file must be
    laid out on the disk like any other). *)
-let prewrite (s : Spec.t) ~job ~write ~fsync =
+let prewrite (s : Spec.t) ~job ~bytes ~write ~fsync =
   let chunk = 64 * 1024 in
   let buf = Bytes.create chunk in
   let off = ref 0 in
-  while !off < s.Spec.size do
-    let n = min chunk (s.Spec.size - !off) in
+  while !off < bytes do
+    let n = min chunk (bytes - !off) in
     Stream.fill s ~job ~off:!off buf ~len:n;
     write ~off:!off ~buf ~len:n;
     off := !off + n
   done;
   fsync ()
 
+(* Whether this job does the data setup: every job of a private-file
+   spec lays out its own file; with [share] job 0 prewrites the whole
+   span once (jobs are prepared in order) and the rest just open it. *)
+let prewrites (s : Spec.t) ~job =
+  Stream.needs_data s && ((not s.Spec.share) || job = 0)
+
 let local (m : Clusterfs.Machine.t) =
   let fs = m.Clusterfs.Machine.fs in
   let prepare ~job (s : Spec.t) =
-    let ip = Ufs.Fs.creat fs ("/" ^ job_name s ~job) in
+    let path = "/" ^ job_name s ~job in
+    let ip =
+      (* jobs > 0 of a shared spec must not truncate what job 0 built *)
+      if s.Spec.share && job > 0 then Ufs.Fs.namei fs path
+      else Ufs.Fs.creat fs path
+    in
     let read ~off ~buf ~len = Ufs.Fs.read fs ip ~off ~buf ~len in
     let write ~off ~buf ~len = Ufs.Fs.write fs ip ~off ~buf ~len in
     let fsync () = Ufs.Fs.fsync fs ip in
-    if Stream.needs_data s then begin
-      prewrite s ~job ~write ~fsync;
+    if prewrites s ~job then begin
+      prewrite s ~job ~bytes:(Spec.span s) ~write ~fsync;
       Workload.Iobench.reset_file_state fs ip
     end;
     { read; write; fsync }
@@ -46,13 +61,24 @@ let remote (topo : Clusterfs.Topology.t) =
   let clients = topo.Clusterfs.Topology.clients in
   let n = Array.length clients in
   let prepare ~job (s : Spec.t) =
-    let mount = clients.(job mod n).Clusterfs.Topology.mount in
-    let f = Nfs.Client.create mount (job_name s ~job) in
+    (* a shared file lives behind one mount: all its jobs go through
+       the same client cache, like processes sharing a kernel *)
+    let mount =
+      clients.((if s.Spec.share then 0 else job) mod n)
+        .Clusterfs.Topology.mount
+    in
+    let f =
+      if s.Spec.share && job > 0 then
+        match Nfs.Client.lookup mount (job_name s ~job) with
+        | Some f -> f
+        | None -> failwith "fio: shared file not prepared"
+      else Nfs.Client.create mount (job_name s ~job)
+    in
     let read ~off ~buf ~len = Nfs.Client.read f ~off ~buf ~len in
     let write ~off ~buf ~len = Nfs.Client.write f ~off ~buf ~len in
     let fsync () = Nfs.Client.fsync f in
-    if Stream.needs_data s then begin
-      prewrite s ~job ~write ~fsync;
+    if prewrites s ~job then begin
+      prewrite s ~job ~bytes:(Spec.span s) ~write ~fsync;
       (* cold client cache; the server's page cache stays warm — it is
          the mount's second-level cache, part of what NFS runs measure *)
       Nfs.Client.invalidate f

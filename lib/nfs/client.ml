@@ -7,6 +7,8 @@ type stats = {
   mutable cache_misses : int;
   mutable ra_issued : int;
   mutable ra_used : int;
+  mutable ra_streams : int;  (** read-ahead windows created beyond the first *)
+  mutable ra_wasted : int;  (** prefetched pages dropped before any use *)
   mutable write_gathers : int;
   mutable dirty_sleeps : int;
   mutable attr_hits : int;
@@ -25,6 +27,20 @@ type cpage = {
   pcond : Sim.Condition.t;  (** unbusy waiters *)
 }
 
+(* One sequential reader's footprint in a file (the client analogue of
+   [Ufs.Types.rstream]): its predicted next offset and its own
+   read-ahead high-water mark.  Giving each stream a private frontier
+   is also the fix for the old single-predictor bug where [nextrio]
+   only ever grew — a reader that seeked backwards got no read-ahead at
+   all until it crawled past its previous high-water mark. *)
+type rwin = {
+  mutable w_nextr : int;  (** predicted next block offset *)
+  mutable w_raio : int;  (** read-ahead frontier (grows per window) *)
+  mutable w_hits : int;
+  mutable w_born : int;  (** miss-clock value at creation / last refresh *)
+  mutable w_stamp : int;  (** recency, for LRU eviction *)
+}
+
 type file = {
   cl : t;
   fh : Proto.fh;
@@ -32,9 +48,10 @@ type file = {
   mutable attr_at : Sim.Time.t option;  (** [None] = stale *)
   mutable fsize : int;  (** client view: local writes extend it now *)
   pages : (int, cpage) Hashtbl.t;  (** block offset -> page *)
-  (* read clustering state (client-side nextr / nextrio) *)
-  mutable nextr : int;
-  mutable nextrio : int;
+  (* read clustering state: one window per concurrent sequential stream *)
+  mutable rwins : rwin list;
+  mutable rw_clock : int;  (** access counter, stamps windows *)
+  mutable rw_misses : int;  (** miss counter, ages speculative windows *)
   (* write gathering (client-side delayoff / delaylen) *)
   mutable delayoff : int;
   mutable delaylen : int;
@@ -78,6 +95,8 @@ let mk_stats () =
     cache_misses = 0;
     ra_issued = 0;
     ra_used = 0;
+    ra_streams = 0;
+    ra_wasted = 0;
     write_gathers = 0;
     dirty_sleeps = 0;
     attr_hits = 0;
@@ -94,6 +113,88 @@ let charged t phase f =
   let before = Sim.Engine.now t.engine in
   f ();
   Sim.Attrib.charge_current phase (Sim.Engine.now t.engine - before)
+
+(* ---------- read-ahead windows ---------- *)
+
+let max_rwins = 8
+let rwin_miss_ttl = 4
+
+let mk_rwin ~nextr ~born ~stamp =
+  { w_nextr = nextr; w_raio = 0; w_hits = 0; w_born = born; w_stamp = stamp }
+
+let reset_rwins f =
+  f.rw_clock <- 0;
+  f.rw_misses <- 0;
+  f.rwins <- [ mk_rwin ~nextr:0 ~born:0 ~stamp:0 ]
+
+(* The window predicting this access: either the access starts the
+   block the window expects, or it continues inside the block just
+   before the window's prediction (a sub-block reader part way through
+   its current block).  Prefer established, recent windows when several
+   match. *)
+let find_rwin f ~po ~cur =
+  let matches w = w.w_nextr = po || (cur > po && w.w_nextr = po + bsize) in
+  List.fold_left
+    (fun best w ->
+      if not (matches w) then best
+      else
+        match best with
+        | Some b when (b.w_hits, b.w_stamp) >= (w.w_hits, w.w_stamp) -> best
+        | _ -> Some w)
+    None f.rwins
+
+let touch_rwin f w ~po =
+  f.rw_clock <- f.rw_clock + 1;
+  w.w_hits <- w.w_hits + 1;
+  w.w_stamp <- f.rw_clock;
+  w.w_born <- f.rw_misses;
+  w.w_nextr <- po + bsize
+
+(* No window predicted [po]: a new stream may be starting.  Repoint the
+   scratch window (never-hit, so nothing is lost) if there is one;
+   otherwise grow the table, evicting the least-recent window at the
+   cap.  Speculative windows that never collected two hits expire after
+   a few misses so a random reader cannot fill the table. *)
+let note_miss_rwin t f ~po =
+  f.rw_clock <- f.rw_clock + 1;
+  f.rw_misses <- f.rw_misses + 1;
+  let live w = w.w_hits >= 2 || f.rw_misses - w.w_born <= rwin_miss_ttl in
+  f.rwins <- List.filter live f.rwins;
+  let scratch =
+    List.fold_left
+      (fun best w ->
+        if w.w_hits > 0 then best
+        else
+          match best with
+          | Some b when b.w_stamp >= w.w_stamp -> best
+          | _ -> Some w)
+      None f.rwins
+  in
+  match scratch with
+  | Some w ->
+      w.w_stamp <- f.rw_clock;
+      w.w_born <- f.rw_misses;
+      w.w_nextr <- po + bsize;
+      (* restart the frontier: read-ahead for the repointed stream must
+         begin at its new position, not at some stale high-water mark *)
+      w.w_raio <- 0
+  | None ->
+      (if List.length f.rwins >= max_rwins then
+         let lru =
+           List.fold_left
+             (fun best w ->
+               match best with
+               | Some b when b.w_stamp <= w.w_stamp -> best
+               | _ -> Some w)
+             None f.rwins
+         in
+         match lru with
+         | Some lw -> f.rwins <- List.filter (fun w -> w != lw) f.rwins
+         | None -> ());
+      t.st.ra_streams <- t.st.ra_streams + 1;
+      f.rwins <-
+        mk_rwin ~nextr:(po + bsize) ~born:f.rw_misses ~stamp:f.rw_clock
+        :: f.rwins
 
 (* ---------- page cache ---------- *)
 
@@ -115,6 +216,9 @@ let evict_one t =
     | Some p ->
         if p.pvalid && (not p.pdirty) && (not p.pbusy) && p.pflush = 0
         then begin
+          (* read ahead but dropped before anybody read it: the RPC and
+             the frame were spent for nothing *)
+          if p.pprefetched then t.st.ra_wasted <- t.st.ra_wasted + 1;
           Hashtbl.remove f.pages po;
           t.resident <- t.resident - 1;
           t.st.evictions <- t.st.evictions + 1;
@@ -273,8 +377,9 @@ let mk_file t ~fh ~name ~(attr : Proto.attr) =
       attr_at = Some (Sim.Engine.now t.engine);
       fsize = attr.Proto.size;
       pages = Hashtbl.create 64;
-      nextr = 0;
-      nextrio = 0;
+      rwins = [ mk_rwin ~nextr:0 ~born:0 ~stamp:0 ];
+      rw_clock = 0;
+      rw_misses = 0;
       delayoff = 0;
       delaylen = 0;
       pending_pushes = 0;
@@ -355,15 +460,19 @@ let size f = f.fsize
 
 (* ---------- read ---------- *)
 
-(* Keep [ra_depth] clusters in flight beyond the reader's position. *)
-let schedule_readahead t f ~po =
-  if f.nextrio < po + t.cluster then f.nextrio <- po + t.cluster;
+(* Keep [ra_depth] clusters in flight beyond the stream's position.
+   The frontier lives in the stream's own window, so each interleaved
+   reader maintains its own pipeline — and a stream repointed by a
+   backward seek starts a fresh frontier instead of inheriting one it
+   can never catch. *)
+let schedule_readahead t f (w : rwin) ~po =
+  if w.w_raio < po + t.cluster then w.w_raio <- po + t.cluster;
   let window_end = po + ((t.ra_depth + 1) * t.cluster) in
-  while f.nextrio < window_end && f.nextrio < f.fsize do
-    let len = min t.cluster (f.fsize - f.nextrio) in
+  while w.w_raio < window_end && w.w_raio < f.fsize do
+    let len = min t.cluster (f.fsize - w.w_raio) in
     t.st.ra_issued <- t.st.ra_issued + 1;
-    enqueue t (Ra (f, f.nextrio, len));
-    f.nextrio <- f.nextrio + t.cluster
+    enqueue t (Ra (f, w.w_raio, len));
+    w.w_raio <- w.w_raio + t.cluster
   done
 
 (* The page at [po], fetching on a miss: a whole cluster when the
@@ -405,16 +514,21 @@ let read f ~off ~buf ~len =
     let n = min (len - !total) (min (bsize - (!cur - po)) (f.fsize - !cur)) in
     if n <= 0 then continue := false
     else begin
-      (* sequentiality judged before nextr advances, as in ufs_rdwr *)
-      let seq = f.nextr = po || (!cur > po && f.nextr = po + bsize) in
+      (* sequentiality judged before the windows advance, as in
+         ufs_rdwr: did any stream predict this access? *)
+      let w = find_rwin f ~po ~cur:!cur in
+      let seq = w <> None in
       charge t t.costs.Ufs.Costs.map_block;
       (match ensure_resident t f ~po ~seq ~retried:false with
       | None -> continue := false
       | Some p ->
           charge t (Ufs.Costs.copy_cost t.costs ~bytes:n);
           Bytes.blit p.pdata (!cur - po) buf !total n;
-          f.nextr <- po + bsize;
-          if seq then schedule_readahead t f ~po;
+          (match w with
+          | Some w ->
+              touch_rwin f w ~po;
+              schedule_readahead t f w ~po
+          | None -> note_miss_rwin t f ~po);
           total := !total + n;
           cur := !cur + n)
     end
@@ -540,6 +654,17 @@ let fsync f =
         Sim.Condition.wait f.push_cond
       done)
 
+(* Drop the whole cached image of [f] (truncation, invalidation),
+   charging never-used read-ahead pages to the wasted count. *)
+let drop_all_pages t f =
+  Hashtbl.iter
+    (fun _ p -> if p.pvalid && p.pprefetched then
+        t.st.ra_wasted <- t.st.ra_wasted + 1)
+    f.pages;
+  let n = Hashtbl.length f.pages in
+  Hashtbl.reset f.pages;
+  t.resident <- t.resident - n
+
 let create t name =
   let name = basename name in
   charge t t.costs.Ufs.Costs.syscall;
@@ -553,11 +678,8 @@ let create t name =
       match Hashtbl.find_opt t.files name with
       | Some f ->
           (* creat truncates: drop the cached pages and predictor state *)
-          let n = Hashtbl.length f.pages in
-          Hashtbl.reset f.pages;
-          t.resident <- t.resident - n;
-          f.nextr <- 0;
-          f.nextrio <- 0;
+          drop_all_pages t f;
+          reset_rwins f;
           f.delayoff <- 0;
           f.delaylen <- 0;
           f.attr <- attr;
@@ -571,11 +693,8 @@ let create t name =
 let invalidate f =
   let t = f.cl in
   fsync f;
-  let n = Hashtbl.length f.pages in
-  Hashtbl.reset f.pages;
-  t.resident <- t.resident - n;
-  f.nextr <- 0;
-  f.nextrio <- 0;
+  drop_all_pages t f;
+  reset_rwins f;
   f.delayoff <- 0;
   f.delaylen <- 0;
   f.attr_at <- None
@@ -601,6 +720,8 @@ let register_metrics t reg ~instance =
         ("cache_misses", Sim.Metrics.Int t.st.cache_misses);
         ("ra_issued", Sim.Metrics.Int t.st.ra_issued);
         ("ra_used", Sim.Metrics.Int t.st.ra_used);
+        ("ra_streams", Sim.Metrics.Int t.st.ra_streams);
+        ("ra_wasted", Sim.Metrics.Int t.st.ra_wasted);
         ("write_gathers", Sim.Metrics.Int t.st.write_gathers);
         ("gather_bytes", Sim.Metrics.Hist t.st.gather_bytes);
         ("dirty_sleeps", Sim.Metrics.Int t.st.dirty_sleeps);

@@ -84,6 +84,8 @@ type stats = {
   mutable cache_misses : int;
   mutable ra_issued : int;  (** read-ahead clusters handed to biods *)
   mutable ra_used : int;  (** prefetched pages later consumed *)
+  mutable ra_streams : int;  (** read-ahead windows created beyond the first *)
+  mutable ra_wasted : int;  (** prefetched pages dropped before any use *)
   mutable write_gathers : int;  (** WRITE RPCs pushed *)
   mutable dirty_sleeps : int;  (** blocked on the dirty cap *)
   mutable attr_hits : int;

@@ -113,8 +113,51 @@ let reserve_ok fs ~nfrags =
 let data_range_ok (fs : fs) cg frag n =
   frag >= Cg.data_begin fs.sb cg.Cg.cgx && frag + n <= Cg.cg_end fs.sb cg.Cg.cgx
 
+(* ---------- advisory per-file run reservations ---------- *)
+
+(* How far past a file's write frontier its advisory run extends: one
+   cluster's worth of blocks, at least 8.  The run is not taken from the
+   free counts — other files merely avoid it while easier space exists,
+   so interleaved writers lay down contiguous extents instead of
+   shredding each other's runs block by block. *)
+let resv_frags (fs : fs) =
+  max 8 (max 1 fs.sb.Superblock.maxcontig) * Layout.fpb
+
+(* (Re)point the file's advisory run at the blocks just past [frag],
+   clamped to the group (runs never span groups).  Every successful
+   block allocation slides the window forward. *)
+let arm_resv (fs : fs) (ip : inode) ~frag =
+  let c = Superblock.cg_of_frag fs.sb frag in
+  let next = frag + Layout.fpb in
+  let limit = min (next + resv_frags fs) (Cg.cg_end fs.sb c) in
+  if next < limit then Hashtbl.replace fs.resv ip.inum (next, limit)
+  else Hashtbl.remove fs.resv ip.inum
+
+let reserved_by_other (fs : fs) inum frag =
+  Hashtbl.fold
+    (fun i (next, limit) hit ->
+      hit || (i <> inum && frag >= next && frag < limit))
+    fs.resv false
+
+(* Walk the file's own advisory run for a free block: the path that
+   keeps an interleaved writer extending its current extent after other
+   writers have dragged the group rotor elsewhere. *)
+let scan_own_resv (fs : fs) (ip : inode) =
+  match Hashtbl.find_opt fs.resv ip.inum with
+  | None -> None
+  | Some (next, limit) ->
+      let sb = fs.sb in
+      let cg = fs.cgs.(Superblock.cg_of_frag sb next) in
+      let rec loop f =
+        if f + Layout.fpb > limit then None
+        else if data_range_ok fs cg f Layout.fpb && Cg.block_free cg sb f
+        then Some (cg, f)
+        else loop (f + Layout.fpb)
+      in
+      loop next
+
 (* Scan group [cg] for a free whole block, starting near its rotor. *)
-let scan_cg_for_block (fs : fs) (cg : Cg.t) =
+let scan_cg_for_block (fs : fs) (cg : Cg.t) ~avoid =
   if cg.Cg.nbfree = 0 then None
   else begin
     let sb = fs.sb in
@@ -131,7 +174,8 @@ let scan_cg_for_block (fs : fs) (cg : Cg.t) =
       if i = nblocks then None
       else
         let b = lo + (((start_blk + i) mod nblocks) * Layout.fpb) in
-        if Cg.block_free cg sb b then Some b else loop (i + 1)
+        if Cg.block_free cg sb b && not (avoid b) then Some b
+        else loop (i + 1)
     in
     loop 0
   end
@@ -166,24 +210,44 @@ let alloc_block (fs : fs) (ip : inode) ~pref =
       let found =
         match try_exact () with
         | Some r -> Some r
-        | None ->
-            let start_cg =
-              if pref <> 0 then Superblock.cg_of_frag sb (block_base_of pref)
-              else Superblock.cg_of_inum sb ip.inum
-            in
-            let ncg = sb.Superblock.ncg in
-            let rec loop i =
-              if i = ncg then None
-              else
-                let c = (start_cg + i) mod ncg in
-                match scan_cg_for_block fs fs.cgs.(c) with
-                | Some b -> Some (fs.cgs.(c), b)
-                | None -> loop (i + 1)
-            in
-            loop 0
+        | None -> (
+            (* the preferred block is gone (typically to another writer):
+               before falling back to the rotor, try to keep extending
+               this file's own advisory run *)
+            match scan_own_resv fs ip with
+            | Some r -> Some r
+            | None ->
+                let start_cg =
+                  if pref <> 0 then
+                    Superblock.cg_of_frag sb (block_base_of pref)
+                  else Superblock.cg_of_inum sb ip.inum
+                in
+                let ncg = sb.Superblock.ncg in
+                let scan ~respect =
+                  let avoid b = respect && reserved_by_other fs ip.inum b in
+                  let rec loop i =
+                    if i = ncg then None
+                    else
+                      let c = (start_cg + i) mod ncg in
+                      match scan_cg_for_block fs fs.cgs.(c) ~avoid with
+                      | Some b -> Some (fs.cgs.(c), b)
+                      | None -> loop (i + 1)
+                  in
+                  loop 0
+                in
+                (* pass 1 steers around other files' advisory runs; pass
+                   2 is the unmodified rotor scan, so a nearly-full file
+                   system still finds every last block (reservations are
+                   advisory — ENOSPC behaviour is unchanged) *)
+                (match scan ~respect:true with
+                | Some r -> Some r
+                | None -> scan ~respect:false))
       in
       match found with
-      | Some (cg, frag) -> do_take_block fs cg ip frag
+      | Some (cg, frag) ->
+          let frag = do_take_block fs cg ip frag in
+          arm_resv fs ip ~frag;
+          frag
       | None -> Vfs.Errno.raise_err Vfs.Errno.ENOSPC "alloc_block: no free block")
 
 (* Find [n] free fragments inside one (preferably already broken) block

@@ -138,6 +138,7 @@ let mount engine cpu pool dev ~features ?(costs = Costs.default) () =
     icache = Hashtbl.create 512;
     alloc_lock = Sim.Mutex.create engine "ufs-alloc";
     iget_lock = Sim.Mutex.create engine "ufs-iget";
+    resv = Hashtbl.create 16;
     stats = mk_stats ();
     trace = Sim.Trace.create ();
   }
@@ -154,6 +155,10 @@ let register_metrics (fs : fs) reg ~instance =
           ("ra_ios", Int s.ra_ios);
           ("ra_blocks", Int s.ra_blocks);
           ("ra_used_blocks", Int s.ra_used_blocks);
+          ("ra_streams", Int s.ra_streams);
+          ("ra_stream_hits", Int s.ra_stream_hits);
+          ("ra_shrinks", Int s.ra_shrinks);
+          ("flush_runs", Int s.flush_runs);
           ("putpage_calls", Int s.putpage_calls);
           ("delayed_pages", Int s.delayed_pages);
           ("push_ios", Int s.push_ios);
@@ -221,6 +226,7 @@ let sync (fs : fs) =
 let unmount (fs : fs) =
   sync_inodes fs;
   Metabuf.sync fs.metabuf;
+  Hashtbl.reset fs.resv;
   fs.sb.Superblock.clean <- true;
   flush_groups_and_sb ~timed:true fs
 

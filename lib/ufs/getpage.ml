@@ -17,12 +17,13 @@ let read_extent fs ip ~lbn ~frag_opt ~blocks ~sync ~read_ahead =
   | None -> Io.zero_fill fs ip ~off ~blocks
   | Some frag -> Io.page_in fs ip ~off ~frag ~blocks ~sync ~read_ahead
 
-(* Prefetch the cluster starting at block [lbn] (clustered mode). *)
-let prefetch_cluster fs ip ~lbn =
+(* Prefetch the cluster starting at block [lbn] (clustered mode),
+   bounded by the requesting stream's adaptive cluster size. *)
+let prefetch_cluster fs ip ~lbn ~max_blocks =
   let blocks = cap_blocks ip ~lbn 1 in
   if blocks > 0 then begin
     let frag_opt, len = Bmap.read fs ip ~lbn in
-    let blocks = cap_blocks ip ~lbn len in
+    let blocks = cap_blocks ip ~lbn (min len max_blocks) in
     if blocks > 0 then
       read_extent fs ip ~lbn ~frag_opt ~blocks ~sync:false ~read_ahead:true;
     max blocks 1
@@ -44,7 +45,8 @@ let prefetch_block fs ip ~lbn =
 let rec handle_page fs (ip : inode) ~po ~hint =
   charge fs ~label:"getpage" fs.costs.Costs.pagecache_lookup;
   let lbn = po / Layout.bsize in
-  let sequential = po = ip.nextr in
+  let w = Rstream.find ip ~po in
+  let sequential = w <> None in
   match Vm.Pool.lookup fs.pool (Io.ident ip po) with
   | Some p when p.Vm.Page.busy ->
       (* in transit (read-ahead or pageout): wait and retry *)
@@ -58,7 +60,7 @@ let rec handle_page fs (ip : inode) ~po ~hint =
          page has backing store — unless the UFS_HOLE fast path applies *)
       if not (fs.feat.skip_bmap_if_no_holes && not (has_holes ip)) then
         ignore (Bmap.read fs ip ~lbn);
-      after_access fs ip ~po ~sequential;
+      after_access fs ip ~po ~w;
       p
   | Some _ | None ->
       Sim.Trace.emit fs.trace (fun () -> Ev_getpage { off = po; cached = false });
@@ -67,7 +69,9 @@ let rec handle_page fs (ip : inode) ~po ~hint =
         if fs.feat.getpage_hint then hint / Layout.bsize else 0
       in
       let blocks =
-        if fs.feat.clustering && sequential then cap_blocks ip ~lbn len
+        if fs.feat.clustering && sequential then
+          let cap = match w with Some w -> Rstream.cbs_blocks fs w | None -> len in
+          cap_blocks ip ~lbn (min len cap)
         else if hint_blocks > 1 then
           (* "random clustering": a large request is its own evidence of
              locality — read min(bmap length, request size) at once *)
@@ -76,7 +80,7 @@ let rec handle_page fs (ip : inode) ~po ~hint =
       in
       let blocks = max blocks 1 in
       read_extent fs ip ~lbn ~frag_opt ~blocks ~sync:true ~read_ahead:false;
-      after_access fs ip ~po ~sequential;
+      after_access fs ip ~po ~w;
       (* the page is now valid (or another process raced us in) *)
       find_ready fs ip ~po ~hint
 
@@ -94,27 +98,38 @@ and find_ready fs ip ~po ~hint =
       (* freed or never entered (raced); start over *)
       handle_page fs ip ~po ~hint
 
-and after_access fs (ip : inode) ~po ~sequential =
+and after_access fs (ip : inode) ~po ~w =
+  let sequential = w <> None in
+  (* window bookkeeping first: a stream's second hit may boot its
+     read-ahead frontier at [po], which the frontier test below then
+     sees *)
+  (match w with
+  | Some w -> Rstream.touch fs ip w ~po
+  | None -> Rstream.note_miss fs ip ~po);
   if fs.feat.clustering then begin
-    (* figure 6: when the access reaches the start of the last
-       prefetched cluster, prefetch the one after it *)
-    if po = ip.nextrio then begin
-      let lbn = po / Layout.bsize in
-      let cur_len =
-        let _, len = Bmap.read fs ip ~lbn in
-        max 1 (cap_blocks ip ~lbn len)
-      in
-      let next_lbn = lbn + cur_len in
-      if cap_blocks ip ~lbn:next_lbn 1 > 0 then begin
-        ignore (prefetch_cluster fs ip ~lbn:next_lbn);
-        ip.nextrio <- next_lbn * Layout.bsize
-      end
-    end
+    (* figure 6: when the access reaches a stream's read-ahead frontier
+       (the start of its last prefetched cluster), prefetch the cluster
+       after it *)
+    match Rstream.find_ra ip ~po with
+    | Some rw ->
+        Rstream.adapt fs rw;
+        let lbn = po / Layout.bsize in
+        let cur_len =
+          let _, len = Bmap.read fs ip ~lbn in
+          max 1 (cap_blocks ip ~lbn (min len (Rstream.cbs_blocks fs rw)))
+        in
+        let next_lbn = lbn + cur_len in
+        if cap_blocks ip ~lbn:next_lbn 1 > 0 then begin
+          ignore
+            (prefetch_cluster fs ip ~lbn:next_lbn
+               ~max_blocks:(Rstream.cbs_blocks fs rw));
+          rw.s_ra_off <- next_lbn * Layout.bsize
+        end
+    | None -> ()
   end
   else if sequential then
     (* figure 3: one page ahead *)
-    prefetch_block fs ip ~lbn:((po / Layout.bsize) + 1);
-  ip.nextr <- po + Layout.bsize
+    prefetch_block fs ip ~lbn:((po / Layout.bsize) + 1)
 
 and getpage fs ip ~off ~len ~hint =
   if off mod Layout.bsize <> 0 then invalid_arg "Getpage: unaligned offset";

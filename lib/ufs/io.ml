@@ -166,6 +166,7 @@ let push_pages fs (ip : inode) pages ~frag ~off ~sync ~free_after ~throttle
   Sim.Stats.Hist.add fs.stats.push_io_blocks blocks;
   fs.stats.push_ios <- fs.stats.push_ios + 1;
   fs.stats.push_blocks <- fs.stats.push_blocks + blocks;
+  if blocks > 1 then fs.stats.flush_runs <- fs.stats.flush_runs + 1;
   Sim.Trace.emit fs.trace (fun () ->
       Ev_write_push { off; bytes = blocks * Layout.bsize; ios = 1 });
   Disk.Blkdev.submit fs.dev req;

@@ -50,8 +50,8 @@ let itrunc fs (ip : inode) =
   ip.size <- 0;
   ip.idata <- None;
   ip.bmap_cache <- None;
-  ip.nextr <- 0;
-  ip.nextrio <- 0;
+  reset_rstreams ip;
+  Hashtbl.remove fs.resv ip.inum;
   assert (ip.blocks = 0);
   ip.meta_dirty <- true
 
@@ -127,7 +127,9 @@ and iput fs (ip : inode) =
     end
     else begin
       Putpage.push_delayed fs ip ~sync:false ();
-      if ip.meta_dirty then iupdat fs ip ~sync:false
+      if ip.meta_dirty then iupdat fs ip ~sync:false;
+      (* nobody holds the file open: release its advisory run *)
+      Hashtbl.remove fs.resv ip.inum
     end
 
 let iget_new fs ~dir_hint ~kind =

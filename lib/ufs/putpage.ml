@@ -127,9 +127,31 @@ let flusher fs (ip : inode) : Vm.Pool.flusher =
       Sim.Trace.emit fs.trace (fun () -> Ev_pageout_flush { off });
       charge fs ~label:"pageout" fs.costs.Costs.putpage;
       let lbn = off / Layout.bsize in
-      let frag_opt, _ = Bmap.read fs ip ~lbn in
+      let frag_opt, contig = Bmap.read fs ip ~lbn in
       (match frag_opt with
       | None -> assert false (* dirty pages always have backing store *)
       | Some frag ->
-          Io.push_pages fs ip [ page ] ~frag ~off ~sync:false ~free_after
-            ~throttle:false ~locked:true ())
+          (* kluster: sweep the physically contiguous dirty run behind
+             the target page into the same write, like the sync path's
+             push_range does — one seek then serves the whole run.  Only
+             idle (unreferenced) neighbours come along: the back hand
+             would have flushed them one revolution later anyway, each
+             with its own seek *)
+          let max_blocks =
+            min contig (max 1 (cluster_bytes fs / Layout.bsize))
+          in
+          let rec collect k acc =
+            if k >= max_blocks then List.rev acc
+            else
+              match lookup_page fs ip (off + (k * Layout.bsize)) with
+              | Some p
+                when pushable p
+                     && (not p.Vm.Page.referenced)
+                     && Vm.Page.try_lock p ->
+                  collect (k + 1) (p :: acc)
+              | _ -> List.rev acc
+          in
+          let pages = page :: collect 1 [] in
+          Io.push_pages fs ip pages ~frag ~off ~sync:false ~free_after
+            ~throttle:false ~locked:true ();
+          List.length pages)

@@ -90,10 +90,10 @@ let do_read fs (ip : inode) (uio : Vfs.Uio.t) =
       in
       if n <= 0 then continue := false
       else begin
-        (* sequential read mode, judged before getpage moves nextr: the
-           access either starts the block nextr predicted, or continues
-           inside a block whose start matched the prediction *)
-        let seq = ip.nextr = po || (off > po && ip.nextr = po + Layout.bsize) in
+        (* sequential read mode, judged before getpage moves the stream
+           windows: the access either starts a block some window
+           predicted, or continues inside a block whose start matched *)
+        let seq = Rstream.peek_seq ip ~po ~off in
         charge fs ~label:"rdwr" fs.costs.Costs.map_block;
         (match Getpage.getpage fs ip ~off:po ~len:Layout.bsize ~hint with
         | [ p ] ->

@@ -1,0 +1,148 @@
+open Types
+
+(* Per-stream read-window table (adaptive readahead v2).
+
+   The paper keeps one nextr/nextrio pair per file, so two interleaved
+   sequential readers destroy each other's hint on every access.  Here
+   the inode carries a small LRU table of access windows instead; the
+   rules are chosen so that a single reader (and the random-access
+   workloads of figure 10) behaves byte-identically to the single-pair
+   original:
+
+   - the table starts as one window predicting offset 0 with its
+     read-ahead frontier at 0, exactly the paper's initial state;
+   - an access matching no window repoints the (unique) never-hit
+     "scratch" window, mutating precisely the state the single pair
+     would have mutated — its frontier is left alone, as the paper
+     leaves nextrio alone on a miss;
+   - only when the scratch has started matching (it is some stream's
+     window now) does a miss open a NEW window, which is what preserves
+     the established streams;
+   - windows that never reach two hits are dropped after a few more
+     misses, so accidental matches in random workloads cannot
+     accumulate stale predictors. *)
+
+let bump (ip : inode) =
+  ip.rs_clock <- ip.rs_clock + 1;
+  ip.rs_clock
+
+(* The window predicting an access at [po], preferring established
+   windows, then the most recently used. *)
+let find (ip : inode) ~po =
+  List.fold_left
+    (fun best w ->
+      if w.s_nextr <> po then best
+      else
+        match best with
+        | Some b when (b.s_hits, b.s_stamp) >= (w.s_hits, w.s_stamp) -> best
+        | _ -> Some w)
+    None ip.rstreams
+
+(* The window whose read-ahead frontier sits at [po] (the paper's
+   [po = nextrio] test, per window). *)
+let find_ra (ip : inode) ~po =
+  List.fold_left
+    (fun best w ->
+      if w.s_ra_off <> po then best
+      else
+        match best with
+        | Some b when b.s_stamp >= w.s_stamp -> best
+        | _ -> Some w)
+    None ip.rstreams
+
+(* Non-mutating sequentiality peek for free-behind: the access at file
+   offset [off] inside block [po] rides a sequential stream if some
+   window predicted the block's start — or already advanced past it
+   while we were inside the block. *)
+let peek_seq (ip : inode) ~po ~off =
+  List.exists
+    (fun w -> w.s_nextr = po || (off > po && w.s_nextr = po + Layout.bsize))
+    ip.rstreams
+
+(* This stream's cluster size in blocks, after the adaptive cap. *)
+let cbs_blocks fs (w : rstream) =
+  max 1 (min w.s_cbs (cluster_bytes fs) / Layout.bsize)
+
+(* Feedback sizing, consulted when a window's frontier fires: shrink on
+   fresh wasted prefetches, grow back toward the file system's cluster
+   size on clean ones.  Inert while nothing is ever wasted. *)
+let adapt fs (w : rstream) =
+  let wasted = (Vm.Pool.stats fs.pool).Vm.Pool.prefetch_wasted in
+  if w.s_waste_mark < 0 then w.s_waste_mark <- wasted
+  else if wasted > w.s_waste_mark then begin
+    w.s_cbs <- max Layout.bsize (min w.s_cbs (cluster_bytes fs) / 2);
+    w.s_waste_mark <- wasted;
+    fs.stats.ra_shrinks <- fs.stats.ra_shrinks + 1
+  end
+  else if w.s_cbs < cluster_bytes fs then
+    w.s_cbs <- min (cluster_bytes fs) (w.s_cbs * 2)
+
+(* The access at [po] matched window [w]. *)
+let touch fs (ip : inode) (w : rstream) ~po =
+  fs.stats.ra_stream_hits <- fs.stats.ra_stream_hits + 1;
+  w.s_hits <- w.s_hits + 1;
+  w.s_stamp <- bump ip;
+  w.s_born <- ip.rs_misses;
+  w.s_nextr <- po + Layout.bsize;
+  (* Establishment: on the second match of a mid-file stream, boot its
+     read-ahead frontier at the current block so the asynchronous
+     cluster chain can start.  Strictly [<]: a frontier at or ahead of
+     [po] is live and must not be pulled back. *)
+  if fs.feat.clustering && w.s_hits = 2 && w.s_ra_off < po then
+    w.s_ra_off <- po
+
+let evict_lru (ip : inode) =
+  match
+    List.fold_left
+      (fun worst w ->
+        match worst with
+        | Some b when b.s_stamp <= w.s_stamp -> worst
+        | _ -> Some w)
+      None ip.rstreams
+  with
+  | Some lru -> ip.rstreams <- List.filter (fun w -> w != lru) ip.rstreams
+  | None -> ()
+
+(* The access at [po] matched no window. *)
+let note_miss fs (ip : inode) ~po =
+  match
+    List.find_opt (fun w -> w.s_nextr = po + Layout.bsize) ip.rstreams
+  with
+  | Some w ->
+      (* sub-block re-access: a stream reading in < bsize chunks touches
+         the same block several times; its window already advanced.
+         Keep the window alive, count nothing. *)
+      w.s_born <- ip.rs_misses
+  | None -> (
+      ip.rs_misses <- ip.rs_misses + 1;
+      (* drop stale unestablished windows *)
+      ip.rstreams <-
+        List.filter
+          (fun w ->
+            w.s_hits >= 2 || ip.rs_misses - w.s_born <= rstream_miss_ttl)
+          ip.rstreams;
+      let scratch =
+        List.fold_left
+          (fun best w ->
+            if w.s_hits > 0 then best
+            else
+              match best with
+              | Some b when b.s_stamp >= w.s_stamp -> best
+              | _ -> Some w)
+          None ip.rstreams
+      in
+      match scratch with
+      | Some w ->
+          (* repoint, as the paper repoints its single nextr; the
+             frontier stays, as the paper leaves nextrio *)
+          w.s_nextr <- po + Layout.bsize;
+          w.s_born <- ip.rs_misses;
+          w.s_stamp <- bump ip
+      | None ->
+          if List.length ip.rstreams >= max_rstreams then evict_lru ip;
+          let w =
+            mk_rstream ~nextr:(po + Layout.bsize) ~ra_off:(-1)
+              ~born:ip.rs_misses ~stamp:(bump ip)
+          in
+          ip.rstreams <- w :: ip.rstreams;
+          fs.stats.ra_streams <- fs.stats.ra_streams + 1)

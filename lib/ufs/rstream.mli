@@ -1,0 +1,41 @@
+(** Per-stream read windows (adaptive readahead v2).
+
+    The paper's single nextr/nextrio pair per file collapses the moment
+    two sequential readers interleave.  These helpers manage the small
+    per-inode LRU table of {!Types.rstream} windows that replaces it,
+    with rules arranged so a single reader — and the random workloads of
+    figure 10 — behave exactly as the single pair did. *)
+
+val find : Types.inode -> po:int -> Types.rstream option
+(** The window predicting an access at page offset [po] (the
+    sequentiality test), preferring established windows. *)
+
+val find_ra : Types.inode -> po:int -> Types.rstream option
+(** The window whose read-ahead frontier sits at [po] — the per-stream
+    form of the paper's [po = nextrio] trigger. *)
+
+val peek_seq : Types.inode -> po:int -> off:int -> bool
+(** Non-mutating sequentiality check for free-behind: does any window
+    predict block [po], or has one already advanced past it while the
+    reader was inside the block at file offset [off]? *)
+
+val cbs_blocks : Types.fs -> Types.rstream -> int
+(** The stream's current cluster size in blocks (>= 1), i.e. its
+    adaptive cap bounded by the file system's cluster size. *)
+
+val adapt : Types.fs -> Types.rstream -> unit
+(** Feedback sizing at a frontier firing: halve the stream's cluster
+    size when the pool's wasted-prefetch count rose since the last
+    decision, double it back (up to the file system's cluster size)
+    otherwise. *)
+
+val touch : Types.fs -> Types.inode -> Types.rstream -> po:int -> unit
+(** Record a prediction match at [po]: advance the window, stamp it
+    MRU, and on its second hit boot the read-ahead frontier of a
+    mid-file stream. *)
+
+val note_miss : Types.fs -> Types.inode -> po:int -> unit
+(** Record an access matching no window: repoint the scratch window
+    (or open a new one), pruning stale unestablished windows.  A
+    sub-block re-access of a block some window already advanced past is
+    recognised and left uncounted. *)

@@ -3,21 +3,58 @@ type t = {
   interval : Sim.Time.t;
   mutable running : bool;
   mutable passes : int;
+  mutable timer : Sim.Engine.timer option;
+  tick : Sim.Condition.t;
 }
 
-let rec daemon t () =
-  Sim.Engine.sleep t.fs.Types.engine t.interval;
-  if t.running then begin
-    Fs.sync t.fs;
-    t.passes <- t.passes + 1;
-    daemon t ()
-  end
+(* The interval timer is a cancellable engine event, not a sleep inside
+   the daemon: [stop] cancels it, so a stopped syncer dies now rather
+   than dozing out the rest of a 30-second interval first. *)
+let arm t =
+  t.timer <-
+    Some
+      (Sim.Engine.schedule_cancellable t.fs.Types.engine ~delay:t.interval
+         (fun () ->
+           t.timer <- None;
+           Sim.Condition.signal t.tick))
+
+let daemon t () =
+  while t.running do
+    Sim.Condition.wait t.tick;
+    if t.running then begin
+      Fs.sync t.fs;
+      t.passes <- t.passes + 1;
+      (* stop may have arrived during the sync pass: don't re-arm, the
+         while test will see [running] down and exit *)
+      if t.running then arm t
+    end
+  done
 
 let start fs ?(interval = Sim.Time.sec 30) () =
   if interval <= 0 then invalid_arg "Syncer.start: interval";
-  let t = { fs; interval; running = true; passes = 0 } in
+  let t =
+    {
+      fs;
+      interval;
+      running = true;
+      passes = 0;
+      timer = None;
+      tick = Sim.Condition.create fs.Types.engine "syncer.tick";
+    }
+  in
+  arm t;
   Sim.Engine.spawn fs.Types.engine ~name:"update" (daemon t);
   t
 
-let stop t = t.running <- false
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    (match t.timer with
+    | Some tm ->
+        Sim.Engine.cancel tm;
+        t.timer <- None
+    | None -> ());
+    Sim.Condition.broadcast t.tick
+  end
+
 let passes t = t.passes

@@ -17,7 +17,9 @@ val start : Types.fs -> ?interval:Sim.Time.t -> unit -> t
     lifetime of the simulation; {!stop} parks it. *)
 
 val stop : t -> unit
-(** The daemon finishes its current pass and stops scheduling more. *)
+(** Stop the daemon.  The pending interval timer is cancelled and the
+    daemon woken, so it exits immediately (finishing a pass already in
+    progress) instead of sleeping out the rest of the interval. *)
 
 val passes : t -> int
 (** Completed sync passes. *)

@@ -51,6 +51,10 @@ type stats = {
   mutable pgin_blocks : int;
   mutable ra_ios : int;
   mutable ra_blocks : int;
+  mutable ra_streams : int;
+  mutable ra_stream_hits : int;
+  mutable ra_shrinks : int;
+  mutable flush_runs : int;
   mutable putpage_calls : int;
   mutable delayed_pages : int;
   mutable push_ios : int;
@@ -80,6 +84,10 @@ let mk_stats () =
     pgin_blocks = 0;
     ra_ios = 0;
     ra_blocks = 0;
+    ra_streams = 0;
+    ra_stream_hits = 0;
+    ra_shrinks = 0;
+    flush_runs = 0;
     putpage_calls = 0;
     delayed_pages = 0;
     push_ios = 0;
@@ -101,6 +109,34 @@ let mk_stats () =
     push_io_blocks = Sim.Stats.Hist.create ();
   }
 
+(* One sequential-access window: the per-stream generalisation of the
+   paper's single nextr/nextrio pair.  s_cbs caps this stream's cluster
+   size; max_int means "uncapped" (the file system's cluster size),
+   which keeps a reset independent of the mount. *)
+type rstream = {
+  mutable s_nextr : int;
+  mutable s_ra_off : int;
+  mutable s_hits : int;
+  mutable s_born : int;
+  mutable s_stamp : int;
+  mutable s_cbs : int;
+  mutable s_waste_mark : int;
+}
+
+let max_rstreams = 8
+let rstream_miss_ttl = 4
+
+let mk_rstream ~nextr ~ra_off ~born ~stamp =
+  {
+    s_nextr = nextr;
+    s_ra_off = ra_off;
+    s_hits = 0;
+    s_born = born;
+    s_stamp = stamp;
+    s_cbs = max_int;
+    s_waste_mark = -1;
+  }
+
 type inode = {
   inum : int;
   mutable kind : Dinode.kind;
@@ -111,8 +147,9 @@ type inode = {
   db : int array;
   ib : int array;
   mutable immediate : string;
-  mutable nextr : int;
-  mutable nextrio : int;
+  mutable rstreams : rstream list;
+  mutable rs_clock : int;
+  mutable rs_misses : int;
   mutable delayoff : int;
   mutable delaylen : int;
   wlimit : Sim.Semaphore.t option;
@@ -140,9 +177,23 @@ type fs = {
   icache : (int, inode) Hashtbl.t;
   alloc_lock : Sim.Mutex.t;
   iget_lock : Sim.Mutex.t;
+  resv : (int, int * int) Hashtbl.t;
   stats : stats;
   trace : event Sim.Trace.t;
 }
+
+let reset_rstreams (ip : inode) =
+  ip.rs_clock <- 0;
+  ip.rs_misses <- 0;
+  ip.rstreams <- [ mk_rstream ~nextr:0 ~ra_off:0 ~born:0 ~stamp:0 ]
+
+let mru_rstream (ip : inode) =
+  List.fold_left
+    (fun best w ->
+      match best with
+      | Some b when b.s_stamp >= w.s_stamp -> best
+      | _ -> Some w)
+    None ip.rstreams
 
 let mk_inode fs ~inum (d : Dinode.t) =
   {
@@ -155,8 +206,9 @@ let mk_inode fs ~inum (d : Dinode.t) =
     db = Array.copy d.Dinode.db;
     ib = Array.copy d.Dinode.ib;
     immediate = d.Dinode.immediate;
-    nextr = 0;
-    nextrio = 0;
+    rstreams = [ mk_rstream ~nextr:0 ~ra_off:0 ~born:0 ~stamp:0 ];
+    rs_clock = 0;
+    rs_misses = 0;
     delayoff = 0;
     delaylen = 0;
     wlimit =

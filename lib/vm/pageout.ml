@@ -45,10 +45,10 @@ let back_hand d (p : Page.t) =
       | Some ident -> begin
           match Pool.flusher_for d.pool ident.Page.vid with
           | Some flush ->
-              if Page.try_lock p then begin
-                d.stats.flushed <- d.stats.flushed + 1;
-                flush p ~free_after:true
-              end
+              if Page.try_lock p then
+                (* the flusher may kluster contiguous dirty neighbours
+                   into the same I/O; count what actually went out *)
+                d.stats.flushed <- d.stats.flushed + flush p ~free_after:true
           | None -> d.stats.skipped_no_flusher <- d.stats.skipped_no_flusher + 1
         end
       | None -> ()

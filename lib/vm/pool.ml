@@ -1,4 +1,4 @@
-type flusher = Page.t -> free_after:bool -> unit
+type flusher = Page.t -> free_after:bool -> int
 
 type stats = {
   mutable lookups : int;

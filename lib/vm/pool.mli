@@ -10,11 +10,14 @@
     File systems register a {e flusher} per vnode so the pageout daemon
     can push dirty pages without knowing anything about file systems. *)
 
-type flusher = Page.t -> free_after:bool -> unit
+type flusher = Page.t -> free_after:bool -> int
 (** Write a dirty page to backing store.  Called with the page lock
     (busy) held by the caller; the flusher owns the page until the I/O
     completes, then marks it clean, unbusies it and, when [free_after],
-    frees it. *)
+    frees it.  Returns the number of pages written: a file system may
+    kluster physically contiguous dirty neighbours into the same I/O
+    (locking them itself), and the count keeps the daemon's flush
+    accounting honest. *)
 
 type stats = {
   mutable lookups : int;

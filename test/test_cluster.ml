@@ -20,8 +20,7 @@ let with_traced_file ?(mkfs = mkfs_cluster3) ?features ?memory_mb ~blocks f =
       Ufs.Fs.fsync fs ip;
       (* cold cache, fresh predictor *)
       Vm.Pool.invalidate_vnode fs.Ufs.Types.pool ip.Ufs.Types.inum;
-      ip.Ufs.Types.nextr <- 0;
-      ip.Ufs.Types.nextrio <- 0;
+      Ufs.Types.reset_rstreams ip;
       Sim.Trace.enable fs.Ufs.Types.trace true;
       Fun.protect
         ~finally:(fun () -> Ufs.Iops.iput fs ip)
@@ -69,8 +68,9 @@ let test_figure6_pattern () =
         [ (`Sync, 0, 3); (`Ahead, 3, 3); (`Ahead, 6, 3); (`Ahead, 9, 3) ]
       in
       check_bool "figure 6 I/O pattern" true (reads_of_trace fs = expected);
-      (* nextrio advanced cluster by cluster *)
-      check_int "nextrio at last cluster" (9 * bsize) ip.Ufs.Types.nextrio)
+      (* the stream's read-ahead frontier advanced cluster by cluster *)
+      let w = Option.get (Ufs.Types.mru_rstream ip) in
+      check_int "nextrio at last cluster" (9 * bsize) w.Ufs.Types.s_ra_off)
 
 let test_figure6_respects_bmap_length () =
   (* a fragmented file: the allocator is forced to split the file, so
@@ -87,8 +87,7 @@ let test_figure6_respects_bmap_length () =
       done;
       Ufs.Fs.fsync fs ip;
       Vm.Pool.invalidate_vnode fs.Ufs.Types.pool ip.Ufs.Types.inum;
-      ip.Ufs.Types.nextr <- 0;
-      ip.Ufs.Types.nextrio <- 0;
+      Ufs.Types.reset_rstreams ip;
       Sim.Trace.clear fs.Ufs.Types.trace;
       read_blocks fs ip ~count:9;
       let reads = reads_of_trace fs in

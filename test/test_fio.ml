@@ -34,6 +34,8 @@ let gen_spec =
     let* stride_mult = int_bound 3 in
     let* iodepth = int_range 1 8 in
     let* numjobs = int_range 1 4 in
+    let* share = bool in
+    let* oi_mult = int_bound 2 in
     let* think_us = int_bound 500 in
     let* seed = int_bound 10_000 in
     return
@@ -47,6 +49,8 @@ let gen_spec =
         size = bs * blocks;
         iodepth;
         numjobs;
+        share;
+        offset_increment = (if share then bs * blocks * oi_mult else 0);
         think_us;
         seed;
       })

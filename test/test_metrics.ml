@@ -109,8 +109,7 @@ let freebehind_run ~read_order =
       done;
       Ufs.Fs.fsync fs ip;
       Vm.Pool.invalidate_vnode fs.Ufs.Types.pool ip.Ufs.Types.inum;
-      ip.Ufs.Types.nextr <- 0;
-      ip.Ufs.Types.nextrio <- 0;
+      Ufs.Types.reset_rstreams ip;
       for i = 0 to blocks - 1 do
         ignore (Ufs.Fs.read fs ip ~off:(read_order i * bsize) ~buf ~len:bsize)
       done;

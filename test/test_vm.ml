@@ -248,7 +248,8 @@ let test_pageout_flushes_dirty_via_flusher () =
           | Some i -> flushed := i.Vm.Page.off :: !flushed
           | None -> ());
           Vm.Page.set_dirty p false;
-          if free_after then Vm.Pool.free_page pool p else Vm.Page.unbusy p);
+          if free_after then Vm.Pool.free_page pool p else Vm.Page.unbusy p;
+          1);
       for i = 0 to 29 do
         match Vm.Pool.alloc pool (ident 1 (i * 8192)) with
         | `Fresh p ->
