@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- fig10 alloc  -- named sections only *)
 
 let quick = ref false
+let trace = ref false
 let only : string list ref = ref []
 
 let want name = !only = [] || List.mem name !only
@@ -17,12 +18,25 @@ let want name = !only = [] || List.mem name !only
    bare EFS stack) the section builds registers its layers into it, and
    the accumulated snapshot is written as BENCH_<section>.json next to
    the run.  That file is the observability artifact — the free-behind
-   bug this layer exists to catch is a one-line jq over it. *)
+   bug this layer exists to catch is a one-line jq over it.
+
+   With --trace, each section also runs under a span recorder; sections
+   whose workloads open root spans (the fio paths) leave a Perfetto-
+   loadable TRACE_<section>.json behind.  Tracing never changes the
+   simulated numbers, so BENCH_*.json is identical either way. *)
 let section name title f =
   if want name then begin
     Printf.printf "\n=== [%s] %s ===\n%!" name title;
     let t0 = Sys.time () in
     let reg = Sim.Metrics.create () in
+    let recorder = if !trace then Some (Sim.Span.create_recorder ()) else None in
+    let f =
+      match recorder with
+      | Some r ->
+          Sim.Span.register_metrics r reg ~instance:name;
+          fun () -> Sim.Span.with_recorder r f
+      | None -> f
+    in
     Clusterfs.Machine.with_metrics_sink reg f;
     let path = Printf.sprintf "BENCH_%s.json" name in
     let oc = open_out path in
@@ -30,6 +44,14 @@ let section name title f =
       (Sim.Metrics.to_json reg ~meta:[ ("section", name); ("title", title) ]);
     output_char oc '\n';
     close_out oc;
+    (match recorder with
+    | Some r when Sim.Span.export_roots r <> [] ->
+        let tpath = Printf.sprintf "TRACE_%s.json" name in
+        let oc = open_out tpath in
+        output_string oc (Sim.Span.to_chrome r);
+        close_out oc;
+        Printf.printf "    (span trees -> %s)\n%!" tpath
+    | _ -> ());
     Printf.printf "    (section took %.1fs of host CPU; metrics -> %s)\n%!"
       (Sys.time () -. t0) path
   end
@@ -542,6 +564,75 @@ let fio_table () =
     "   the client but still warm in the server's page cache, which is";
   print_endline "   exactly what a second-level cache is for)"
 
+(* ---------- engine self-observability ---------- *)
+
+(* How fast does the event loop itself go?  Synthetic loads exercise the
+   three hot paths the engine counters watch: pure dispatch (many
+   processes trading sleeps), heap depth (everyone asleep at once), and
+   timer churn (schedule_cancellable handles cancelled before firing —
+   the RPC retransmission pattern).  Host-time rates are hardware-bound
+   and printed for eyeballing only; the counters themselves land in
+   BENCH_engine.json and are what benchdiff gates on. *)
+let engine_table () =
+  let register label engine =
+    match Clusterfs.Machine.current_metrics_sink () with
+    | Some reg -> Sim.Engine.register_metrics engine reg ~instance:label
+    | None -> ()
+  in
+  let sleeper_load ~procs ~ticks =
+    let engine = Sim.Engine.create () in
+    let t0 = Sys.time () in
+    for p = 0 to procs - 1 do
+      Sim.Engine.spawn engine
+        ~name:(Printf.sprintf "load.%d" p)
+        (fun () ->
+          for t = 1 to ticks do
+            Sim.Engine.sleep engine (1 + ((p + t) mod 13))
+          done)
+    done;
+    Sim.Engine.run engine;
+    (engine, Sys.time () -. t0)
+  in
+  let cancel_load ~timers =
+    let engine = Sim.Engine.create () in
+    let t0 = Sys.time () in
+    Sim.Engine.spawn engine ~name:"canceller" (fun () ->
+        for i = 1 to timers do
+          let h =
+            Sim.Engine.schedule_cancellable engine ~delay:1000 (fun () -> ())
+          in
+          if i mod 8 <> 0 then Sim.Engine.cancel h;
+          Sim.Engine.sleep engine 1
+        done);
+    Sim.Engine.run engine;
+    (engine, Sys.time () -. t0)
+  in
+  Printf.printf "  %-24s %10s %10s %10s %9s %14s\n" "load" "events"
+    "heap max" "cancels" "host s" "events/sec";
+  let row label (engine, host_s) =
+    let ev = Sim.Engine.events_dispatched engine in
+    Printf.printf "  %-24s %10d %10d %10d %9.3f %14.0f\n" label ev
+      (Sim.Engine.heap_max_depth engine)
+      (Sim.Engine.cancellations engine)
+      host_s
+      (float_of_int ev /. Float.max host_s epsilon_float);
+    register label engine
+  in
+  List.iter
+    (fun (procs, ticks) ->
+      row
+        (Printf.sprintf "sleepers p=%d t=%d" procs ticks)
+        (sleeper_load ~procs ~ticks))
+    (if !quick then [ (100, 50); (1000, 50) ]
+     else [ (100, 100); (1000, 100); (10_000, 100) ]);
+  let timers = if !quick then 20_000 else 200_000 in
+  row (Printf.sprintf "timer churn n=%d" timers) (cancel_load ~timers);
+  print_endline
+    "  (7 of 8 timers are cancelled before firing, as answered RPCs do;";
+  print_endline
+    "   cancellation releases the closure immediately, so heap max stays";
+  print_endline "   bounded by the in-flight window, not the churn count)"
+
 (* ---------- bechamel micro-benchmarks of simulator hot paths ---------- *)
 
 let microbench () =
@@ -643,6 +734,7 @@ let registry : (string * string * (unit -> unit)) list =
       nfsloss_table );
     ("nfscc", "NFS: congestion collapse vs adaptive transport", nfscc_table);
     ("fio", "fio: declarative workloads, per-layer cost attribution", fio_table);
+    ("engine", "Engine self-observability: event-loop throughput", engine_table);
     ("micro", "Bechamel micro-benchmarks (simulator hot paths)", microbench);
   ]
 
@@ -653,7 +745,8 @@ let split_commas s =
 
 let usage () =
   Printf.eprintf
-    "usage: bench/main.exe [--quick] [--list] [--sections a,b,...] [SECTION...]\n\
+    "usage: bench/main.exe [--quick] [--trace] [--list] [--sections a,b,...] \
+     [SECTION...]\n\
      sections: %s\n"
     (String.concat " " (section_names ()))
 
@@ -663,6 +756,7 @@ let () =
   while !i < Array.length argv do
     (match argv.(!i) with
     | "--quick" -> quick := true
+    | "--trace" -> trace := true
     | "--list" ->
         List.iter (fun n -> print_endline n) (section_names ());
         exit 0

@@ -56,7 +56,7 @@ let run_target config clients spec = function
         Fio.Scenarios.run_remote ~config ~clients spec;
       ]
 
-let run specs config_name clients target json =
+let run specs config_name clients target json trace =
   match
     ( resolve_specs specs,
       base_config config_name,
@@ -72,10 +72,27 @@ let run specs config_name clients target json =
       prerr_endline e;
       1
   | Ok specs, Ok config, Ok target ->
-      let reports =
+      let recorder =
+        Option.map (fun _ -> Sim.Span.create_recorder ()) trace
+      in
+      let go () =
         List.concat_map (fun s -> run_target config clients s target) specs
       in
+      let reports =
+        match recorder with
+        | Some r -> Sim.Span.with_recorder r go
+        | None -> go ()
+      in
       List.iter (fun r -> print_string (Fio.Report.to_text r)) reports;
+      (match (trace, recorder) with
+      | Some path, Some r ->
+          let oc = open_out path in
+          output_string oc (Sim.Span.to_chrome r);
+          close_out oc;
+          Printf.printf "wrote %s (%d traces)\n" path
+            (List.length (Sim.Span.export_roots r));
+          print_string (Sim.Span.render_slowest r)
+      | _ -> ());
       (match json with
       | None -> ()
       | Some path ->
@@ -121,10 +138,22 @@ let json_t =
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE" ~doc:"Also write reports as JSON.")
 
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record span trees for every op and write a Chrome trace-event \
+           JSON file (load it in Perfetto / chrome://tracing); also prints \
+           the slowest captured op trees.  Simulated results are identical \
+           with or without tracing.")
+
 let cmd =
   let doc = "declarative fio-style workloads with per-layer cost attribution" in
   Cmd.v
     (Cmd.info "fiobench" ~doc)
-    Term.(const run $ specs_t $ config_t $ clients_t $ target_t $ json_t)
+    Term.(
+      const run $ specs_t $ config_t $ clients_t $ target_t $ json_t $ trace_t)
 
 let () = exit (Cmd.eval' cmd)

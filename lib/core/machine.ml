@@ -37,10 +37,17 @@ let register_metrics t reg =
   | None -> ());
   Vm.Pool.register_metrics t.pool reg ~instance;
   Vm.Pageout.register_metrics t.pageout reg ~instance;
-  Ufs.Fs.register_metrics t.fs reg ~instance
+  Ufs.Fs.register_metrics t.fs reg ~instance;
+  Sim.Engine.register_metrics t.engine reg ~instance
 
 let build (config : Config.t) ~format ~image =
   let engine = Sim.Engine.create () in
+  (* an installed span recorder stamps spans off this machine's virtual
+     clock (experiments build one machine per engine; multi-machine
+     topologies share one engine, so the last bind wins harmlessly) *)
+  (match Sim.Span.installed () with
+  | Some r -> Sim.Span.set_clock r (fun () -> Sim.Engine.now engine)
+  | None -> ());
   let cpu = Sim.Cpu.create engine in
   let pool =
     Vm.Pool.create engine (Vm.Param.default ~memory_mb:config.Config.memory_mb ())

@@ -393,4 +393,5 @@ let register_metrics d reg ~instance =
           ("queue_depth", Summary s.queue_depth);
           ("track_buffer_hits", Int tb_hits);
           ("track_buffer_misses", Int tb_misses);
+          ("trace_dropped", Int (Sim.Trace.dropped d.trace));
         ])

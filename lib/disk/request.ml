@@ -85,7 +85,29 @@ let wait engine t =
     let before = Sim.Engine.now engine in
     Sim.Engine.suspend engine ~register:(fun resume ->
         t.waiters <- resume :: t.waiters);
-    charge_blocked t (Sim.Engine.now engine - before)
+    let now = Sim.Engine.now engine in
+    charge_blocked t (now - before);
+    (* traced callers get the wait as a span carrying the device's
+       residence split.  The interval is the wait (clamped inside the
+       caller's span by construction); an async request enqueued long
+       before the waiter arrived keeps its true split in the attrs. *)
+    if now > before then begin
+      let r = resolve t in
+      Sim.Span.interval ~name:"disk.io"
+        ~attrs:
+          [
+            ( "kind",
+              Sim.Span.S (match r.kind with Read -> "read" | Write -> "write")
+            );
+            ("sector", Sim.Span.I r.sector);
+            ("count", Sim.Span.I r.count);
+            ("queue_us", Sim.Span.I (max 0 (r.start_at - r.enq_at)));
+            ("seek_us", Sim.Span.I r.seek_us);
+            ("rot_us", Sim.Span.I r.rot_us);
+            ("xfer_us", Sim.Span.I r.xfer_us);
+          ]
+        ~start_us:before ~stop_us:now ()
+    end
   end
 
 let complete t ~now =

@@ -18,25 +18,40 @@ let lane (tgt : Target.t) (s : Spec.t) ~job ~lane:lane_id ~(file : Target.file)
   let engine = tgt.Target.engine in
   let buf = Bytes.create s.Spec.bs in
   let think = Stream.think_rng s ~job ~lane:lane_id in
+  let track = Printf.sprintf "fio.job%d/lane%d" job lane_id in
   while !cursor < Array.length ops do
     let op = ops.(!cursor) in
     incr cursor;
     let clk = Sim.Attrib.create () in
     let t0 = Sim.Engine.now engine in
-    (match op.Stream.kind with
-    | Stream.R ->
-        let n =
-          Sim.Attrib.with_clock clk (fun () ->
-              file.Target.read ~off:op.Stream.off ~buf ~len:op.Stream.len)
-        in
-        incr read_ops;
-        bytes := !bytes + n
-    | Stream.W ->
-        Stream.fill s ~job ~off:op.Stream.off buf ~len:op.Stream.len;
-        Sim.Attrib.with_clock clk (fun () ->
-            file.Target.write ~off:op.Stream.off ~buf ~len:op.Stream.len);
-        incr write_ops;
-        bytes := !bytes + op.Stream.len);
+    (* each op is the root of its own trace: everything below —
+       UFS or NFS client, RPC, server, disk — hangs off this span *)
+    Sim.Span.root
+      ~name:(match op.Stream.kind with
+            | Stream.R -> "fio.read"
+            | Stream.W -> "fio.write")
+      ~track
+      ~attrs:
+        [
+          ("index", Sim.Span.I op.Stream.index);
+          ("off", Sim.Span.I op.Stream.off);
+          ("len", Sim.Span.I op.Stream.len);
+        ]
+      (fun () ->
+        match op.Stream.kind with
+        | Stream.R ->
+            let n =
+              Sim.Attrib.with_clock clk (fun () ->
+                  file.Target.read ~off:op.Stream.off ~buf ~len:op.Stream.len)
+            in
+            incr read_ops;
+            bytes := !bytes + n
+        | Stream.W ->
+            Stream.fill s ~job ~off:op.Stream.off buf ~len:op.Stream.len;
+            Sim.Attrib.with_clock clk (fun () ->
+                file.Target.write ~off:op.Stream.off ~buf ~len:op.Stream.len);
+            incr write_ops;
+            bytes := !bytes + op.Stream.len);
     lat.(op.Stream.index) <- Sim.Engine.now engine - t0;
     Sim.Attrib.merge_into ~dst:job_clock clk;
     if s.Spec.think_us > 0 then
@@ -72,7 +87,9 @@ let run_job (tgt : Target.t) (s : Spec.t) ~job ~(file : Target.file) =
      measured window, charged like one more op *)
   let fclk = Sim.Attrib.create () in
   let tf = Sim.Engine.now engine in
-  Sim.Attrib.with_clock fclk (fun () -> file.Target.fsync ());
+  Sim.Span.root ~name:"fio.fsync"
+    ~track:(Printf.sprintf "fio.job%d/fsync" job)
+    (fun () -> Sim.Attrib.with_clock fclk (fun () -> file.Target.fsync ()));
   let fsync_us = Sim.Engine.now engine - tf in
   Sim.Attrib.merge_into ~dst:job_clock fclk;
   let lat_total_us = Array.fold_left ( + ) fsync_us lat in

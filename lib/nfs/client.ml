@@ -108,11 +108,15 @@ let mk_stats () =
 let charge t c = Sim.Cpu.charge t.cpu ~label:"nfs.client" c
 
 (* run a blocking section and charge the caller's attribution clock
-   (if any) with the time it actually spent blocked *)
+   (if any) with the time it actually spent blocked; a traced caller
+   additionally gets the wait as a span interval *)
 let charged t phase f =
   let before = Sim.Engine.now t.engine in
   f ();
-  Sim.Attrib.charge_current phase (Sim.Engine.now t.engine - before)
+  let after = Sim.Engine.now t.engine in
+  Sim.Attrib.charge_current phase (after - before);
+  if after > before then
+    Sim.Span.interval ~name:phase ~start_us:before ~stop_us:after ()
 
 (* ---------- read-ahead windows ---------- *)
 
@@ -319,15 +323,28 @@ let do_push t f ~credit ~pages ~call =
   Sim.Condition.broadcast t.dirty_cond;
   Sim.Condition.broadcast f.push_cond
 
+(* Background biod work opens its own (unsampled) traces: read-ahead
+   and write-behind are visible on the client's biod track without
+   polluting the op-latency p99 the slow-op sampler watches. *)
+let biod_track t = Printf.sprintf "client%d/biod" (Rpc.client_id t.rpc)
+
 let biod t () =
   while true do
     while Queue.is_empty t.jobs do
       Sim.Condition.wait t.work
     done;
     match Queue.pop t.jobs with
-    | Ra (f, off, len) -> fetch_range t f ~off ~len ~prefetched:true
+    | Ra (f, off, len) ->
+        Sim.Span.root ~name:"biod.ra" ~track:(biod_track t) ~sample:false
+          ~attrs:[ ("off", Sim.Span.I off); ("len", Sim.Span.I len) ]
+          (fun () -> fetch_range t f ~off ~len ~prefetched:true)
     | Push (f, off, credit, data, pages) ->
-        do_push t f ~credit ~pages ~call:(Proto.Write { fh = f.fh; off; data })
+        Sim.Span.root ~name:"biod.push" ~track:(biod_track t) ~sample:false
+          ~attrs:
+            [ ("off", Sim.Span.I off); ("len", Sim.Span.I (Bytes.length data)) ]
+          (fun () ->
+            do_push t f ~credit ~pages
+              ~call:(Proto.Write { fh = f.fh; off; data }))
   done
 
 let enqueue t job =
@@ -501,7 +518,7 @@ let rec ensure_resident t f ~po ~seq ~retried =
         ensure_resident t f ~po ~seq ~retried:true
       end
 
-let read f ~off ~buf ~len =
+let read_body f ~off ~buf ~len =
   let t = f.cl in
   t.st.read_calls <- t.st.read_calls + 1;
   charge t t.costs.Ufs.Costs.syscall;
@@ -534,6 +551,11 @@ let read f ~off ~buf ~len =
     end
   done;
   !total
+
+let read f ~off ~buf ~len =
+  Sim.Span.span ~name:"nfs.read"
+    ~attrs:[ ("off", Sim.Span.I off); ("len", Sim.Span.I len) ]
+    (fun () -> read_body f ~off ~buf ~len)
 
 (* ---------- write ---------- *)
 
@@ -574,7 +596,7 @@ let flush_gather t f =
     enqueue t (Push (f, off, !cleaned * bsize, data, !pages))
   end
 
-let write f ~off ~buf ~len =
+let write_body f ~off ~buf ~len =
   let t = f.cl in
   t.st.write_calls <- t.st.write_calls + 1;
   charge t t.costs.Ufs.Costs.syscall;
@@ -646,13 +668,19 @@ let write f ~off ~buf ~len =
     cur := !cur + n
   done
 
+let write f ~off ~buf ~len =
+  Sim.Span.span ~name:"nfs.write"
+    ~attrs:[ ("off", Sim.Span.I off); ("len", Sim.Span.I len) ]
+    (fun () -> write_body f ~off ~buf ~len)
+
 let fsync f =
-  let t = f.cl in
-  flush_gather t f;
-  charged t "rpc.wait" (fun () ->
-      while f.pending_pushes > 0 do
-        Sim.Condition.wait f.push_cond
-      done)
+  Sim.Span.span ~name:"nfs.fsync" (fun () ->
+      let t = f.cl in
+      flush_gather t f;
+      charged t "rpc.wait" (fun () ->
+          while f.pending_pushes > 0 do
+            Sim.Condition.wait f.push_cond
+          done))
 
 (* Drop the whole cached image of [f] (truncation, invalidation),
    charging never-used read-ahead pages to the wasted count. *)
@@ -704,12 +732,15 @@ let stats t = t.st
 let register_metrics t reg ~instance =
   Sim.Metrics.register reg ~layer:"nfs" ~instance (fun () ->
       let rpc = Rpc.stats t.rpc in
+      (* "rpc_" prefix: "read"/"write" RPC counts must not collide with
+         the vnode-level read_calls/write_calls below — duplicate keys
+         in one metrics object would make the export ambiguous *)
       let per_op =
         List.concat_map
           (fun op ->
             [
-              (op ^ "_calls", Sim.Metrics.Int (Rpc.op_calls t.rpc op));
-              (op ^ "_rtt_us", Sim.Metrics.Summary (Rpc.rtt_of t.rpc op));
+              ("rpc_" ^ op ^ "_calls", Sim.Metrics.Int (Rpc.op_calls t.rpc op));
+              ("rpc_" ^ op ^ "_rtt_us", Sim.Metrics.Summary (Rpc.rtt_of t.rpc op));
             ])
           Proto.op_names
       in

@@ -20,12 +20,19 @@ type reply =
   | R_err of string
 
 type msg =
-  | Call of { xid : int; client : int; call : call; sent : Sim.Time.t }
+  | Call of {
+      xid : int;
+      client : int;
+      call : call;
+      sent : Sim.Time.t;
+      span : Sim.Span.ctx option;
+    }
   | Reply of {
       xid : int;
       client : int;
       reply : reply;
       cost : (string * Sim.Time.t) list;
+      spans : Sim.Span.t option;
     }
 
 (* RPC + XDR framing: credentials, verifier, program/proc numbers.

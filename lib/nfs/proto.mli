@@ -38,22 +38,33 @@ type reply =
   | R_err of string  (** errno name *)
 
 type msg =
-  | Call of { xid : int; client : int; call : call; sent : Sim.Time.t }
+  | Call of {
+      xid : int;
+      client : int;
+      call : call;
+      sent : Sim.Time.t;
+      span : Sim.Span.ctx option;
+    }
       (** [sent] is the transmit timestamp — legal out-of-band metadata
           in a simulation sharing one clock; the server uses it to
-          compute outbound wire+queue time for cost attribution.  It
-          does {e not} count in {!msg_size}. *)
+          compute outbound wire+queue time for cost attribution.
+          [span] is the caller's tracing context ([None] when the call
+          is untraced): the server parents its span subtree under it.
+          Neither counts in {!msg_size}. *)
   | Reply of {
       xid : int;
       client : int;
       reply : reply;
       cost : (string * Sim.Time.t) list;
+      spans : Sim.Span.t option;
     }
       (** [cost] is the server's per-phase breakdown of this call's
           life (["wire.out"], ["nfsd.queue"], ["disk.*"], ["nfsd.cpu"],
           plus the absolute ["srv.sent_at"] stamp so the client can
-          compute inbound wire time).  Attribution metadata only —
-          excluded from {!msg_size}, so wire timing is unchanged. *)
+          compute inbound wire time).  [spans] is the server-side span
+          subtree of a traced call, grafted back into the caller's
+          trace on receipt.  Attribution metadata only — excluded from
+          {!msg_size}, so wire timing is unchanged. *)
 
 val header_bytes : int
 (** Fixed per-message RPC/XDR framing overhead. *)

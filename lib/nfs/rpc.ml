@@ -9,6 +9,7 @@ type stats = {
 type pending = {
   mutable reply : Proto.reply option;
   mutable cost : (string * Sim.Time.t) list;
+  mutable spans : Sim.Span.t option;  (** server-side span subtree *)
   mutable wake : (unit -> unit) option;
   mutable retransmitted : bool;
 }
@@ -81,12 +82,13 @@ let create engine ~cpu ~ep ~client_id ?(transport = Fixed)
     (fun () ->
       while true do
         match Net.recv t.ep with
-        | Proto.Reply { xid; reply; cost; _ } -> (
+        | Proto.Reply { xid; reply; cost; spans; _ } -> (
             match Hashtbl.find_opt t.pending xid with
             | Some p ->
                 Hashtbl.remove t.pending xid;
                 p.reply <- Some reply;
                 p.cost <- cost;
+                p.spans <- spans;
                 (match p.wake with Some w -> w () | None -> ())
             | None -> t.st.late_replies <- t.st.late_replies + 1)
         | Proto.Call _ -> assert false
@@ -132,7 +134,9 @@ let finish_call t (call : Proto.call) ~t0 r =
   r
 
 let mk_pending t xid =
-  let p = { reply = None; cost = []; wake = None; retransmitted = false } in
+  let p =
+    { reply = None; cost = []; spans = None; wake = None; retransmitted = false }
+  in
   Hashtbl.replace t.pending xid p;
   p
 
@@ -173,31 +177,64 @@ let note_retransmit t p =
   t.retrans_log <- Sim.Engine.now t.engine :: t.retrans_log;
   p.retransmitted <- true
 
+(* Reply-side tracing: the server's span subtree (shipped back in the
+   reply, parented under this call's RPC span by construction) is
+   grafted into the caller's tree, and the inbound wire leg gets its
+   own interval from the server's transmit stamp.  Pure bookkeeping:
+   nothing here reads or advances simulated time paths. *)
+let trace_reply t (p : pending) ~attempts =
+  if Sim.Span.enabled () then begin
+    (match p.spans with Some sub -> Sim.Span.graft sub | None -> ());
+    (match List.assoc_opt "srv.sent_at" p.cost with
+    | Some sent_at ->
+        Sim.Span.interval ~name:"wire.reply" ~track:"net/wire"
+          ~start_us:sent_at
+          ~stop_us:(Sim.Engine.now t.engine)
+          ()
+    | None -> ());
+    if attempts > 1 then Sim.Span.add_attr "attempts" (Sim.Span.I attempts)
+  end
+
 (* ---------- fixed-timeout transport (the NFSv2 default) ---------- *)
 
-let call_fixed t (call : Proto.call) =
+let call_fixed_body t (call : Proto.call) =
   let xid = t.next_xid in
   t.next_xid <- t.next_xid + 1;
   t.st.calls <- t.st.calls + 1;
+  Sim.Span.add_attr "xid" (Sim.Span.I xid);
   let size = Proto.call_size call in
   let p = mk_pending t xid in
   let t0 = Sim.Engine.now t.engine in
   let timeout = ref t.timeout in
+  let attempts = ref 0 in
   let rec attempt ~retry =
     if retry then note_retransmit t p;
+    incr attempts;
+    let send_at = Sim.Engine.now t.engine in
     Net.send t.ep ~size
       (Proto.Call
-         { xid; client = t.id; call; sent = Sim.Engine.now t.engine });
+         { xid; client = t.id; call; sent = send_at; span = Sim.Span.ctx () });
     wait_reply_or_timeout t p ~timeout:!timeout;
     match p.reply with
     | Some r -> r
     | None ->
+        Sim.Span.interval ~name:"rpc.rto"
+          ~attrs:[ ("attempt", Sim.Span.I !attempts) ]
+          ~start_us:send_at
+          ~stop_us:(Sim.Engine.now t.engine)
+          ();
         timeout := min (!timeout * 2) t.max_timeout;
         attempt ~retry:true
   in
   let r = attempt ~retry:false in
+  trace_reply t p ~attempts:!attempts;
   charge_cost t ~entry:t0 ~window_wait:0 p;
   finish_call t call ~t0 r
+
+let call_fixed t (call : Proto.call) =
+  Sim.Span.span
+    ~name:("rpc." ^ Proto.op_name call)
+    (fun () -> call_fixed_body t call)
 
 (* ---------- adaptive transport (Jacobson/Karn + AIMD window) ---------- *)
 
@@ -222,28 +259,36 @@ let sample_rtt t rtt =
   end;
   t.rto <- clamp_rto t (int_of_float (t.srtt +. (4. *. t.rttvar)))
 
-let call_adaptive t (call : Proto.call) =
+let call_adaptive_body t (call : Proto.call) =
   (* congestion window: bound this client's outstanding RPCs *)
   let entry = Sim.Engine.now t.engine in
   while t.in_flight >= window t do
     Sim.Condition.wait t.win_cond
   done;
   let waited = Sim.Engine.now t.engine - entry in
-  if waited > 0 then
+  if waited > 0 then begin
     Sim.Stats.Summary.add t.window_wait_us (float_of_int waited);
+    Sim.Span.interval ~name:"rpc.window" ~start_us:entry
+      ~stop_us:(Sim.Engine.now t.engine)
+      ()
+  end;
   t.in_flight <- t.in_flight + 1;
   let xid = t.next_xid in
   t.next_xid <- t.next_xid + 1;
   t.st.calls <- t.st.calls + 1;
+  Sim.Span.add_attr "xid" (Sim.Span.I xid);
   let size = Proto.call_size call in
   let p = mk_pending t xid in
   let t0 = Sim.Engine.now t.engine in
   let cur = ref t.rto in
+  let attempts = ref 0 in
   let rec attempt ~retry =
     if retry then note_retransmit t p;
+    incr attempts;
+    let send_at = Sim.Engine.now t.engine in
     Net.send t.ep ~size
       (Proto.Call
-         { xid; client = t.id; call; sent = Sim.Engine.now t.engine });
+         { xid; client = t.id; call; sent = send_at; span = Sim.Span.ctx () });
     wait_reply_or_timeout t p ~timeout:!cur;
     match p.reply with
     | Some r -> r
@@ -252,6 +297,11 @@ let call_adaptive t (call : Proto.call) =
            channel RTO (Karn: the backed-off value holds until a clean
            sample), and a multiplicative window decrease at most once
            per RTO so one loss burst doesn't zero the window *)
+        Sim.Span.interval ~name:"rpc.rto"
+          ~attrs:[ ("attempt", Sim.Span.I !attempts) ]
+          ~start_us:send_at
+          ~stop_us:(Sim.Engine.now t.engine)
+          ();
         t.backoffs <- t.backoffs + 1;
         cur := min (!cur * 2) t.max_timeout;
         t.rto <- max t.rto !cur;
@@ -270,8 +320,14 @@ let call_adaptive t (call : Proto.call) =
   end;
   t.in_flight <- t.in_flight - 1;
   Sim.Condition.signal t.win_cond;
+  trace_reply t p ~attempts:!attempts;
   charge_cost t ~entry ~window_wait:waited p;
   finish_call t call ~t0 r
+
+let call_adaptive t (call : Proto.call) =
+  Sim.Span.span
+    ~name:("rpc." ^ Proto.op_name call)
+    (fun () -> call_adaptive_body t call)
 
 let call t (call : Proto.call) =
   match t.transport with

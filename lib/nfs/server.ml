@@ -15,6 +15,7 @@ type item = {
   call : Proto.call;
   sent : Sim.Time.t;  (* client transmit stamp, for cost attribution *)
   arrived : Sim.Time.t;
+  span : Sim.Span.ctx option;  (* caller's tracing context, if traced *)
 }
 
 type t = {
@@ -134,10 +135,29 @@ let dup_store t key reply =
     t.st.dup_evictions <- t.st.dup_evictions + 1
   done
 
-let send_reply t (it : item) ~cost reply =
+let send_reply t (it : item) ~cost ~spans reply =
   let cost = ("srv.sent_at", Sim.Engine.now t.engine) :: cost in
-  let msg = Proto.Reply { xid = it.xid; client = it.client; reply; cost } in
+  let msg =
+    Proto.Reply { xid = it.xid; client = it.client; reply; cost; spans }
+  in
   Net.send it.ep ~size:(Proto.msg_size msg) msg
+
+(* The server side of a traced call runs under a detached span parented
+   on the client's wire context, backdated to the client's transmit
+   stamp so the inbound wire leg and the nfsd queue wait nest inside
+   it; the finished subtree rides back in the reply.  Untraced calls
+   ([span = None]) skip all of this. *)
+let traced (it : item) ~dq ~name f =
+  match it.span with
+  | None -> (f (), None)
+  | Some c ->
+      Sim.Span.subtree c ~name ~track:"server/nfsd" ~start_us:it.sent
+        (fun () ->
+          Sim.Span.interval ~name:"wire.call" ~track:"net/wire"
+            ~start_us:it.sent ~stop_us:it.arrived ();
+          Sim.Span.interval ~name:"nfsd.queue" ~start_us:it.arrived
+            ~stop_us:dq ();
+          f ())
 
 (* ---------- processes ---------- *)
 
@@ -167,10 +187,15 @@ let worker t () =
     match if ni then Hashtbl.find_opt t.dup key else None with
     | Some (Done reply) ->
         t.st.dup_hits <- t.st.dup_hits + 1;
+        let reply, spans =
+          traced it ~dq
+            ~name:("srv.dup." ^ Proto.op_name it.call)
+            (fun () -> reply)
+        in
         send_reply t it
           ~cost:
             (base_cost @ [ ("nfsd.cpu", Sim.Engine.now t.engine - dq) ])
-          reply
+          ~spans reply
     | Some In_progress -> t.st.dup_busy_drops <- t.st.dup_busy_drops + 1
     | None ->
         if ni then Hashtbl.replace t.dup key In_progress;
@@ -178,7 +203,10 @@ let worker t () =
         incr (Hashtbl.find t.op_applied op);
         let t0 = Sim.Engine.now t.engine in
         let clk = Sim.Attrib.create () in
-        let reply = Sim.Attrib.with_clock clk (fun () -> execute t it.call) in
+        let reply, spans =
+          traced it ~dq ~name:("srv." ^ op) (fun () ->
+              Sim.Attrib.with_clock clk (fun () -> execute t it.call))
+        in
         Sim.Stats.Summary.add
           (Hashtbl.find t.op_service op)
           (float_of_int (Sim.Engine.now t.engine - t0));
@@ -187,16 +215,19 @@ let worker t () =
         let cpu =
           max 0 (Sim.Engine.now t.engine - dq - Sim.Attrib.total clk)
         in
-        send_reply t it ~cost:(base_cost @ disk @ [ ("nfsd.cpu", cpu) ]) reply
+        send_reply t it
+          ~cost:(base_cost @ disk @ [ ("nfsd.cpu", cpu) ])
+          ~spans reply
   done
 
 let dispatcher t ep () =
   while true do
     match Net.recv ep with
-    | Proto.Call { xid; client; call; sent } ->
+    | Proto.Call { xid; client; call; sent; span } ->
         t.st.received <- t.st.received + 1;
         Queue.push
-          { ep; xid; client; call; sent; arrived = Sim.Engine.now t.engine }
+          { ep; xid; client; call; sent; span;
+            arrived = Sim.Engine.now t.engine }
           t.queue;
         Sim.Condition.signal t.work
     | Proto.Reply _ -> assert false

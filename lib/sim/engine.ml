@@ -6,6 +6,12 @@ type t = {
   mutable seq : int;
   events : (int * int, unit -> unit) Heap.t;
   mutable blocked : int; (* processes currently suspended *)
+  (* self-observability: fleet-scale runs stress the engine itself, so
+     the hot paths keep cheap counters a metrics source can read *)
+  mutable dispatched : int;
+  mutable heap_max : int;
+  mutable cancellations : int;
+  mutable spawned : int;
 }
 
 exception Deadlock of string
@@ -16,24 +22,36 @@ let cmp_key (t1, s1) (t2, s2) =
   let c = compare (t1 : int) t2 in
   if c <> 0 then c else compare (s1 : int) s2
 
-let create () = { now = 0; seq = 0; events = Heap.create ~cmp:cmp_key; blocked = 0 }
+let create () =
+  {
+    now = 0;
+    seq = 0;
+    events = Heap.create ~cmp:cmp_key;
+    blocked = 0;
+    dispatched = 0;
+    heap_max = 0;
+    cancellations = 0;
+    spawned = 0;
+  }
 
 let now t = t.now
 
 let schedule t ?(delay = 0) f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   t.seq <- t.seq + 1;
-  Heap.push t.events (t.now + delay, t.seq) f
+  Heap.push t.events (t.now + delay, t.seq) f;
+  let depth = Heap.length t.events in
+  if depth > t.heap_max then t.heap_max <- depth
 
 (* A cancellable event is a heap entry indirected through a mutable
    cell.  Cancelling empties the cell: the heap slot itself stays (the
    heap has no removal), but it fires as a no-op and — the point — the
    cancelled closure and everything it captures are released
    immediately instead of being pinned until the deadline. *)
-type timer = { mutable cb : (unit -> unit) option }
+type timer = { mutable cb : (unit -> unit) option; owner : t }
 
 let schedule_cancellable t ?delay f =
-  let h = { cb = Some f } in
+  let h = { cb = Some f; owner = t } in
   schedule t ?delay (fun () ->
       match h.cb with
       | Some f ->
@@ -42,18 +60,25 @@ let schedule_cancellable t ?delay f =
       | None -> ());
   h
 
-let cancel h = h.cb <- None
+let cancel h =
+  if h.cb <> None then begin
+    h.owner.cancellations <- h.owner.cancellations + 1;
+    h.cb <- None
+  end
+
 let cancelled h = h.cb = None
 
 (* Run [f] as a process: effects performed by [f] are interpreted here.
    A [Suspend register] effect hands the continuation, wrapped as a
    plain thunk, to [register]; resuming the thunk re-enters the handler.
-   Each process also owns one attribution-clock slot ([Attrib]): the
-   handler closure holds it, so it survives suspensions and is invisible
-   to every other process. *)
+   Each process also owns one attribution-clock slot ([Attrib]) and one
+   current-span slot ([Span]): the handler closure holds them, so they
+   survive suspensions and are invisible to every other process. *)
 let spawn t ?name f =
   let name = Option.value name ~default:"process" in
+  t.spawned <- t.spawned + 1;
   let clock : Attrib.clock option ref = ref None in
+  let span : Span.t option ref = ref None in
   let body () =
     match_with f ()
       {
@@ -86,6 +111,13 @@ let spawn t ?name f =
                   (fun (k : (a, _) continuation) ->
                     clock := c;
                     continue k ())
+            | Span.Get_span ->
+                Some (fun (k : (a, _) continuation) -> continue k !span)
+            | Span.Set_span s ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    span := s;
+                    continue k ())
             | _ -> None);
       }
   in
@@ -105,6 +137,7 @@ let run t =
     | Some ((at, _), f) ->
         assert (at >= t.now);
         t.now <- at;
+        t.dispatched <- t.dispatched + 1;
         f ();
         loop ()
   in
@@ -118,6 +151,7 @@ let run_for t d =
         (match Heap.pop t.events with
         | Some ((at, _), f) ->
             t.now <- at;
+            t.dispatched <- t.dispatched + 1;
             f ();
             loop ()
         | None -> assert false)
@@ -133,3 +167,19 @@ let check_quiescent t =
       (Deadlock
          (Printf.sprintf "%d process(es) still suspended at %s" t.blocked
             (Time.to_string t.now)))
+
+let events_dispatched t = t.dispatched
+let heap_max_depth t = t.heap_max
+let cancellations t = t.cancellations
+let processes_spawned t = t.spawned
+
+let register_metrics t reg ~instance =
+  Metrics.register reg ~layer:"sim.engine" ~instance (fun () ->
+      [
+        ("events_dispatched", Metrics.Int t.dispatched);
+        ("heap_max_depth", Metrics.Int t.heap_max);
+        ("heap_len", Metrics.Int (Heap.length t.events));
+        ("cancellations", Metrics.Int t.cancellations);
+        ("processes_spawned", Metrics.Int t.spawned);
+        ("now_us", Metrics.Int t.now);
+      ])

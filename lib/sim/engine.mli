@@ -73,3 +73,23 @@ val live_processes : t -> int
 
 val check_quiescent : t -> unit
 (** After {!run}: raise {!Deadlock} if any process is still suspended. *)
+
+(** {1 Self-observability}
+
+    The engine's own hot paths (heap, dispatch loop, timer churn) are
+    what fleet-scale sweeps stress; these counters are the profiling
+    baseline. *)
+
+val events_dispatched : t -> int
+(** Events popped and run by {!run}/{!run_for} so far. *)
+
+val heap_max_depth : t -> int
+(** High-water mark of the event heap. *)
+
+val cancellations : t -> int
+(** Timers cancelled before firing (each was a dead heap slot). *)
+
+val processes_spawned : t -> int
+
+val register_metrics : t -> Metrics.t -> instance:string -> unit
+(** Register a ["sim.engine"] metrics source over the counters above. *)

@@ -190,6 +190,8 @@ let do_take_block (fs : fs) (cg : Cg.t) (ip : inode) frag =
   frag
 
 let alloc_block (fs : fs) (ip : inode) ~pref =
+  Sim.Span.span ~name:"ufs.alloc" ~attrs:[ ("pref", Sim.Span.I pref) ]
+  @@ fun () ->
   Sim.Mutex.with_lock fs.alloc_lock (fun () ->
       charge fs ~label:"alloc" fs.costs.Costs.alloc_block;
       if not (reserve_ok fs ~nfrags:Layout.fpb) then
@@ -282,6 +284,9 @@ let scan_cg_for_frags (fs : fs) (cg : Cg.t) ~n ~want_partial =
 let alloc_frags (fs : fs) (ip : inode) ~pref ~nfrags =
   if nfrags <= 0 || nfrags >= Layout.fpb then
     invalid_arg "Alloc.alloc_frags: nfrags must be in 1..fpb-1";
+  Sim.Span.span ~name:"ufs.alloc_frags"
+    ~attrs:[ ("pref", Sim.Span.I pref); ("nfrags", Sim.Span.I nfrags) ]
+  @@ fun () ->
   Sim.Mutex.with_lock fs.alloc_lock (fun () ->
       charge fs ~label:"alloc" fs.costs.Costs.alloc_block;
       if not (reserve_ok fs ~nfrags) then

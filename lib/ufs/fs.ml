@@ -177,6 +177,7 @@ let register_metrics (fs : fs) reg ~instance =
           ("pgin_wait_us", Summary s.pgin_wait_us);
           ("read_io_blocks", Hist s.read_io_blocks);
           ("push_io_blocks", Hist s.push_io_blocks);
+          ("trace_dropped", Int (Sim.Trace.dropped fs.trace));
         ])
 
 let tunefs (fs : fs) ?rotdelay_ms ?maxcontig ?maxbpg () =

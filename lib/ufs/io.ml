@@ -177,4 +177,7 @@ let wait_writes fs (ip : inode) =
   while ip.outstanding_writes > 0 do
     Sim.Condition.wait ip.iodone
   done;
-  Sim.Attrib.charge_current "disk.wait" (Sim.Engine.now fs.engine - before)
+  let after = Sim.Engine.now fs.engine in
+  Sim.Attrib.charge_current "disk.wait" (after - before);
+  if after > before then
+    Sim.Span.interval ~name:"vm.wait_writes" ~start_us:before ~stop_us:after ()

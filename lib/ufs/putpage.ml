@@ -88,7 +88,7 @@ let delay fs (ip : inode) ~off ~free_after =
   if ip.delaylen >= cluster_bytes fs then push_delayed fs ip ~sync:false ();
   if free_after then free_clean_range fs ip ~off ~len:Layout.bsize
 
-let putpage fs (ip : inode) ~off ~len ~flags =
+let putpage_body fs (ip : inode) ~off ~len ~flags =
   fs.stats.putpage_calls <- fs.stats.putpage_calls + 1;
   charge fs ~label:"putpage" fs.costs.Costs.putpage;
   let has f = List.mem f flags in
@@ -117,6 +117,11 @@ let putpage fs (ip : inode) ~off ~len ~flags =
     if free_after then free_clean_range fs ip ~off ~len;
     if has Vfs.Vnode.P_SYNC then Io.wait_writes fs ip
   end
+
+let putpage fs (ip : inode) ~off ~len ~flags =
+  Sim.Span.span ~name:"ufs.putpage"
+    ~attrs:[ ("off", Sim.Span.I off); ("len", Sim.Span.I len) ]
+    (fun () -> putpage_body fs ip ~off ~len ~flags)
 
 let flusher fs (ip : inode) : Vm.Pool.flusher =
  fun page ~free_after ->

@@ -203,7 +203,7 @@ let do_write fs (ip : inode) (uio : Vfs.Uio.t) =
     Putpage.putpage fs ip ~off:po ~len:Layout.bsize ~flags:[ Vfs.Vnode.P_DELAY ]
   done
 
-let rdwr fs (ip : inode) (uio : Vfs.Uio.t) =
+let rdwr_body fs (ip : inode) (uio : Vfs.Uio.t) =
   charge fs ~label:"syscall" fs.costs.Costs.syscall;
   let t0 = Sim.Engine.now fs.engine in
   Sim.Mutex.with_lock ip.ilock (fun () ->
@@ -214,3 +214,18 @@ let rdwr fs (ip : inode) (uio : Vfs.Uio.t) =
   match uio.Vfs.Uio.rw with
   | Vfs.Uio.Read -> Sim.Stats.Summary.add fs.stats.read_call_us dt
   | Vfs.Uio.Write -> Sim.Stats.Summary.add fs.stats.write_call_us dt
+
+let rdwr fs (ip : inode) (uio : Vfs.Uio.t) =
+  let name =
+    match uio.Vfs.Uio.rw with
+    | Vfs.Uio.Read -> "ufs.read"
+    | Vfs.Uio.Write -> "ufs.write"
+  in
+  Sim.Span.span ~name
+    ~attrs:
+      [
+        ("ino", Sim.Span.I ip.inum);
+        ("off", Sim.Span.I uio.Vfs.Uio.off);
+        ("len", Sim.Span.I uio.Vfs.Uio.resid);
+      ]
+    (fun () -> rdwr_body fs ip uio)

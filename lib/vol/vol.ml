@@ -232,7 +232,13 @@ let child_request t (r : Disk.Request.t) f =
 
 let submit_frags t (r : Disk.Request.t) frags =
   (* Fan out; the parent completes when the last fragment lands. *)
-  (match frags with _ :: _ :: _ -> t.splits <- t.splits + 1 | _ -> ());
+  (match frags with
+  | _ :: _ :: _ ->
+      t.splits <- t.splits + 1;
+      (* a traced caller sees the fan-out on whatever span covers the
+         submission (the members' I/O shows up when it waits) *)
+      Sim.Span.add_attr "vol.split" (Sim.Span.I (List.length frags))
+  | _ -> ());
   let pending = ref (List.length frags) in
   if !pending = 0 then
     (* every target was a dropped mirror write *)

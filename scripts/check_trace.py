@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Validate the shape of a Chrome trace-event JSON file (Sim.Span.to_chrome).
+
+Checks what Perfetto/chrome://tracing silently tolerate but we must not:
+  - the document is {"traceEvents": [...]}
+  - every event is ph "X" (complete) or "M" (metadata)
+  - every X event has string name, int pid/tid, non-negative ts and dur
+  - every (pid) and every (pid, tid) referenced by an X event is named
+    by process_name / thread_name metadata
+  - within a (pid, tid) track, X events are sorted by ts (deterministic
+    export order)
+
+Usage: check_trace.py TRACE.json [TRACE2.json ...]; exits non-zero on the
+first malformed file.
+"""
+
+import json
+import sys
+
+
+def check(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert isinstance(doc, dict) and "traceEvents" in doc, "no traceEvents"
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events, "empty traceEvents"
+
+    procs, threads, spans = {}, {}, []
+    for ev in events:
+        ph = ev.get("ph")
+        assert ph in ("X", "M"), f"unexpected phase {ph!r}"
+        pid, tid = ev.get("pid"), ev.get("tid")
+        assert isinstance(pid, int) and isinstance(tid, int), f"bad pid/tid in {ev}"
+        if ph == "M":
+            name = ev["args"]["name"]
+            assert isinstance(name, str) and name, f"unnamed metadata {ev}"
+            if ev["name"] == "process_name":
+                procs[pid] = name
+            elif ev["name"] == "thread_name":
+                threads[(pid, tid)] = name
+            else:
+                raise AssertionError(f"unknown metadata {ev['name']!r}")
+        else:
+            assert isinstance(ev.get("name"), str) and ev["name"], f"unnamed X {ev}"
+            ts, dur = ev.get("ts"), ev.get("dur")
+            assert isinstance(ts, (int, float)) and ts >= 0, f"bad ts in {ev}"
+            assert isinstance(dur, (int, float)) and dur >= 0, f"bad dur in {ev}"
+            spans.append(ev)
+
+    assert spans, "no X events"
+    last = {}
+    for ev in spans:
+        pid, tid = ev["pid"], ev["tid"]
+        assert pid in procs, f"pid {pid} never named (event {ev['name']!r})"
+        assert (pid, tid) in threads, (
+            f"tid {tid} of pid {pid} never named (event {ev['name']!r})"
+        )
+        key = (pid, tid)
+        assert ev["ts"] >= last.get(key, 0), (
+            f"track {procs[pid]}/{threads[key]} not sorted at ts={ev['ts']}"
+        )
+        last[key] = ev["ts"]
+
+    print(
+        f"{path}: ok — {len(spans)} spans on {len(threads)} tracks "
+        f"in {len(procs)} processes"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    for p in sys.argv[1:]:
+        check(p)

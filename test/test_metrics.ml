@@ -168,7 +168,7 @@ let test_machine_registers_all_layers () =
   in
   Alcotest.(check (list string))
     "every layer present"
-    [ "disk"; "ufs"; "vm.pageout"; "vm.pool" ]
+    [ "disk"; "sim.engine"; "ufs"; "vm.pageout"; "vm.pool" ]
     layers;
   match Sim.Metrics.get reg ~layer:"ufs" ~instance:"layers" "push_ios" with
   | Some (Sim.Metrics.Int n) -> check_bool "ufs pushed data" true (n > 0)
