@@ -6,7 +6,7 @@
 
 open Cmdliner
 
-let run path size_mb rotdelay maxcontig maxbpg minfree fpg ipg =
+let run path size_mb rotdelay maxcontig maxbpg minfree fpg ipg journal journal_frags =
   let cyls =
     (* 14 heads x 48 spt x 512B = 344064 bytes per cylinder *)
     max 10 (size_mb * 1_000_000 / (14 * 48 * 512))
@@ -26,6 +26,10 @@ let run path size_mb rotdelay maxcontig maxbpg minfree fpg ipg =
       minfree_pct = minfree;
       fpg;
       ipg;
+      journal_frags =
+        (if journal_frags > 0 then journal_frags
+         else if journal then Ufs.Fs.journal_frags_default
+         else 0);
     }
   in
   Ufs.Fs.mkfs (Disk.Blkdev.of_device dev) ~opts ();
@@ -50,11 +54,23 @@ let minfree_t = Arg.(value & opt int 10 & info [ "minfree" ] ~doc:"Reserved spac
 let fpg_t = Arg.(value & opt int 16384 & info [ "fpg" ] ~doc:"Fragments per cylinder group.")
 let ipg_t = Arg.(value & opt int 2048 & info [ "ipg" ] ~doc:"Inodes per cylinder group.")
 
+let journal_t =
+  Arg.(
+    value & flag
+    & info [ "journal" ]
+        ~doc:"Reserve a write-ahead intent journal (default size).")
+
+let journal_frags_t =
+  Arg.(
+    value & opt int 0
+    & info [ "journal-frags" ]
+        ~doc:"Journal size in fragments (implies --journal).")
+
 let cmd =
   Cmd.v
     (Cmd.info "mkfs" ~doc:"Create a simulated-UFS disk image")
     Term.(
       const run $ path_t $ size_t $ rotdelay_t $ maxcontig_t $ maxbpg_t
-      $ minfree_t $ fpg_t $ ipg_t)
+      $ minfree_t $ fpg_t $ ipg_t $ journal_t $ journal_frags_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -93,6 +93,13 @@ let with_vol t ?(layout = Vol.Stripe) ?(stripe_kb = 128) disks =
     vol = { disks; layout; stripe_kb };
   }
 
+let with_journal ?(frags = Ufs.Fs.journal_frags_default) t =
+  {
+    t with
+    name = t.name ^ "/jrnl";
+    mkfs = { t.mkfs with Ufs.Fs.journal_frags = frags };
+  }
+
 let with_rotdelay t ms = { t with mkfs = { t.mkfs with Ufs.Fs.rotdelay_ms = ms } }
 let with_memory_mb t mb = { t with memory_mb = mb }
 let with_features t features = { t with features }

@@ -66,6 +66,12 @@ val with_vol : t -> ?layout:Vol.layout -> ?stripe_kb:int -> int -> t
     identical drives (default stripe, 128 KB unit).  [disks = 1] keeps
     the bare-disk fast path and the name unchanged. *)
 
+val with_journal : ?frags:int -> t -> t
+(** Reserve a write-ahead intent journal at mkfs ([frags] defaults to
+    {!Ufs.Fs.journal_frags_default}, 1 MB) and append ["/jrnl"] to the
+    name.  Metadata mutations then commit through the log; the machine
+    becomes crash-recoverable via {!Ufs.Recover} / {!Topology.reboot_server}. *)
+
 val with_rotdelay : t -> int -> t
 val with_memory_mb : t -> int -> t
 val with_features : t -> Ufs.Types.features -> t

@@ -7,7 +7,7 @@ type t = {
   dev : Disk.Blkdev.t;
   disks : Disk.Device.t array;
   vol : Vol.t option;
-  fs : Ufs.Types.fs;
+  mutable fs : Ufs.Types.fs;  (* remounted in place by a server reboot *)
 }
 
 (* Ambient sink: experiments build machines internally, so the caller
@@ -106,7 +106,28 @@ let run t f =
 let snapshot_store t = Disk.Blkdev.store t.dev
 
 let crash t =
+  (* tally what the power cut loses (queued + in-flight requests) into
+     the per-drive crash_dropped counters; the snapshot below never
+     contained them, so the copy is unchanged — only now it's counted *)
+  Array.iter
+    (fun d ->
+      let sb = Disk.Device.sector_bytes d in
+      let s = Disk.Device.stats d in
+      let drop (r : Disk.Request.t) =
+        s.Disk.Device.crash_dropped_reqs <- s.Disk.Device.crash_dropped_reqs + 1;
+        s.Disk.Device.crash_dropped_bytes <-
+          s.Disk.Device.crash_dropped_bytes + (r.Disk.Request.count * sb)
+      in
+      Disk.Device.iter_queued d drop)
+    t.disks;
   let src = Disk.Blkdev.store t.dev in
   let copy = Disk.Store.create ~size:(Disk.Store.size src) in
   Disk.Store.copy_into src copy;
   copy
+
+let crash_dropped t =
+  Array.fold_left
+    (fun (ar, ab) d ->
+      let r, b = Disk.Device.crash_dropped d in
+      (ar + r, ab + b))
+    (0, 0) t.disks

@@ -12,7 +12,9 @@ type t = {
   disks : Disk.Device.t array;  (** the member drives ([disks.(0)] is
       the whole device when [config.vol.disks = 1]) *)
   vol : Vol.t option;  (** the volume, when [config.vol.disks > 1] *)
-  fs : Ufs.Types.fs;
+  mutable fs : Ufs.Types.fs;
+      (** the mount; {!Topology.reboot_server} replaces it in place
+          after crash recovery *)
 }
 
 val create : Config.t -> t
@@ -55,4 +57,12 @@ val crash : t -> Disk.Store.t
     whatever is still in the page cache, the metadata cache or the disk
     queue is lost.  Run {!Ufs.Fsck.check} over a device built from the
     copy (or hand it to {!create_no_format}) to study the wreckage.
-    The simulation itself keeps running; crash as often as you like. *)
+    The simulation itself keeps running; crash as often as you like.
+    Requests queued or in flight at the instant of the crash are
+    tallied into the drives' [crash_dropped] counters (the
+    ["disk"]-layer [crash_dropped_reqs]/[crash_dropped_bytes] metrics)
+    so experiments can report the exposure window. *)
+
+val crash_dropped : t -> int * int
+(** (requests, bytes) lost across this machine's drives — see
+    {!Disk.Device.crash_dropped}. *)

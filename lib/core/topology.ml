@@ -17,6 +17,8 @@ type t = {
   service : Nfs.Server.t;
   clients : client array;
   medium : Nfs.Proto.msg Net.Medium.t option;
+  mutable crashed : Disk.Store.t option;
+      (* platter image latched at crash_server, consumed by reboot *)
 }
 
 let client_link c = match c.attach with Link l -> Some l | Station _ -> None
@@ -87,7 +89,8 @@ let create ?(net = Net.default_config) ?(seed = 0)
       nodes
   in
   let t =
-    { server; service; clients; medium = Option.map fst !shared }
+    { server; service; clients; medium = Option.map fst !shared;
+      crashed = None }
   in
   (match Machine.current_metrics_sink () with
   | Some reg ->
@@ -110,6 +113,48 @@ let create ?(net = Net.default_config) ?(seed = 0)
   t
 
 let engine t = t.server.Machine.engine
+
+(* ---------- server crash / reboot ---------- *)
+
+let crash_server t =
+  Nfs.Server.crash t.service;
+  (* power-cut the drives: queued and in-flight requests are tallied as
+     crash-dropped and the write cutoff latches, so nothing issued by
+     the dead instance can reach the platter from here on *)
+  Disk.Blkdev.crash_cut t.server.Machine.dev;
+  let src = Disk.Blkdev.store t.server.Machine.dev in
+  let snap = Disk.Store.create ~size:(Disk.Store.size src) in
+  Disk.Store.copy_into src snap;
+  t.crashed <- Some snap;
+  snap
+
+let reboot_server t =
+  let m = t.server in
+  let dev = m.Machine.dev in
+  let snap =
+    match t.crashed with
+    | Some s -> s
+    | None -> invalid_arg "Topology.reboot_server: server has not crashed"
+  in
+  (* let requests the dead instance still had in flight drain (their
+     writes were latched off), then restore the exact crash image and
+     clear the latch: the disk is now what a rebooted kernel would see *)
+  Disk.Blkdev.quiesce dev;
+  Disk.Store.copy_into snap (Disk.Blkdev.store dev);
+  Disk.Blkdev.set_write_cutoff dev None;
+  t.crashed <- None;
+  (* the page cache died with the machine *)
+  Vm.Pool.invalidate_all m.Machine.pool;
+  (* timed journal replay, then a clean mount *)
+  let report = Ufs.Recover.run dev in
+  let fs =
+    Ufs.Fs.mount m.Machine.engine m.Machine.cpu m.Machine.pool dev
+      ~features:m.Machine.config.Config.features
+      ~costs:m.Machine.config.Config.costs ()
+  in
+  m.Machine.fs <- fs;
+  Nfs.Server.restart t.service ~fs;
+  report
 
 let run_clients t f =
   let n = Array.length t.clients in

@@ -45,6 +45,9 @@ type t = {
   clients : client array;
   medium : Nfs.Proto.msg Net.Medium.t option;
       (** the shared segment, when [kind] was {!Shared_medium} *)
+  mutable crashed : Disk.Store.t option;
+      (** platter image latched by {!crash_server}, consumed by
+          {!reboot_server} *)
 }
 
 val client_link : client -> Nfs.Proto.msg Net.t option
@@ -90,3 +93,20 @@ val run_clients : t -> (client -> unit) -> unit
 val run : t -> (t -> 'a) -> 'a
 (** Run a single driver process against the topology (the analogue of
     {!Machine.run} — use {!run_clients} for symmetric load). *)
+
+val crash_server : t -> Disk.Store.t
+(** Power-fail the server machine mid-simulation: the NFS service goes
+    {e down} (incoming calls dropped, in-progress replies suppressed,
+    handle table lost), the drives power-cut ({!Disk.Blkdev.crash_cut} —
+    queued and in-flight writes are lost and tallied), and the platter
+    image as of this instant is latched for {!reboot_server}.  Clients
+    keep running: hard-mount RPCs back off and retransmit until the
+    reboot.  Returns the latched image (callers may fsck a copy). *)
+
+val reboot_server : t -> Ufs.Recover.report
+(** Bring the crashed server back: restore the latched image, replay
+    the intent journal (timed — recovery time lands on the simulation
+    clock like any other I/O), mount, and restart the NFS service over
+    the new file system with an empty dup cache.  Requires a journaled
+    config ({!Config.with_journal}).  Must run inside a simulation
+    process (e.g. under {!run}). *)

@@ -46,6 +46,19 @@ let write_sync t ~sector ~count ~buf ~buf_off =
 let quiesce t = t.quiesce ()
 let busy t = t.busy ()
 let queue_length t = t.queue_length ()
+let crash_cut t = Array.iter Device.crash_cut t.members
+
+let completed_writes t =
+  Array.fold_left (fun acc d -> acc + Device.completed_writes d) 0 t.members
+
+let set_write_cutoff t n = Array.iter (fun d -> Device.set_write_cutoff d n) t.members
+
+let crash_dropped t =
+  Array.fold_left
+    (fun (ar, ab) d ->
+      let r, b = Device.crash_dropped d in
+      (ar + r, ab + b))
+    (0, 0) t.members
 
 type stats = {
   reads : int;

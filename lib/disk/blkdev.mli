@@ -62,6 +62,22 @@ val quiesce : t -> unit
 val busy : t -> bool
 val queue_length : t -> int
 
+val crash_cut : t -> unit
+(** Power-cut every member: tally queued/in-flight requests as
+    crash-dropped and latch the write cutoff (see {!Device.crash_cut}). *)
+
+val completed_writes : t -> int
+(** Completed write requests summed over members — the crash-point
+    sweep range. *)
+
+val set_write_cutoff : t -> int option -> unit
+(** Arm (or clear) the crash-point latch on every member.  With a
+    multi-member volume the count applies per member; single-disk
+    configs are what the sweep harness uses. *)
+
+val crash_dropped : t -> int * int
+(** (requests, bytes) lost to crash cuts, summed over members. *)
+
 (** Aggregate drive statistics summed over members (immutable snapshot;
     see {!Device.stats} for the per-member mutable records). *)
 type stats = {

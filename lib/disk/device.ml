@@ -31,6 +31,8 @@ type stats = {
   mutable rot_wait : Sim.Time.t;
   mutable transfer_time : Sim.Time.t;
   mutable coalesced : int;
+  mutable crash_dropped_reqs : int;
+  mutable crash_dropped_bytes : int;
   read_latency : Sim.Stats.Summary.t;
   write_latency : Sim.Stats.Summary.t;
   queue_depth : Sim.Stats.Summary.t;
@@ -63,6 +65,11 @@ type t = {
   mutable last_read_end : int;  (* for sequential-streaming detection *)
   mutable last_read_end_time : Sim.Time.t;
   mutable servicing : bool;
+  mutable inflight : Request.t list;  (* popped from the queue, not yet done *)
+  mutable write_cutoff : int option;
+      (* crash-point latch: number of further write completions allowed
+         to reach the store; once it hits zero, write data is silently
+         discarded — the platter state as of the k-th write boundary *)
   stats : stats;
   trace : event Sim.Trace.t;
 }
@@ -78,6 +85,8 @@ let mk_stats () =
     rot_wait = 0;
     transfer_time = 0;
     coalesced = 0;
+    crash_dropped_reqs = 0;
+    crash_dropped_bytes = 0;
     read_latency = Sim.Stats.Summary.create ();
     write_latency = Sim.Stats.Summary.create ();
     queue_depth = Sim.Stats.Summary.create ();
@@ -189,13 +198,25 @@ let service_cost d ~t0 (r : Request.t) =
   List.iter serve_seg segs;
   (!t - t0, !all_buffered, !seek_us, !rot_us, !xfer_us)
 
-(* Move the data for a completed request between buffer and store. *)
+(* Move the data for a completed request between buffer and store.  A
+   write past the crash-point latch completes normally from the
+   caller's point of view but its bytes never reach the platter — the
+   image is frozen at the k-th write boundary. *)
 let do_data d (r : Request.t) =
   let sb = d.cfg.geom.Geom.sector_bytes in
   let off = r.Request.sector * sb and len = r.Request.count * sb in
   match r.Request.kind with
   | Request.Read -> Store.read d.st ~off ~len r.Request.buf r.Request.buf_off
-  | Request.Write -> Store.write d.st ~off ~len r.Request.buf r.Request.buf_off
+  | Request.Write -> (
+      match d.write_cutoff with
+      | Some n when n <= 0 ->
+          d.stats.crash_dropped_reqs <- d.stats.crash_dropped_reqs + 1;
+          d.stats.crash_dropped_bytes <- d.stats.crash_dropped_bytes + len
+      | cutoff ->
+          (match cutoff with
+          | Some n -> d.write_cutoff <- Some (n - 1)
+          | None -> ());
+          Store.write d.st ~off ~len r.Request.buf r.Request.buf_off)
 
 let finish d r =
   do_data d r;
@@ -295,8 +316,10 @@ let rec service_loop d () =
             count = total_count;
             buffered_hit = hit;
           });
+      d.inflight <- group;
       Sim.Engine.sleep d.engine dur;
       List.iter (finish d) group;
+      d.inflight <- [];
       service_loop d ()
 
 let create ?store engine cfg =
@@ -323,6 +346,8 @@ let create ?store engine cfg =
       last_read_end = -1;
       last_read_end_time = 0;
       servicing = false;
+      inflight = [];
+      write_cutoff = None;
       stats = mk_stats ();
       trace = Sim.Trace.create ();
     }
@@ -365,6 +390,22 @@ let quiesce d =
   done
 
 let stats d = d.stats
+let set_write_cutoff d n = d.write_cutoff <- n
+let completed_writes d = d.stats.writes
+
+let iter_queued d f =
+  Disksort.iter d.queue f;
+  List.iter f d.inflight
+
+let crash_cut d =
+  let sb = sector_bytes d in
+  iter_queued d (fun (r : Request.t) ->
+      d.stats.crash_dropped_reqs <- d.stats.crash_dropped_reqs + 1;
+      d.stats.crash_dropped_bytes <-
+        d.stats.crash_dropped_bytes + (r.Request.count * sb));
+  d.write_cutoff <- Some 0
+
+let crash_dropped d = (d.stats.crash_dropped_reqs, d.stats.crash_dropped_bytes)
 let trace d = d.trace
 let track_buffer_stats d = (Track_buffer.hits d.tbuf, Track_buffer.misses d.tbuf)
 
@@ -383,6 +424,8 @@ let register_metrics d reg ~instance =
           ("rot_wait_us", Int s.rot_wait);
           ("transfer_us", Int s.transfer_time);
           ("coalesced", Int s.coalesced);
+          ("crash_dropped_reqs", Int s.crash_dropped_reqs);
+          ("crash_dropped_bytes", Int s.crash_dropped_bytes);
           ("queue_wait_us", Summary s.queue_wait);
           ("service_us", Summary s.service);
           ("seek_per_io_us", Summary s.seek_per_io);

@@ -47,6 +47,10 @@ type stats = {
   mutable rot_wait : Sim.Time.t;
   mutable transfer_time : Sim.Time.t;
   mutable coalesced : int;  (** requests absorbed by driver clustering *)
+  mutable crash_dropped_reqs : int;
+      (** requests lost to a power cut: queued/in-flight at
+          {!crash_cut}, plus writes voided past the cutoff latch *)
+  mutable crash_dropped_bytes : int;
   read_latency : Sim.Stats.Summary.t;
   write_latency : Sim.Stats.Summary.t;
   queue_depth : Sim.Stats.Summary.t;  (** sampled at each enqueue *)
@@ -99,6 +103,37 @@ val quiesce : t -> unit
 val queue_length : t -> int
 val busy : t -> bool
 val stats : t -> stats
+
+(** {1 Crash-point injection}
+
+    Data reaches the platter only when a write request {e completes}
+    (see [do_data]), so the disk-write boundary is the natural crash
+    granularity: freezing the store after the k-th completed write
+    reproduces exactly the image a power cut at that boundary would
+    leave, while the simulation above keeps running to completion. *)
+
+val set_write_cutoff : t -> int option -> unit
+(** [set_write_cutoff d (Some k)] lets the next [k] write completions
+    reach the store; later writes complete normally for their callers
+    but their bytes are discarded (and counted as crash-dropped).
+    [None] clears the latch. *)
+
+val completed_writes : t -> int
+(** Write requests whose data was applied or voided so far — the sweep
+    range for systematic crash-point injection. *)
+
+val crash_cut : t -> unit
+(** Power cut now: every queued and in-flight request is tallied into
+    the crash-dropped counters and the write cutoff is latched to zero,
+    so nothing further reaches the store. *)
+
+val crash_dropped : t -> int * int
+(** (requests, bytes) lost to crash cuts and the cutoff latch. *)
+
+val iter_queued : t -> (Request.t -> unit) -> unit
+(** Iterate every request the drive holds: queued, then in-flight — what
+    a power cut at this instant would lose. *)
+
 val trace : t -> event Sim.Trace.t
 val track_buffer_stats : t -> int * int
 (** (hits, misses). *)

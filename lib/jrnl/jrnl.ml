@@ -1,0 +1,430 @@
+(* Write-ahead intent log: circular, checksummed, sector-granular.
+   See the .mli for the on-disk contract. *)
+
+exception Full of string
+
+(* --- little-endian codec (kept local: ufs depends on us, not vice
+   versa) --- *)
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+let put_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let get_u64 b off =
+  let v = Bytes.get_int64_le b off in
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    invalid_arg "Jrnl: u64 out of range";
+  Int64.to_int v
+
+let put_u64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+(* FNV-1a, 32-bit: deterministic, cheap, good enough to detect torn
+   writes (we are not defending against adversarial corruption). *)
+let fnv1a b off len =
+  let h = ref 0x811c9dc5 in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (Bytes.get b i)) * 0x01000193 land 0xffffffff
+  done;
+  !h
+
+(* --- on-disk layout --- *)
+
+let sector = 512
+let header_reserved = sector
+let hdr_magic = 0x4c4e524a (* "JRNL" *)
+let entry_magic = 0x454e524a (* "JRNE" *)
+let version = 1
+let entry_hdr = 32
+let kind_txn = 0
+let kind_wrap = 1
+let pad_up n = (n + sector - 1) / sector * sector
+
+(* header sector: magic u32 | version u32 | data_bytes u64 | head_off
+   u64 | head_seq u64 | checksum u32 (over bytes [0,32)) *)
+let encode_header ~data_bytes ~head_off ~head_seq =
+  let b = Bytes.make header_reserved '\000' in
+  put_u32 b 0 hdr_magic;
+  put_u32 b 4 version;
+  put_u64 b 8 data_bytes;
+  put_u64 b 16 head_off;
+  put_u64 b 24 head_seq;
+  put_u32 b 32 (fnv1a b 0 32);
+  b
+
+let decode_header b =
+  if get_u32 b 0 <> hdr_magic then failwith "Jrnl: bad header magic";
+  if get_u32 b 4 <> version then failwith "Jrnl: bad header version";
+  if get_u32 b 32 <> fnv1a b 0 32 then failwith "Jrnl: header checksum";
+  (get_u64 b 8, get_u64 b 16, get_u64 b 24)
+
+(* entry header: magic u32 | seq u64 | kind u8 | pad*3 | payload_len
+   u32 | nrecs u32 | payload cksum u32 | header cksum u32 (over
+   [0,28)) *)
+let encode_entry_header ~seq ~kind ~payload_len ~nrecs ~pck =
+  let b = Bytes.make entry_hdr '\000' in
+  put_u32 b 0 entry_magic;
+  put_u64 b 4 seq;
+  Bytes.set b 12 (Char.chr kind);
+  put_u32 b 16 payload_len;
+  put_u32 b 20 nrecs;
+  put_u32 b 24 pck;
+  put_u32 b 28 (fnv1a b 0 28);
+  b
+
+type stats = {
+  mutable commits : int;
+  mutable commit_records : int;
+  mutable log_bytes : int;
+  mutable wraps : int;
+  mutable checkpoints : int;
+}
+
+type t = {
+  dev : Disk.Blkdev.t;
+  off_bytes : int;  (* region start on the device *)
+  data_bytes : int;  (* capacity of the circular data area *)
+  mutable head_off : int;  (* durable: oldest live entry *)
+  mutable head_seq : int;
+  mutable tail_off : int;  (* next append position *)
+  mutable next_seq : int;
+  mutable used_bytes : int;
+  mutable open_recs : bytes list;  (* reversed *)
+  mutable open_nrecs : int;
+  mutable open_bytes : int;  (* payload bytes of the open txn *)
+  stats : stats;
+}
+
+let mk_stats () =
+  { commits = 0; commit_records = 0; log_bytes = 0; wraps = 0; checkpoints = 0 }
+
+let data_of_len len_bytes =
+  let d = len_bytes - header_reserved in
+  if d < 4 * sector then invalid_arg "Jrnl: region too small";
+  d / sector * sector
+
+let format store ~off_bytes ~len_bytes =
+  let data_bytes = data_of_len len_bytes in
+  let h = encode_header ~data_bytes ~head_off:0 ~head_seq:1 in
+  Disk.Store.write store ~off:off_bytes ~len:header_reserved h 0;
+  (* poison the first entry slot so a stale entry from a previous log
+     generation cannot masquerade as seq 1 *)
+  let z = Bytes.make sector '\000' in
+  Disk.Store.write store ~off:(off_bytes + header_reserved) ~len:sector z 0
+
+let free_bytes t = t.data_bytes - t.used_bytes
+let capacity_bytes t = t.data_bytes
+let stats t = t.stats
+let pending t = t.open_nrecs > 0
+let pending_bytes t = t.open_bytes + (4 * t.open_nrecs)
+
+(* --- scanning ---
+
+   [mk_reader] wraps a byte-range fetch in a one-block cache and counts
+   distinct 8 KB block fetches; both the mount-time tail search and the
+   recovery replay go through it, so "blocks read" in the report is the
+   honest I/O count. *)
+
+let scan_block = 8192
+
+type reader = {
+  fetch : int -> int -> bytes -> unit;  (* off len dst: region-relative *)
+  mutable cached : int;  (* block index, -1 = none *)
+  buf : bytes;
+  mutable nread : int;
+  region_len : int;
+}
+
+let mk_reader ~region_len fetch =
+  { fetch; cached = -1; buf = Bytes.create scan_block; nread = 0; region_len }
+
+let reader_get r ~off ~len dst dst_off =
+  let pos = ref off and d = ref dst_off and remaining = ref len in
+  while !remaining > 0 do
+    let bi = !pos / scan_block in
+    let boff = !pos mod scan_block in
+    let n = min !remaining (scan_block - boff) in
+    if r.cached <> bi then begin
+      let blen = min scan_block (r.region_len - (bi * scan_block)) in
+      Bytes.fill r.buf 0 scan_block '\000';
+      r.fetch (bi * scan_block) blen r.buf;
+      r.cached <- bi;
+      r.nread <- r.nread + 1
+    end;
+    Bytes.blit r.buf boff dst !d n;
+    pos := !pos + n;
+    d := !d + n;
+    remaining := !remaining - n
+  done
+
+type report = {
+  entries : int;
+  records : int;
+  payload_bytes : int;
+  blocks_read : int;
+  torn : bool;
+  head_seq : int;
+}
+
+(* Walk the log from the durable head.  Returns the report plus the
+   writer-side resume state (tail offset, next seq, used bytes) so
+   [attach] can reuse the same walk. *)
+let scan_reader r ~on_record =
+  let hb = Bytes.create header_reserved in
+  reader_get r ~off:0 ~len:header_reserved hb 0;
+  let data_bytes, head_off, head_seq = decode_header hb in
+  let pos = ref head_off and seq = ref head_seq in
+  let entries = ref 0 and records = ref 0 and payload = ref 0 in
+  let used = ref 0 and torn = ref false and stop = ref false in
+  let eh = Bytes.create entry_hdr in
+  while not !stop do
+    if !used >= data_bytes then stop := true (* full circle *)
+    else begin
+      let remaining = data_bytes - !pos in
+      if remaining < entry_hdr then begin
+        (* implicit wrap: too little room even for a header *)
+        used := !used + remaining;
+        pos := 0
+      end
+      else begin
+        reader_get r ~off:(header_reserved + !pos) ~len:entry_hdr eh 0;
+        let ok =
+          get_u32 eh 0 = entry_magic
+          && get_u32 eh 28 = fnv1a eh 0 28
+          && get_u64 eh 4 = !seq
+        in
+        if not ok then begin
+          torn := get_u32 eh 0 = entry_magic;
+          stop := true
+        end
+        else
+          let kind = Char.code (Bytes.get eh 12) in
+          if kind = kind_wrap then begin
+            used := !used + remaining;
+            pos := 0;
+            incr seq
+          end
+          else begin
+            let plen = get_u32 eh 16 in
+            let nrecs = get_u32 eh 20 in
+            if plen > remaining - entry_hdr then begin
+              torn := true;
+              stop := true
+            end
+            else begin
+              let pb = Bytes.create plen in
+              reader_get r ~off:(header_reserved + !pos + entry_hdr) ~len:plen
+                pb 0;
+              if fnv1a pb 0 plen <> get_u32 eh 24 then begin
+                torn := true;
+                stop := true
+              end
+              else begin
+                let o = ref 0 in
+                for _ = 1 to nrecs do
+                  let rl = get_u32 pb !o in
+                  on_record (Bytes.sub pb (!o + 4) rl);
+                  o := !o + 4 + rl
+                done;
+                incr entries;
+                records := !records + nrecs;
+                payload := !payload + plen;
+                let esz = pad_up (entry_hdr + plen) in
+                used := !used + esz;
+                pos := !pos + esz;
+                if !pos = data_bytes then pos := 0;
+                incr seq
+              end
+            end
+          end
+      end
+    end
+  done;
+  ( {
+      entries = !entries;
+      records = !records;
+      payload_bytes = !payload;
+      blocks_read = r.nread;
+      torn = !torn;
+      head_seq;
+    },
+    (head_off, head_seq, !pos, !seq, !used) )
+
+let store_fetch store ~off_bytes ~len_bytes =
+  fun off len dst ->
+  if off + len <= len_bytes then
+    Disk.Store.read store ~off:(off_bytes + off) ~len dst 0
+
+let blkdev_fetch dev ~off_bytes ~len_bytes =
+  let sb = Disk.Blkdev.sector_bytes dev in
+  fun off len dst ->
+    if off + len <= len_bytes then begin
+      (* region start is sector-aligned by construction *)
+      assert ((off_bytes + off) mod sb = 0);
+      let count = (len + sb - 1) / sb in
+      let buf = Bytes.create (count * sb) in
+      Disk.Blkdev.read_sync dev
+        ~sector:((off_bytes + off) / sb)
+        ~count ~buf ~buf_off:0;
+      Bytes.blit buf 0 dst 0 len
+    end
+
+let scan_store store ~off_bytes ~len_bytes ~on_record =
+  let r =
+    mk_reader ~region_len:len_bytes (store_fetch store ~off_bytes ~len_bytes)
+  in
+  fst (scan_reader r ~on_record)
+
+let scan_blkdev dev ~off_bytes ~len_bytes ~on_record =
+  let r =
+    mk_reader ~region_len:len_bytes (blkdev_fetch dev ~off_bytes ~len_bytes)
+  in
+  fst (scan_reader r ~on_record)
+
+(* --- writer --- *)
+
+(* Attach scans untimed, straight off the backing store: mount runs
+   outside any simulated process (no context to sleep in), and on a
+   clean image the log is empty anyway. *)
+let attach dev ~off_bytes ~len_bytes =
+  let store = Disk.Blkdev.store dev in
+  let r =
+    mk_reader ~region_len:len_bytes (store_fetch store ~off_bytes ~len_bytes)
+  in
+  let _, (head_off, head_seq, tail_off, next_seq, used) =
+    scan_reader r ~on_record:(fun _ -> ())
+  in
+  {
+    dev;
+    off_bytes;
+    data_bytes = data_of_len len_bytes;
+    head_off;
+    head_seq;
+    tail_off;
+    next_seq;
+    used_bytes = used;
+    open_recs = [];
+    open_nrecs = 0;
+    open_bytes = 0;
+    stats = mk_stats ();
+  }
+
+let append t rec_ =
+  t.open_recs <- rec_ :: t.open_recs;
+  t.open_nrecs <- t.open_nrecs + 1;
+  t.open_bytes <- t.open_bytes + Bytes.length rec_
+
+let write_bytes t ~off b =
+  (* [off] is data-area-relative and sector-aligned *)
+  let abs = t.off_bytes + header_reserved + off in
+  assert (abs mod sector = 0);
+  let len = Bytes.length b in
+  assert (len mod sector = 0);
+  Disk.Blkdev.write_sync t.dev ~sector:(abs / sector) ~count:(len / sector)
+    ~buf:b ~buf_off:0
+
+let write_header t =
+  let h =
+    encode_header ~data_bytes:t.data_bytes ~head_off:t.head_off
+      ~head_seq:t.head_seq
+  in
+  assert (t.off_bytes mod sector = 0);
+  Disk.Blkdev.write_sync t.dev ~sector:(t.off_bytes / sector)
+    ~count:(header_reserved / sector) ~buf:h ~buf_off:0
+
+let commit t =
+  if t.open_nrecs > 0 then begin
+    let plen = pending_bytes t in
+    let esz = pad_up (entry_hdr + plen) in
+    if esz > t.data_bytes - t.used_bytes then
+      raise
+        (Full
+           (Printf.sprintf "Jrnl: entry %d B > free %d B" esz
+              (t.data_bytes - t.used_bytes)));
+    let remaining = t.data_bytes - t.tail_off in
+    let wrap = esz > remaining in
+    if wrap && esz > t.data_bytes - t.used_bytes - remaining then
+      raise (Full "Jrnl: entry does not fit after wrap");
+    (* Snapshot and reset the open transaction, and reserve log space,
+       BEFORE the (sleeping) writes: records appended by other
+       processes while the commit I/O is in flight belong to the next
+       transaction, not to this entry.  Callers serialise commits, so
+       reserving up front also keeps entries in sequence order. *)
+    let recs = List.rev t.open_recs and nrecs = t.open_nrecs in
+    t.open_recs <- [];
+    t.open_nrecs <- 0;
+    t.open_bytes <- 0;
+    let wrap_off = t.tail_off and wrap_seq = t.next_seq in
+    let wrap_marker = wrap && remaining >= entry_hdr in
+    if wrap then begin
+      if wrap_marker then begin
+        t.next_seq <- t.next_seq + 1;
+        t.stats.wraps <- t.stats.wraps + 1
+      end;
+      t.used_bytes <- t.used_bytes + remaining;
+      t.tail_off <- 0
+    end;
+    let entry_off = t.tail_off and entry_seq = t.next_seq in
+    t.tail_off <- t.tail_off + esz;
+    if t.tail_off = t.data_bytes then t.tail_off <- 0;
+    t.used_bytes <- t.used_bytes + esz;
+    t.next_seq <- t.next_seq + 1;
+    t.stats.commits <- t.stats.commits + 1;
+    t.stats.commit_records <- t.stats.commit_records + nrecs;
+    t.stats.log_bytes <- t.stats.log_bytes + esz;
+    let payload = Bytes.create plen in
+    let o = ref 0 in
+    List.iter
+      (fun r ->
+        put_u32 payload !o (Bytes.length r);
+        Bytes.blit r 0 payload (!o + 4) (Bytes.length r);
+        o := !o + 4 + Bytes.length r)
+      recs;
+    let eh =
+      encode_entry_header ~seq:entry_seq ~kind:kind_txn ~payload_len:plen
+        ~nrecs ~pck:(fnv1a payload 0 plen)
+    in
+    let b = Bytes.make esz '\000' in
+    Bytes.blit eh 0 b 0 entry_hdr;
+    Bytes.blit payload 0 b entry_hdr plen;
+    if wrap_marker then begin
+      let wh =
+        encode_entry_header ~seq:wrap_seq ~kind:kind_wrap ~payload_len:0
+          ~nrecs:0 ~pck:0
+      in
+      let wb = Bytes.make sector '\000' in
+      Bytes.blit wh 0 wb 0 entry_hdr;
+      write_bytes t ~off:wrap_off wb
+    end;
+    write_bytes t ~off:entry_off b
+  end
+
+let reset_blkdev dev ~off_bytes ~len_bytes =
+  let data_bytes = data_of_len len_bytes in
+  let h = encode_header ~data_bytes ~head_off:0 ~head_seq:1 in
+  assert (off_bytes mod sector = 0);
+  Disk.Blkdev.write_sync dev ~sector:(off_bytes / sector)
+    ~count:(header_reserved / sector) ~buf:h ~buf_off:0;
+  let z = Bytes.make sector '\000' in
+  Disk.Blkdev.write_sync dev
+    ~sector:((off_bytes + header_reserved) / sector)
+    ~count:1 ~buf:z ~buf_off:0
+
+let checkpoint t =
+  if t.head_off <> t.tail_off || t.head_seq <> t.next_seq then begin
+    t.head_off <- t.tail_off;
+    t.head_seq <- t.next_seq;
+    t.used_bytes <- 0;
+    write_header t;
+    t.stats.checkpoints <- t.stats.checkpoints + 1
+  end
+
+let register_metrics t m ~instance =
+  Sim.Metrics.register m ~layer:"jrnl" ~instance (fun () ->
+      [
+        ("commits", Sim.Metrics.Int t.stats.commits);
+        ("commit_records", Sim.Metrics.Int t.stats.commit_records);
+        ("log_bytes", Sim.Metrics.Int t.stats.log_bytes);
+        ("wraps", Sim.Metrics.Int t.stats.wraps);
+        ("checkpoints", Sim.Metrics.Int t.stats.checkpoints);
+        ("free_bytes", Sim.Metrics.Int (free_bytes t));
+        ("pending_records", Sim.Metrics.Int t.open_nrecs);
+      ])

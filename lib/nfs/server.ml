@@ -21,7 +21,9 @@ type item = {
 type t = {
   engine : Sim.Engine.t;
   cpu : Sim.Cpu.t;
-  fs : Ufs.Types.fs;
+  mutable fs : Ufs.Types.fs;  (* replaced by restart after a crash *)
+  mutable down : bool;
+  mutable restarts : int;
   nfsd : int;
   queue : item Queue.t;
   work : Sim.Condition.t;
@@ -169,6 +171,8 @@ let worker t () =
       Sim.Condition.wait t.work
     done;
     let it = Queue.pop t.queue in
+    if t.down then () (* queue drained at crash; drop stragglers *)
+    else
     let dq = Sim.Engine.now t.engine in
     Sim.Stats.Summary.add t.st.queue_wait_us (float_of_int (dq - it.arrived));
     Sim.Cpu.charge t.cpu ~label:"nfsd" svc_overhead;
@@ -210,19 +214,31 @@ let worker t () =
         Sim.Stats.Summary.add
           (Hashtbl.find t.op_service op)
           (float_of_int (Sim.Engine.now t.engine - t0));
-        if ni then dup_store t key reply;
-        let disk = Sim.Attrib.read clk in
-        let cpu =
-          max 0 (Sim.Engine.now t.engine - dq - Sim.Attrib.total clk)
-        in
-        send_reply t it
-          ~cost:(base_cost @ disk @ [ ("nfsd.cpu", cpu) ])
-          ~spans reply
+        (* the server may have died while this nfsd slept on disk: the
+           op's effects (if its writes beat the power cut) are on the
+           platter, but the reply — and, after reboot, the dup-cache
+           entry that would have suppressed the retransmit — are lost.
+           This is exactly NFSv2's non-idempotent replay window. *)
+        if t.down then ()
+        else begin
+          if ni then dup_store t key reply;
+          let disk = Sim.Attrib.read clk in
+          let cpu =
+            max 0 (Sim.Engine.now t.engine - dq - Sim.Attrib.total clk)
+          in
+          send_reply t it
+            ~cost:(base_cost @ disk @ [ ("nfsd.cpu", cpu) ])
+            ~spans reply
+        end
   done
 
 let dispatcher t ep () =
   while true do
     match Net.recv ep with
+    | Proto.Call _ when t.down ->
+        (* dead server: the datagram vanishes; the client's RPC layer
+           times out and retransmits until the reboot answers *)
+        ()
     | Proto.Call { xid; client; call; sent; span } ->
         t.st.received <- t.st.received + 1;
         Queue.push
@@ -248,6 +264,8 @@ let create engine ~cpu ~fs ?(nfsd = 4) ?dup_cache_size ~endpoints () =
       engine;
       cpu;
       fs;
+      down = false;
+      restarts = 0;
       nfsd;
       queue = Queue.create ();
       work = Sim.Condition.create engine "nfsd.work";
@@ -283,6 +301,30 @@ let create engine ~cpu ~fs ?(nfsd = 4) ?dup_cache_size ~endpoints () =
   done;
   t
 
+(* ---------- crash / restart ---------- *)
+
+let crash t =
+  t.down <- true;
+  (* volatile server state dies with the power: queued calls, the
+     handle table (its inode references belong to the dead fs instance)
+     — and, critically, nothing here touches the dup cache yet: it dies
+     at restart, modelling that the REBOOTED server has no memory of
+     what it applied before the crash *)
+  Queue.clear t.queue;
+  Hashtbl.reset t.fh_inode;
+  Hashtbl.reset t.fh_path
+
+let restart t ~fs =
+  if not t.down then invalid_arg "Nfs.Server.restart: server is not down";
+  t.fs <- fs;
+  Hashtbl.reset t.dup;
+  Queue.clear t.dup_order;
+  t.restarts <- t.restarts + 1;
+  t.down <- false
+
+let is_down t = t.down
+let restarts t = t.restarts
+
 let applied t op =
   match Hashtbl.find_opt t.op_applied op with Some r -> !r | None -> 0
 
@@ -307,6 +349,7 @@ let register_metrics t reg ~instance =
       [
         ("received", Sim.Metrics.Int t.st.received);
         ("nfsd", Sim.Metrics.Int t.nfsd);
+        ("restarts", Sim.Metrics.Int t.restarts);
         ("dup_cache_hits", Sim.Metrics.Int t.st.dup_hits);
         ("dup_busy_drops", Sim.Metrics.Int t.st.dup_busy_drops);
         ("dup_evictions", Sim.Metrics.Int t.st.dup_evictions);

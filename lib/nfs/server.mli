@@ -37,6 +37,26 @@ val create :
 val root_fh : Proto.fh
 (** The exported root directory. *)
 
+val crash : t -> unit
+(** Power-fail the server {e process}: incoming calls are dropped on
+    the floor (clients see a dead wire and retransmit), the request
+    queue and the file-handle table vanish.  Replies for calls already
+    executing are suppressed — their effects may be on disk, but the
+    client never hears so.  The dup cache is volatile too: it is reset
+    by {!restart}, which is what opens NFSv2's non-idempotent replay
+    window across a reboot.  Pair with a disk-level crash
+    ({!Disk.Blkdev.crash_cut}) for a whole-machine power cut. *)
+
+val restart : t -> fs:Ufs.Types.fs -> unit
+(** Bring the server back up over a freshly recovered and remounted
+    file system, with an {e empty} dup cache.  Raises [Invalid_argument]
+    unless {!crash} came first. *)
+
+val is_down : t -> bool
+
+val restarts : t -> int
+(** Completed crash/restart cycles. *)
+
 val applied : t -> string -> int
 (** How many times an op ({!Proto.op_name}) was actually {e executed}
     against the file system — the duplicate-apply detector: with the

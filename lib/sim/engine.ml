@@ -71,14 +71,16 @@ let cancelled h = h.cb = None
 (* Run [f] as a process: effects performed by [f] are interpreted here.
    A [Suspend register] effect hands the continuation, wrapped as a
    plain thunk, to [register]; resuming the thunk re-enters the handler.
-   Each process also owns one attribution-clock slot ([Attrib]) and one
-   current-span slot ([Span]): the handler closure holds them, so they
-   survive suspensions and are invisible to every other process. *)
+   Each process also owns one attribution-clock slot ([Attrib]), one
+   current-span slot ([Span]) and one fiber-local value slot ([Fls]):
+   the handler closure holds them, so they survive suspensions and are
+   invisible to every other process. *)
 let spawn t ?name f =
   let name = Option.value name ~default:"process" in
   t.spawned <- t.spawned + 1;
   let clock : Attrib.clock option ref = ref None in
   let span : Span.t option ref = ref None in
+  let fls : int option ref = ref None in
   let body () =
     match_with f ()
       {
@@ -117,6 +119,13 @@ let spawn t ?name f =
                 Some
                   (fun (k : (a, _) continuation) ->
                     span := s;
+                    continue k ())
+            | Fls.Get_slot ->
+                Some (fun (k : (a, _) continuation) -> continue k !fls)
+            | Fls.Set_slot v ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    fls := v;
                     continue k ())
             | _ -> None);
       }

@@ -1,0 +1,14 @@
+type _ Effect.t +=
+  | Get_slot : int option Effect.t
+  | Set_slot : int option -> unit Effect.t
+
+(* Outside a spawned process nothing handles these effects; the slot
+   then reads as empty rather than erroring, so code paths shared with
+   setup code (mkfs, mount) need no special casing. *)
+let get () = try Effect.perform Get_slot with Effect.Unhandled _ -> None
+let set v = try Effect.perform (Set_slot v) with Effect.Unhandled _ -> ()
+
+let with_value v f =
+  let prev = get () in
+  set (Some v);
+  Fun.protect ~finally:(fun () -> set prev) f

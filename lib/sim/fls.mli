@@ -1,0 +1,26 @@
+(** One fiber-local integer slot per simulated process.
+
+    Each process spawned by {!Engine.spawn} owns a private slot that
+    survives suspensions and is invisible to every other process — the
+    same effect-handler mechanism as {!Attrib} and {!Span}.  Users store
+    a key (an operation id, a transaction handle index) and look their
+    state up in a side table; the engine itself neither knows nor cares
+    what the value means.
+
+    Outside a process the slot reads as [None] and writes are dropped,
+    so setup code that runs before the simulation starts can share code
+    paths with process bodies. *)
+
+type _ Effect.t +=
+  | Get_slot : int option Effect.t
+  | Set_slot : int option -> unit Effect.t
+
+val get : unit -> int option
+(** Current process's slot value; [None] outside a process. *)
+
+val set : int option -> unit
+(** Store into the current process's slot; no-op outside a process. *)
+
+val with_value : int -> (unit -> 'a) -> 'a
+(** Run with the slot set, restoring the previous value on exit (even
+    by exception). *)

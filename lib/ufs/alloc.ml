@@ -51,14 +51,17 @@ let take_frags fs cg ~frag ~n =
       for i = 0 to n - 1 do
         assert (Cg.frag_free cg fs.sb (frag + i));
         Cg.set_frag cg fs.sb (frag + i) ~free:false
-      done)
+      done);
+  Wal.log_frag_alloc fs ~frag ~n
 
 let release_frags fs cg ~frag ~n =
   with_block_counts fs cg (block_base_of frag) (fun () ->
       for i = 0 to n - 1 do
         assert (not (Cg.frag_free cg fs.sb (frag + i)));
         Cg.set_frag cg fs.sb (frag + i) ~free:true
-      done)
+      done);
+  (* also pins the fragments until the free record commits *)
+  Wal.log_frag_free fs ~frag ~n
 
 (* ---------- placement policy ---------- *)
 
@@ -150,7 +153,10 @@ let scan_own_resv (fs : fs) (ip : inode) =
       let cg = fs.cgs.(Superblock.cg_of_frag sb next) in
       let rec loop f =
         if f + Layout.fpb > limit then None
-        else if data_range_ok fs cg f Layout.fpb && Cg.block_free cg sb f
+        else if
+          data_range_ok fs cg f Layout.fpb
+          && Cg.block_free cg sb f
+          && not (Wal.span_pinned fs ~frag:f ~n:Layout.fpb)
         then Some (cg, f)
         else loop (f + Layout.fpb)
       in
@@ -174,7 +180,11 @@ let scan_cg_for_block (fs : fs) (cg : Cg.t) ~avoid =
       if i = nblocks then None
       else
         let b = lo + (((start_blk + i) mod nblocks) * Layout.fpb) in
-        if Cg.block_free cg sb b && not (avoid b) then Some b
+        if
+          Cg.block_free cg sb b
+          && (not (avoid b))
+          && not (Wal.span_pinned fs ~frag:b ~n:Layout.fpb)
+        then Some b
         else loop (i + 1)
     in
     loop 0
@@ -205,11 +215,14 @@ let alloc_block (fs : fs) (ip : inode) ~pref =
           if c >= sb.Superblock.ncg then None
           else
             let cg = fs.cgs.(c) in
-            if data_range_ok fs cg base Layout.fpb && Cg.block_free cg sb base
+            if
+              data_range_ok fs cg base Layout.fpb
+              && Cg.block_free cg sb base
+              && not (Wal.span_pinned fs ~frag:base ~n:Layout.fpb)
             then Some (cg, base)
             else None
       in
-      let found =
+      let search () =
         match try_exact () with
         | Some r -> Some r
         | None -> (
@@ -245,6 +258,14 @@ let alloc_block (fs : fs) (ip : inode) ~pref =
                 | Some r -> Some r
                 | None -> scan ~respect:false))
       in
+      let found =
+        match search () with
+        | Some r -> Some r
+        | None ->
+            (* every candidate may be pinned behind an uncommitted free
+               record: commit to release the pins, then rescan once *)
+            if Wal.unpin_commit fs then search () else None
+      in
       match found with
       | Some (cg, frag) ->
           let frag = do_take_block fs cg ip frag in
@@ -268,7 +289,8 @@ let scan_cg_for_frags (fs : fs) (cg : Cg.t) ~n ~want_partial =
         (* longest-fit within the block: find a run of >= n free bits *)
         let rec find i run start =
           if i = Layout.fpb then if run >= n then Some (base + start) else None
-          else if Cg.frag_free cg sb (base + i) then
+          else if Cg.frag_free cg sb (base + i) && not (Wal.pinned fs (base + i))
+          then
             let start = if run = 0 then i else start in
             let run = run + 1 in
             if run >= n then Some (base + start) else find (i + 1) run start
@@ -298,16 +320,23 @@ let alloc_frags (fs : fs) (ip : inode) ~pref ~nfrags =
       in
       let ncg = sb.Superblock.ncg in
       let rec loop i want_partial =
-        if i = ncg then
-          if want_partial then loop 0 false
-          else Vfs.Errno.raise_err Vfs.Errno.ENOSPC "alloc_frags: no space"
+        if i = ncg then if want_partial then loop 0 false else None
         else
           let c = (start_cg + i) mod ncg in
           match scan_cg_for_frags fs fs.cgs.(c) ~n:nfrags ~want_partial with
-          | Some f -> (fs.cgs.(c), f)
+          | Some f -> Some (fs.cgs.(c), f)
           | None -> loop (i + 1) want_partial
       in
-      let cg, frag = loop 0 true in
+      let cg, frag =
+        match loop 0 true with
+        | Some r -> r
+        | None -> (
+            (* candidates may be pinned behind uncommitted free records *)
+            match if Wal.unpin_commit fs then loop 0 true else None with
+            | Some r -> r
+            | None ->
+                Vfs.Errno.raise_err Vfs.Errno.ENOSPC "alloc_frags: no space")
+      in
       take_frags fs cg ~frag ~n:nfrags;
       ip.blocks <- ip.blocks + nfrags;
       fs.stats.frag_allocs <- fs.stats.frag_allocs + 1;
@@ -326,7 +355,9 @@ let extend_frags (fs : fs) (ip : inode) ~frag ~old_n ~new_n =
           let cg = fs.cgs.(Superblock.cg_of_frag fs.sb frag) in
           let rec all_free i =
             i = new_n
-            || (Cg.frag_free cg fs.sb (frag + i) && all_free (i + 1))
+            || Cg.frag_free cg fs.sb (frag + i)
+               && (not (Wal.pinned fs (frag + i)))
+               && all_free (i + 1)
           in
           if all_free old_n then begin
             take_frags fs cg ~frag:(frag + old_n) ~n:grow;
@@ -399,7 +430,10 @@ let alloc_inode (fs : fs) ~dir_hint ~kind =
         cg.Cg.ndirs <- cg.Cg.ndirs + 1;
         sb.Superblock.ndir <- sb.Superblock.ndir + 1
       end;
-      (c * sb.Superblock.ipg) + idx)
+      let inum = (c * sb.Superblock.ipg) + idx in
+      Wal.log_inode_alloc fs ~inum ~dir:(kind = Dinode.Dir);
+      if kind = Dinode.Dir then Wal.log_cg_ndirs fs ~cgx:c ~value:cg.Cg.ndirs;
+      inum)
 
 let free_inode (fs : fs) inum =
   Sim.Mutex.with_lock fs.alloc_lock (fun () ->
@@ -411,7 +445,8 @@ let free_inode (fs : fs) inum =
         invalid_arg "Alloc.free_inode: already free";
       Cg.set_inode cg idx ~free:true;
       cg.Cg.nifree <- cg.Cg.nifree + 1;
-      sb.Superblock.nifree <- sb.Superblock.nifree + 1)
+      sb.Superblock.nifree <- sb.Superblock.nifree + 1;
+      Wal.log_inode_free fs ~inum)
 
 let check_counts (fs : fs) =
   let problems = ref [] in

@@ -17,7 +17,9 @@ let ind_get fs frag i = Codec.get_u32 (Metabuf.read fs.metabuf ~frag) (4 * i)
 
 let ind_set fs frag i v =
   Codec.put_u32 (Metabuf.read fs.metabuf ~frag) (4 * i) v;
-  Metabuf.mark_dirty fs.metabuf ~frag
+  Metabuf.mark_dirty fs.metabuf ~frag;
+  Wal.log_ind_set fs ~frag ~index:i ~value:v;
+  Wal.mark_meta fs ~frag
 
 (* Pointer for [lbn], plus a function giving the pointer of [lbn + k]
    within the same structure (None past the boundary) — used by the
@@ -132,6 +134,8 @@ let ensure_indirect fs (ip : inode) lbn =
           Alloc.alloc_block fs ip ~pref:(Alloc.blkpref fs ip ~lbn ~prev_frag:0)
         in
         ignore (Metabuf.zero fs.metabuf ~frag:f);
+        Wal.log_ind_zero fs ~frag:f;
+        Wal.mark_meta fs ~frag:f;
         ip.ib.(0) <- f;
         ip.meta_dirty <- true
       end;
@@ -142,6 +146,8 @@ let ensure_indirect fs (ip : inode) lbn =
           Alloc.alloc_block fs ip ~pref:(Alloc.blkpref fs ip ~lbn ~prev_frag:0)
         in
         ignore (Metabuf.zero fs.metabuf ~frag:f);
+        Wal.log_ind_zero fs ~frag:f;
+        Wal.mark_meta fs ~frag:f;
         ip.ib.(1) <- f;
         ip.meta_dirty <- true
       end;
@@ -154,6 +160,8 @@ let ensure_indirect fs (ip : inode) lbn =
               ~pref:(Alloc.blkpref fs ip ~lbn ~prev_frag:0)
           in
           ignore (Metabuf.zero fs.metabuf ~frag:f);
+          Wal.log_ind_zero fs ~frag:f;
+          Wal.mark_meta fs ~frag:f;
           ind_set fs ip.ib.(1) i f;
           f
         end
@@ -166,11 +174,31 @@ let prev_frag_of fs ip lbn =
     let get = lookup fs ip (lbn - 1) in
     match get 0 with Some p -> p | None -> 0
 
+(* Journalled mounts advance [ip.size] as soon as the allocation covers
+   it: the inode image is encoded at op end, and an image claiming more
+   fragments than its size justifies (or vice versa) is an fsck error.
+   The data for the gap arrives immediately after (the caller is mid
+   write); without a journal the size moves only after the copyin, as
+   before. *)
+let note_growth (fs : fs) (ip : inode) ~new_size =
+  if Wal.journaled fs then begin
+    Wal.note fs ip;
+    if new_size > ip.size then begin
+      ip.size <- new_size;
+      ip.meta_dirty <- true
+    end
+  end
+
 let ensure (fs : fs) (ip : inode) ~lbn ~new_size =
   if new_size < ip.size then invalid_arg "Bmap.ensure: shrinking";
+  Wal.with_op fs ~commit:false @@ fun () ->
   charge fs ~label:"bmap" fs.costs.Costs.bmap;
   invalidate_cache ip;
   let want = block_frags ip ~lbn ~size:new_size in
+  let finish f =
+    note_growth fs ip ~new_size;
+    f
+  in
   match Layout.classify lbn with
   | Layout.Direct i ->
       let cur = ip.db.(i) in
@@ -184,7 +212,7 @@ let ensure (fs : fs) (ip : inode) ~lbn ~new_size =
         in
         ip.db.(i) <- f;
         ip.meta_dirty <- true;
-        f
+        finish f
       end
       else begin
         let old_n = block_frags ip ~lbn ~size:ip.size in
@@ -192,21 +220,21 @@ let ensure (fs : fs) (ip : inode) ~lbn ~new_size =
           let f = grow_run fs ip ~frag:cur ~old_n ~want in
           ip.db.(i) <- f;
           ip.meta_dirty <- true;
-          f
+          finish f
         end
-        else cur
+        else finish cur
       end
   | Layout.Single _ | Layout.Double _ ->
       let ind, idx = ensure_indirect fs ip lbn in
       let cur = ind_get fs ind idx in
-      if cur <> 0 then cur
+      if cur <> 0 then finish cur
       else begin
         let pref =
           Alloc.blkpref fs ip ~lbn ~prev_frag:(prev_frag_of fs ip lbn)
         in
         let f = Alloc.alloc_block fs ip ~pref in
         ind_set fs ind idx f;
-        f
+        finish f
       end
 
 let grow_old_tail (fs : fs) (ip : inode) ~new_size =
@@ -216,17 +244,18 @@ let grow_old_tail (fs : fs) (ip : inode) ~new_size =
     if old_n < Layout.fpb then begin
       (* under new_size, how many frags does that same block need? *)
       let want = block_frags ip ~lbn:tail_lbn ~size:new_size in
-      if want > old_n then begin
-        match Layout.classify tail_lbn with
-        | Layout.Direct i ->
-            let f = grow_run fs ip ~frag:ip.db.(i) ~old_n ~want in
-            ip.db.(i) <- f;
-            ip.meta_dirty <- true;
-            invalidate_cache ip
-        | Layout.Single _ | Layout.Double _ ->
-            (* fragged tails only exist in the direct range *)
-            assert false
-      end
+      if want > old_n then
+        Wal.with_op fs ~commit:false (fun () ->
+            match Layout.classify tail_lbn with
+            | Layout.Direct i ->
+                let f = grow_run fs ip ~frag:ip.db.(i) ~old_n ~want in
+                ip.db.(i) <- f;
+                ip.meta_dirty <- true;
+                invalidate_cache ip;
+                note_growth fs ip ~new_size
+            | Layout.Single _ | Layout.Double _ ->
+                (* fragged tails only exist in the direct range *)
+                assert false)
     end
   end
 

@@ -64,12 +64,24 @@ let write_entry fs (ip : inode) ~off ~inum ~name =
   Bytes.blit_string name 0 buf 5 (String.length name);
   write_at fs ip ~off ~len:entry_size ~buf;
   let po = off - (off mod Layout.bsize) in
-  let flags =
-    if fs.feat.ordered_metadata then [ Vfs.Vnode.P_ASYNC; Vfs.Vnode.P_ORDER ]
-    else [ Vfs.Vnode.P_SYNC ]
-  in
-  Putpage.putpage fs ip ~off:po ~len:Layout.bsize ~flags;
-  Iops.iupdat fs ip ~sync:true
+  if Wal.journaled fs then begin
+    (* The dirty page stays in memory until the enclosing operation's
+       transaction commits: the slot travels in the log, and the page
+       push is deferred to op end (putpage/pageout skip active inodes).
+       write_at runs first so a slot landing in a freshly grown block
+       has its allocation in the same operation. *)
+    Wal.log_dir_entry fs ~dinum:ip.inum ~off ~slot:buf;
+    Iops.iupdat fs ip ~sync:true;
+    Wal.defer_push fs ip ~off:po
+  end
+  else begin
+    let flags =
+      if fs.feat.ordered_metadata then [ Vfs.Vnode.P_ASYNC; Vfs.Vnode.P_ORDER ]
+      else [ Vfs.Vnode.P_SYNC ]
+    in
+    Putpage.putpage fs ip ~off:po ~len:Layout.bsize ~flags;
+    Iops.iupdat fs ip ~sync:true
+  end
 
 let enter fs ip ~name ~inum =
   check_name name;

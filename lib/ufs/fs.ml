@@ -7,6 +7,7 @@ type mkfs_options = {
   minfree_pct : int;
   fpg : int;
   ipg : int;
+  journal_frags : int;
 }
 
 let mkfs_defaults =
@@ -17,7 +18,10 @@ let mkfs_defaults =
     minfree_pct = 10;
     fpg = 16384;
     ipg = 2048;
+    journal_frags = 0;
   }
+
+let journal_frags_default = 1024 (* 1 MB *)
 
 (* ---------- mkfs ---------- *)
 
@@ -51,6 +55,23 @@ let mkfs dev ?(opts = mkfs_defaults) () =
         Cg.set_frag cg sb f ~free:true
       done)
     cgs;
+  (* intent-journal region: carved from the tail of the last group's
+     data area and marked allocated, so no file ever lands there *)
+  if opts.journal_frags > 0 then begin
+    let last = ncg - 1 in
+    let jend = Cg.cg_end sb last in
+    let jstart = jend - opts.journal_frags in
+    if jstart < Cg.data_begin sb last then
+      invalid_arg "mkfs: journal larger than the last group's data area";
+    for f = jstart to jend - 1 do
+      Cg.set_frag cgs.(last) sb f ~free:false
+    done;
+    sb.Superblock.jstart <- jstart;
+    sb.Superblock.jfrags <- opts.journal_frags;
+    Jrnl.format st
+      ~off_bytes:(Layout.frag_to_byte jstart)
+      ~len_bytes:(opts.journal_frags * Layout.fsize)
+  end;
   (* root directory: one fragment of data at the head of cg0 *)
   let root_frag = Cg.data_begin sb 0 in
   Cg.set_frag cgs.(0) sb root_frag ~free:false;
@@ -111,38 +132,6 @@ let read_store_block st ~frag =
   Disk.Store.read st ~off:(Layout.frag_to_byte frag) ~len:Layout.bsize b 0;
   b
 
-let mount engine cpu pool dev ~features ?(costs = Costs.default) () =
-  let st = Disk.Blkdev.store dev in
-  let sb = Superblock.decode (read_store_block st ~frag:Layout.sb_frag) in
-  if not sb.Superblock.clean then
-    Vfs.Errno.raise_err Vfs.Errno.EINVAL "mount: file system not clean";
-  (* mark the on-disk superblock unclean for the duration of the mount,
-     as the real UFS does: only a successful unmount clears it, so a
-     crash leaves the evidence behind for fsck *)
-  sb.Superblock.clean <- false;
-  store_write_block st ~frag:Layout.sb_frag (Superblock.encode sb);
-  let cgs =
-    Array.init sb.Superblock.ncg (fun c ->
-        Cg.decode (read_store_block st ~frag:(Cg.header_frag sb c)) sb c)
-  in
-  {
-    engine;
-    cpu;
-    dev;
-    pool;
-    sb;
-    cgs;
-    feat = features;
-    costs;
-    metabuf = Metabuf.create engine cpu dev costs;
-    icache = Hashtbl.create 512;
-    alloc_lock = Sim.Mutex.create engine "ufs-alloc";
-    iget_lock = Sim.Mutex.create engine "ufs-iget";
-    resv = Hashtbl.create 16;
-    stats = mk_stats ();
-    trace = Sim.Trace.create ();
-  }
-
 let register_metrics (fs : fs) reg ~instance =
   Sim.Metrics.register reg ~layer:"ufs" ~instance (fun () ->
       let s = fs.stats in
@@ -178,7 +167,8 @@ let register_metrics (fs : fs) reg ~instance =
           ("read_io_blocks", Hist s.read_io_blocks);
           ("push_io_blocks", Hist s.push_io_blocks);
           ("trace_dropped", Int (Sim.Trace.dropped fs.trace));
-        ])
+        ]);
+  Wal.register_metrics fs reg ~instance
 
 let tunefs (fs : fs) ?rotdelay_ms ?maxcontig ?maxbpg () =
   Option.iter (fun v -> fs.sb.Superblock.rotdelay_ms <- v) rotdelay_ms;
@@ -220,16 +210,107 @@ let sync_inodes (fs : fs) =
     ips
 
 let sync (fs : fs) =
-  sync_inodes fs;
-  Metabuf.sync fs.metabuf;
-  flush_groups_and_sb ~timed:true fs
+  if Wal.journaled fs then
+    (* checkpoint: quiesce ops, flush every cache, then commit the
+       residual transaction, write the summaries and advance the log
+       head (invariant W2) *)
+    Wal.checkpoint fs
+      ~flush:(fun () ->
+        sync_inodes fs;
+        Metabuf.sync fs.metabuf)
+      ~write_meta:(fun () -> flush_groups_and_sb ~timed:true fs)
+  else begin
+    sync_inodes fs;
+    Metabuf.sync fs.metabuf;
+    flush_groups_and_sb ~timed:true fs
+  end
 
 let unmount (fs : fs) =
-  sync_inodes fs;
-  Metabuf.sync fs.metabuf;
-  Hashtbl.reset fs.resv;
-  fs.sb.Superblock.clean <- true;
-  flush_groups_and_sb ~timed:true fs
+  if Wal.journaled fs then
+    Wal.checkpoint fs
+      ~flush:(fun () ->
+        sync_inodes fs;
+        Metabuf.sync fs.metabuf)
+      ~write_meta:(fun () ->
+        Hashtbl.reset fs.resv;
+        fs.sb.Superblock.clean <- true;
+        flush_groups_and_sb ~timed:true fs)
+  else begin
+    sync_inodes fs;
+    Metabuf.sync fs.metabuf;
+    Hashtbl.reset fs.resv;
+    fs.sb.Superblock.clean <- true;
+    flush_groups_and_sb ~timed:true fs
+  end
+
+(* ---------- mount ---------- *)
+
+let mount engine cpu pool dev ~features ?(costs = Costs.default) () =
+  let st = Disk.Blkdev.store dev in
+  let sb = Superblock.decode (read_store_block st ~frag:Layout.sb_frag) in
+  if not sb.Superblock.clean then
+    Vfs.Errno.raise_err Vfs.Errno.EINVAL "mount: file system not clean";
+  (* mark the on-disk superblock unclean for the duration of the mount,
+     as the real UFS does: only a successful unmount clears it, so a
+     crash leaves the evidence behind for fsck (or, with a journal, for
+     replay) *)
+  sb.Superblock.clean <- false;
+  store_write_block st ~frag:Layout.sb_frag (Superblock.encode sb);
+  let cgs =
+    Array.init sb.Superblock.ncg (fun c ->
+        Cg.decode (read_store_block st ~frag:(Cg.header_frag sb c)) sb c)
+  in
+  let wal =
+    if sb.Superblock.jfrags > 0 then
+      let j =
+        Jrnl.attach dev
+          ~off_bytes:(Layout.frag_to_byte sb.Superblock.jstart)
+          ~len_bytes:(sb.Superblock.jfrags * Layout.fsize)
+      in
+      Some (Wal.mk engine j)
+    else None
+  in
+  let fs =
+    {
+      engine;
+      cpu;
+      dev;
+      pool;
+      sb;
+      cgs;
+      feat = features;
+      costs;
+      metabuf = Metabuf.create engine cpu dev costs;
+      icache = Hashtbl.create 512;
+      alloc_lock = Sim.Mutex.create engine "ufs-alloc";
+      iget_lock = Sim.Mutex.create engine "ufs-iget";
+      resv = Hashtbl.create 16;
+      stats = mk_stats ();
+      trace = Sim.Trace.create ();
+      wal;
+    }
+  in
+  (match fs.wal with
+  | None -> ()
+  | Some w ->
+      Metabuf.set_write_gate fs.metabuf (Some (Wal.write_gate fs));
+      w.w_push <-
+        (fun ip off ->
+          Putpage.push_range fs ip ~off ~len:Layout.bsize ~free_after:false
+            ~throttle:false ());
+      (* low log space: checkpoint asynchronously — the committing
+         process may hold locks the checkpoint's flush phase needs *)
+      let kicking = ref false in
+      w.w_kick <-
+        (fun () ->
+          if not !kicking then begin
+            kicking := true;
+            Sim.Engine.spawn engine ~name:"wal-checkpoint" (fun () ->
+                Fun.protect
+                  ~finally:(fun () -> kicking := false)
+                  (fun () -> sync fs))
+          end));
+  fs
 
 (* ---------- namespace ---------- *)
 
@@ -294,15 +375,16 @@ let creat fs path =
         Iops.iput fs ip;
         Vfs.Errno.raise_err Vfs.Errno.EISDIR path
       end;
-      Iops.itrunc fs ip;
+      Wal.with_op fs (fun () -> Iops.itrunc fs ip);
       ip
   | None ->
-      let ip = Iops.iget_new fs ~dir_hint:dir.inum ~kind:Dinode.Reg in
-      ip.nlink <- 1;
-      Dir.enter fs dir ~name ~inum:ip.inum;
-      Iops.iupdat fs ip ~sync:true;
-      Iops.iput fs dir;
-      ip)
+      Wal.with_op fs (fun () ->
+          let ip = Iops.iget_new fs ~dir_hint:dir.inum ~kind:Dinode.Reg in
+          ip.nlink <- 1;
+          Dir.enter fs dir ~name ~inum:ip.inum;
+          Iops.iupdat fs ip ~sync:true;
+          Iops.iput fs dir;
+          ip))
 
 let mkdir fs path =
   let dir, name = lookup_parent fs path in
@@ -312,16 +394,17 @@ let mkdir fs path =
       Iops.iput fs dir;
       Vfs.Errno.raise_err Vfs.Errno.EEXIST path
   | None -> ());
-  let ip = Iops.iget_new fs ~dir_hint:dir.inum ~kind:Dinode.Dir in
-  ip.nlink <- 2;
-  Dir.enter fs ip ~name:"." ~inum:ip.inum;
-  Dir.enter fs ip ~name:".." ~inum:dir.inum;
-  Dir.enter fs dir ~name ~inum:ip.inum;
-  dir.nlink <- dir.nlink + 1;
-  Iops.iupdat fs dir ~sync:true;
-  Iops.iupdat fs ip ~sync:true;
-  Iops.iput fs ip;
-  Iops.iput fs dir)
+  Wal.with_op fs (fun () ->
+      let ip = Iops.iget_new fs ~dir_hint:dir.inum ~kind:Dinode.Dir in
+      ip.nlink <- 2;
+      Dir.enter fs ip ~name:"." ~inum:ip.inum;
+      Dir.enter fs ip ~name:".." ~inum:dir.inum;
+      Dir.enter fs dir ~name ~inum:ip.inum;
+      dir.nlink <- dir.nlink + 1;
+      Iops.iupdat fs dir ~sync:true;
+      Iops.iupdat fs ip ~sync:true;
+      Iops.iput fs ip;
+      Iops.iput fs dir))
 
 let unlink fs path =
   let dir, name = lookup_parent fs path in
@@ -337,10 +420,11 @@ let unlink fs path =
         Iops.iput fs dir;
         Vfs.Errno.raise_err Vfs.Errno.EISDIR path
       end;
-      ignore (Dir.remove fs dir name);
-      ip.nlink <- ip.nlink - 1;
-      Iops.iupdat fs ip ~sync:true;
-      Iops.iput fs ip);
+      Wal.with_op fs (fun () ->
+          ignore (Dir.remove fs dir name);
+          ip.nlink <- ip.nlink - 1;
+          Iops.iupdat fs ip ~sync:true;
+          Iops.iput fs ip));
   Iops.iput fs dir)
 
 let rmdir fs path =
@@ -362,15 +446,23 @@ let rmdir fs path =
         Iops.iput fs dir;
         Vfs.Errno.raise_err Vfs.Errno.ENOTEMPTY path
       end;
-      ignore (Dir.remove fs dir name);
-      dir.nlink <- dir.nlink - 1;
-      Iops.iupdat fs dir ~sync:true;
-      ip.nlink <- 0;
-      let c = Superblock.cg_of_inum fs.sb ip.inum in
-      fs.cgs.(c).Cg.ndirs <- fs.cgs.(c).Cg.ndirs - 1;
-      fs.sb.Superblock.ndir <- fs.sb.Superblock.ndir - 1;
-      Iops.iput fs ip;
-      Iops.iput fs dir)
+      Wal.with_op fs (fun () ->
+          ignore (Dir.remove fs dir name);
+          dir.nlink <- dir.nlink - 1;
+          Iops.iupdat fs dir ~sync:true;
+          ip.nlink <- 0;
+          let c = Superblock.cg_of_inum fs.sb ip.inum in
+          fs.cgs.(c).Cg.ndirs <- fs.cgs.(c).Cg.ndirs - 1;
+          fs.sb.Superblock.ndir <- fs.sb.Superblock.ndir - 1;
+          if Wal.journaled fs then begin
+            (* recovery recounts touched groups but preserves ndirs, so
+               the decrement needs its own record (inode-free records
+               say nothing about directory-ness) *)
+            fs.cgs.(c).Cg.dirty <- true;
+            Wal.log_cg_ndirs fs ~cgx:c ~value:fs.cgs.(c).Cg.ndirs
+          end;
+          Iops.iput fs ip;
+          Iops.iput fs dir))
 
 let link fs existing new_path =
   let ip = namei fs existing in
@@ -386,11 +478,12 @@ let link fs existing new_path =
           Iops.iput fs ip;
           Vfs.Errno.raise_err Vfs.Errno.EEXIST new_path
       | None -> ());
-      Dir.enter fs dir ~name ~inum:ip.inum;
-      ip.nlink <- ip.nlink + 1;
-      Iops.iupdat fs ip ~sync:true;
-      Iops.iput fs dir;
-      Iops.iput fs ip)
+      Wal.with_op fs (fun () ->
+          Dir.enter fs dir ~name ~inum:ip.inum;
+          ip.nlink <- ip.nlink + 1;
+          Iops.iupdat fs ip ~sync:true;
+          Iops.iput fs dir;
+          Iops.iput fs ip))
 
 let rename fs src dst =
   let sdir, sname = lookup_parent fs src in
@@ -404,6 +497,7 @@ let rename fs src dst =
   let ip = Iops.iget fs inum in
   let ddir, dname = lookup_parent fs dst in
   with_two_dirs_locked sdir ddir (fun () ->
+  Wal.with_op fs @@ fun () ->
   (* replace an existing target *)
   (match Dir.lookup fs ddir dname with
   | Some tgt_inum when tgt_inum <> inum ->
@@ -447,6 +541,7 @@ let symlink fs ~target ~path =
       Iops.iput fs dir;
       Vfs.Errno.raise_err Vfs.Errno.EEXIST path
   | None -> ());
+  Wal.with_op fs @@ fun () ->
   let ip = Iops.iget_new fs ~dir_hint:dir.inum ~kind:Dinode.Lnk in
   ip.nlink <- 1;
   if String.length target <= Dinode.immediate_capacity then begin

@@ -16,11 +16,19 @@ type mkfs_options = {
   minfree_pct : int;
   fpg : int;  (** fragments per cylinder group *)
   ipg : int;  (** inodes per group *)
+  journal_frags : int;
+      (** size of the intent-journal region in fragments; 0 disables
+          journaling (the classic UFS) *)
 }
 
 val mkfs_defaults : mkfs_options
 (** rotdelay 4 ms, maxcontig 1, maxbpg 256 blocks (2 MB), minfree 10%,
-    16 MB groups, 2048 inodes per group — a SunOS 4.1 layout. *)
+    16 MB groups, 2048 inodes per group, no journal — a SunOS 4.1
+    layout. *)
+
+val journal_frags_default : int
+(** 1024 fragments (1 MB): the journal size [--journal] uses when no
+    explicit size is given. *)
 
 val mkfs : Disk.Blkdev.t -> ?opts:mkfs_options -> unit -> unit
 (** Build an empty file system (with the root directory) on the device.

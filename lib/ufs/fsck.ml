@@ -164,6 +164,14 @@ let check dev =
   in
   if not sb.Superblock.clean then
     problem s "file system was not unmounted cleanly";
+  (* the intent-journal region is carved out of the last group's data
+     area and permanently allocated: claim it so phase 4 does not see
+     "allocated but unclaimed" fragments *)
+  if sb.Superblock.jfrags > 0 then
+    for f = sb.Superblock.jstart to sb.Superblock.jstart + sb.Superblock.jfrags - 1
+    do
+      s.usage.(f) <- s.usage.(f) + 1
+    done;
   let ninodes = sb.Superblock.ncg * sb.Superblock.ipg in
   (* phase 1: inodes and block pointers *)
   let dinodes = Array.init ninodes (fun i -> read_dinode s i) in

@@ -14,46 +14,57 @@ let read_dinode fs inum =
   Dinode.decode blk (dinode_offset fs inum)
 
 let iupdat fs (ip : inode) ~sync =
+  note_dirty fs;
   let frag = inode_block_frag fs ip.inum in
   let blk = Metabuf.read fs.metabuf ~frag in
   Dinode.encode (to_dinode ip) blk (dinode_offset fs ip.inum);
   Metabuf.mark_dirty fs.metabuf ~frag;
   ip.meta_dirty <- false;
-  if sync then
+  if Wal.journaled fs then begin
+    (* journalled: the dinode stays dirty in the cache and the *log*
+       carries the durability; a synchronous update becomes a log commit
+       (op ends commit for themselves) *)
+    Wal.note fs ip;
+    Wal.mark_meta fs ~frag;
+    if sync && not (Wal.in_op fs) then Wal.commit fs
+  end
+  else if sync then
     if fs.feat.ordered_metadata then Metabuf.flush_block_ordered fs.metabuf ~frag
     else Metabuf.flush_block fs.metabuf ~frag
 
 let itrunc fs (ip : inode) =
-  (* drop anything still accumulating, then wait for in-flight writes *)
-  ip.delayoff <- 0;
-  ip.delaylen <- 0;
-  Io.wait_writes fs ip;
-  Vm.Pool.invalidate_vnode fs.pool ip.inum;
-  let chunks = ref [] in
-  Bmap.iter_allocated fs ip (fun c -> chunks := c :: !chunks);
-  List.iter
-    (fun chunk ->
-      match chunk with
-      | Bmap.Data { frag; nfrags; _ } ->
-          if nfrags = Layout.fpb then Alloc.free_block fs (Some ip) frag
-          else Alloc.free_frags fs (Some ip) ~frag ~nfrags
-      | Bmap.Indirect { frag } ->
-          (* drop the cached (possibly dirty) pointer block: its storage
-             is going back to the allocator, and a later write-back
-             would corrupt whoever reuses it *)
-          Metabuf.invalidate fs.metabuf ~frag;
-          Alloc.free_block fs (Some ip) frag)
-    !chunks;
-  Array.fill ip.db 0 Layout.ndaddr 0;
-  ip.ib.(0) <- 0;
-  ip.ib.(1) <- 0;
-  ip.size <- 0;
-  ip.idata <- None;
-  ip.bmap_cache <- None;
-  reset_rstreams ip;
-  Hashtbl.remove fs.resv ip.inum;
-  assert (ip.blocks = 0);
-  ip.meta_dirty <- true
+  Wal.with_op fs ~commit:false (fun () ->
+      Wal.note fs ip;
+      (* drop anything still accumulating, then wait for in-flight writes *)
+      ip.delayoff <- 0;
+      ip.delaylen <- 0;
+      Io.wait_writes fs ip;
+      Vm.Pool.invalidate_vnode fs.pool ip.inum;
+      let chunks = ref [] in
+      Bmap.iter_allocated fs ip (fun c -> chunks := c :: !chunks);
+      List.iter
+        (fun chunk ->
+          match chunk with
+          | Bmap.Data { frag; nfrags; _ } ->
+              if nfrags = Layout.fpb then Alloc.free_block fs (Some ip) frag
+              else Alloc.free_frags fs (Some ip) ~frag ~nfrags
+          | Bmap.Indirect { frag } ->
+              (* drop the cached (possibly dirty) pointer block: its
+                 storage is going back to the allocator, and a later
+                 write-back would corrupt whoever reuses it *)
+              Metabuf.invalidate fs.metabuf ~frag;
+              Alloc.free_block fs (Some ip) frag)
+        !chunks;
+      Array.fill ip.db 0 Layout.ndaddr 0;
+      ip.ib.(0) <- 0;
+      ip.ib.(1) <- 0;
+      ip.size <- 0;
+      ip.idata <- None;
+      ip.bmap_cache <- None;
+      reset_rstreams ip;
+      Hashtbl.remove fs.resv ip.inum;
+      assert (ip.blocks = 0);
+      ip.meta_dirty <- true)
 
 let fsync_inode fs (ip : inode) =
   Putpage.push_delayed fs ip ~sync:false ();
@@ -117,14 +128,17 @@ and iput fs (ip : inode) =
   if ip.refcnt <= 0 then invalid_arg "iput: no references";
   ip.refcnt <- ip.refcnt - 1;
   if ip.refcnt = 0 then
-    if ip.nlink = 0 && ip.kind <> Dinode.Free then begin
-      itrunc fs ip;
-      ip.kind <- Dinode.Free;
-      iupdat fs ip ~sync:false;
-      Alloc.free_inode fs ip.inum;
-      Vm.Pool.unregister_flusher fs.pool ip.inum;
-      Hashtbl.remove fs.icache ip.inum
-    end
+    if ip.nlink = 0 && ip.kind <> Dinode.Free then
+      (* one journalled op: the crash window between the unlink commit
+         (nlink 0) and this free commit is the orphan window recovery's
+         reap pass closes *)
+      Wal.with_op fs (fun () ->
+          itrunc fs ip;
+          ip.kind <- Dinode.Free;
+          iupdat fs ip ~sync:false;
+          Alloc.free_inode fs ip.inum;
+          Vm.Pool.unregister_flusher fs.pool ip.inum;
+          Hashtbl.remove fs.icache ip.inum)
     else begin
       Putpage.push_delayed fs ip ~sync:false ();
       if ip.meta_dirty then iupdat fs ip ~sync:false;

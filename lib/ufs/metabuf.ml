@@ -17,6 +17,7 @@ type t = {
   mutable clock : int;
   mutable pending_ordered : int;
   ordered_done : Sim.Condition.t;
+  mutable write_gate : (int -> (unit -> unit) -> bool) option;
   stats : stats;
 }
 
@@ -33,8 +34,11 @@ let create ?(capacity = 64) engine cpu dev costs =
     clock = 0;
     pending_ordered = 0;
     ordered_done = Sim.Condition.create engine "metabuf-ordered";
+    write_gate = None;
     stats = { reads = 0; read_misses = 0; writebacks = 0 };
   }
+
+let set_write_gate t gate = t.write_gate <- gate
 
 let check_aligned frag =
   if frag mod Layout.fpb <> 0 then
@@ -44,7 +48,7 @@ let touch t e =
   t.clock <- t.clock + 1;
   e.lru <- t.clock
 
-let write_out t (e : entry) =
+let do_write t (e : entry) =
   t.stats.writebacks <- t.stats.writebacks + 1;
   Sim.Cpu.charge t.cpu ~label:"meta-io" (t.costs.Costs.driver_submit + t.costs.Costs.intr);
   Disk.Blkdev.write_sync t.dev
@@ -53,21 +57,55 @@ let write_out t (e : entry) =
     ~buf:e.data ~buf_off:0;
   e.dirty <- false
 
+(* Write-ahead gate: a journalled mount interposes here so no metadata
+   block reaches its in-place location before the log records covering
+   its content are durable.  A [false] return means the block carries an
+   open operation's mutations and must stay dirty in the cache. *)
+let write_out t (e : entry) =
+  match t.write_gate with
+  | None ->
+      do_write t e;
+      true
+  | Some gate -> gate e.frag (fun () -> do_write t e)
+
 let evict_if_full t =
   if Hashtbl.length t.tbl >= t.capacity then begin
     let victim =
-      Hashtbl.fold
-        (fun _ e acc ->
-          match acc with
-          | None -> Some e
-          | Some b -> if e.lru < b.lru then Some e else acc)
-        t.tbl None
+      match t.write_gate with
+      | None ->
+          Hashtbl.fold
+            (fun _ e acc ->
+              match acc with
+              | None -> Some e
+              | Some b -> if e.lru < b.lru then Some e else acc)
+            t.tbl None
+      | Some _ ->
+          (* journalled: prefer the oldest *clean* victim, so eviction
+             rarely forces a log commit; fall back to the oldest dirty
+             block only when everything is dirty *)
+          let best =
+            Hashtbl.fold
+              (fun _ e acc ->
+                match acc with
+                | None -> Some e
+                | Some b ->
+                    if e.dirty = b.dirty then
+                      if e.lru < b.lru then Some e else acc
+                    else if b.dirty && not e.dirty then Some e
+                    else acc)
+              t.tbl None
+          in
+          best
     in
     match victim with
     | None -> ()
     | Some e ->
-        if e.dirty then write_out t e;
-        Hashtbl.remove t.tbl e.frag
+        if e.dirty then begin
+          (* a refused write (open-op content) leaves the block in the
+             cache; capacity is exceeded until the op ends *)
+          if write_out t e then Hashtbl.remove t.tbl e.frag
+        end
+        else Hashtbl.remove t.tbl e.frag
   end
 
 let read t ~frag =
@@ -115,7 +153,7 @@ let flush_block t ~frag =
   check_aligned frag;
   Sim.Mutex.with_lock t.lock (fun () ->
       match Hashtbl.find_opt t.tbl frag with
-      | Some e when e.dirty -> write_out t e
+      | Some e when e.dirty -> ignore (write_out t e)
       | Some _ | None -> ())
 
 (* Asynchronous ordered write-back: snapshot the block, submit with
@@ -153,7 +191,9 @@ let sync t =
         Hashtbl.fold (fun _ e acc -> if e.dirty then e :: acc else acc) t.tbl []
         |> List.sort (fun a b -> compare a.frag b.frag)
       in
-      List.iter (write_out t) dirty);
+      (* refused blocks (open-op content) simply stay dirty; the
+         checkpoint path quiesces operations before calling sync *)
+      List.iter (fun e -> ignore (write_out t e)) dirty);
   while t.pending_ordered > 0 do
     Sim.Condition.wait t.ordered_done
   done

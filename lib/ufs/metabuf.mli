@@ -32,6 +32,14 @@ val create :
   t
 (** [capacity] (default 64) is in blocks. *)
 
+val set_write_gate : t -> (int -> (unit -> unit) -> bool) option -> unit
+(** Interpose on every in-place write-back: [gate frag do_write] either
+    runs [do_write] (after whatever ordering work it needs — the
+    journalled mount commits its log first) and returns true, or returns
+    false to refuse the write, leaving the block dirty in the cache.
+    With a gate set, eviction prefers clean victims.  [None] (the
+    default) writes back directly. *)
+
 val read : t -> frag:int -> bytes
 (** The cached block containing [frag] ([frag] must be block-aligned).
     The returned bytes are the live cache entry: mutate then call

@@ -8,6 +8,11 @@ let pushable (p : Vm.Page.t) =
 (* Push every dirty page in [off, off+len), cutting the range into
    physically contiguous chunks per bmap (the figure-8 while loop). *)
 let push_range fs (ip : inode) ~off ~len ~free_after ~throttle ?(ordered = false) () =
+  (* journalled: while an operation is mutating this inode its dirty
+     pages must not reach the disk (their log records are not durable
+     yet); op end pushes what it deferred *)
+  if Wal.inode_active fs ip.inum then ()
+  else
   let endoff = min (off + len) (((ip.size + Layout.bsize - 1) / Layout.bsize) * Layout.bsize) in
   let rec loop off =
     if off < endoff then begin
@@ -70,6 +75,7 @@ let push_delayed fs (ip : inode) ~sync ?(ordered = false) () =
 
 (* The figure 7/8 delayed-write accumulator. *)
 let delay fs (ip : inode) ~off ~free_after =
+  note_dirty fs;
   fs.stats.delayed_pages <- fs.stats.delayed_pages + 1;
   Sim.Trace.emit fs.trace (fun () -> Ev_write_delay { off });
   if ip.delaylen = 0 then begin
@@ -127,6 +133,11 @@ let flusher fs (ip : inode) : Vm.Pool.flusher =
  fun page ~free_after ->
   match page.Vm.Page.ident with
   | None -> invalid_arg "Ufs flusher: free page"
+  | Some _ when Wal.inode_active fs ip.inum ->
+      (* an open journalled op owns this inode; pageout must not write
+         its pages before the op's records commit *)
+      Vm.Page.unbusy page;
+      0
   | Some id ->
       let off = id.Vm.Page.off in
       Sim.Trace.emit fs.trace (fun () -> Ev_pageout_flush { off });

@@ -31,6 +31,20 @@ val putpage :
     the inode's writes to drain.  [P_FREE] frees pages once clean (the
     free-behind and pageout paths). *)
 
+val push_range :
+  Types.fs ->
+  Types.inode ->
+  off:int ->
+  len:int ->
+  free_after:bool ->
+  throttle:bool ->
+  ?ordered:bool ->
+  unit ->
+  unit
+(** Push every dirty page in [off, off+len), cut into physically
+    contiguous chunks per bmap.  No-op while a journalled operation is
+    mutating the inode (the Wal pushes deferred ranges at op end). *)
+
 val push_delayed : Types.fs -> Types.inode -> sync:bool -> ?ordered:bool -> unit -> unit
 (** Flush the delayed-write accumulator (cluster-boundary crossing,
     fsync, non-sequential write, or file close).  [ordered] issues the

@@ -13,12 +13,14 @@ type t = {
   mutable nifree : int;
   mutable ndir : int;
   mutable clean : bool;
+  mutable jstart : int;
+  mutable jfrags : int;
 }
 
 let magic_value = 0x00011954 (* FS_MAGIC, as a tip of the hat *)
 
 let create ~nfrags ~ncg ~fpg ~ipg ?(minfree_pct = 10) ?(rotdelay_ms = 4)
-    ?(maxcontig = 1) ?(maxbpg = 256) () =
+    ?(maxcontig = 1) ?(maxbpg = 256) ?(jstart = 0) ?(jfrags = 0) () =
   if nfrags <= 0 || ncg <= 0 || fpg <= 0 || ipg <= 0 then
     invalid_arg "Superblock.create: bad geometry";
   if ipg mod Layout.inodes_per_block <> 0 then
@@ -40,6 +42,8 @@ let create ~nfrags ~ncg ~fpg ~ipg ?(minfree_pct = 10) ?(rotdelay_ms = 4)
     nifree = 0;
     ndir = 0;
     clean = true;
+    jstart;
+    jfrags;
   }
 
 let encode t =
@@ -58,6 +62,10 @@ let encode t =
   Codec.put_u64 b 56 t.nifree;
   Codec.put_u64 b 64 t.ndir;
   Codec.put_u8 b 72 (if t.clean then 1 else 0);
+  (* journal region: zeros when no journal, so non-journaled images are
+     byte-identical to pre-journal ones *)
+  Codec.put_u32 b 76 t.jstart;
+  Codec.put_u32 b 80 t.jfrags;
   b
 
 let decode b =
@@ -79,6 +87,8 @@ let decode b =
     nifree = Codec.get_u64 b 56;
     ndir = Codec.get_u64 b 64;
     clean = Codec.get_u8 b 72 = 1;
+    jstart = Codec.get_u32 b 76;
+    jfrags = Codec.get_u32 b 80;
   }
 
 let data_frags t =

@@ -33,6 +33,9 @@ type t = {
   mutable nifree : int;
   mutable ndir : int;
   mutable clean : bool;
+  mutable jstart : int;
+      (** first fragment of the intent-journal region; 0 = no journal *)
+  mutable jfrags : int;  (** journal region length in fragments *)
 }
 
 val magic_value : int
@@ -46,11 +49,13 @@ val create :
   ?rotdelay_ms:int ->
   ?maxcontig:int ->
   ?maxbpg:int ->
+  ?jstart:int ->
+  ?jfrags:int ->
   unit ->
   t
 (** Fresh superblock with zeroed summary counts (mkfs fills them as it
     builds the groups).  Defaults: minfree 10, rotdelay 4 ms, maxcontig
-    1, maxbpg 256. *)
+    1, maxbpg 256, no journal. *)
 
 val encode : t -> bytes
 (** One [Layout.bsize] block. *)

@@ -23,3 +23,18 @@ val stop : t -> unit
 
 val passes : t -> int
 (** Completed sync passes. *)
+
+val flushed_bytes : t -> int
+(** Total bytes the daemon's passes put on the disk, measured as the
+    device sector-counter delta across each {!Fs.sync} — so it includes
+    metadata and (journalled) log writes the pass triggered, which is
+    what the "how much does the 30-second sync cost" question wants. *)
+
+val dirty_age_us : t -> Sim.Stats.Summary.t
+(** Age of the oldest unflushed dirtying at the start of each pass
+    (microseconds): how stale buffered data gets before the daemon
+    catches it.  Clean passes contribute no sample. *)
+
+val register_metrics : t -> Sim.Metrics.t -> instance:string -> unit
+(** Register a ["syncer"] source exposing [passes], [flushed_bytes] and
+    the [dirty_age_us] summary. *)

@@ -69,6 +69,9 @@ type stats = {
   mutable cg_switches : int;
   mutable wlimit_sleeps : int;
   mutable idata_reads : int;
+  mutable oldest_dirty : Sim.Time.t;
+      (* when the oldest still-unflushed dirtying happened; -1 = clean.
+         The syncer turns it into its dirty-age metric at each pass. *)
   read_call_us : Sim.Stats.Summary.t;
   write_call_us : Sim.Stats.Summary.t;
   pgin_wait_us : Sim.Stats.Summary.t;
@@ -102,6 +105,7 @@ let mk_stats () =
     cg_switches = 0;
     wlimit_sleeps = 0;
     idata_reads = 0;
+    oldest_dirty = -1;
     read_call_us = Sim.Stats.Summary.create ();
     write_call_us = Sim.Stats.Summary.create ();
     pgin_wait_us = Sim.Stats.Summary.create ();
@@ -164,6 +168,67 @@ type inode = {
   mutable refcnt : int;
 }
 
+(* Write-ahead intent-journal state; data only — the operations live in
+   the Wal module (above, since it needs inode images).
+
+   The unit of consistency is the *operation* (one namespace update,
+   one block allocation, one truncate): records accumulate in an
+   op-local buffer and enter the shared open transaction atomically at
+   op end, together with the images of every inode the op touched.  The
+   engine only context-switches at sleep points, so that hand-off is
+   indivisible — no commit can ever capture half an operation. *)
+type wal_op = {
+  op_id : int;
+  mutable op_recs : bytes list;  (* this op's records, newest first *)
+  mutable op_inodes : (int * inode) list;  (* touched inodes, deduped *)
+  mutable op_pins : int list;  (* frags freed by this op *)
+  mutable op_meta : int list;  (* metabuf frags this op made unstable *)
+  mutable op_pushes : (inode * int) list;
+      (* directory pages dirtied by this op, pushed only after the
+         op's transaction commits (write-ahead for the page cache) *)
+}
+
+type wal = {
+  wj : Jrnl.t;
+  w_lock : Sim.Mutex.t;
+      (* serialises log commits: a later entry must not become durable
+         while an earlier one is still in flight, or a crash would
+         discard both at the sequence break after the later entry's
+         caller was already told it was durable *)
+  w_ckpt_lock : Sim.Mutex.t;  (* one checkpoint at a time *)
+  w_ops : (int, wal_op) Hashtbl.t;  (* open operations by id *)
+  mutable w_next_op : int;
+  w_pinned : (int, int) Hashtbl.t;
+      (* frag -> pin count: fragments freed by a not-yet-committed
+         free record, barred from reallocation — data writes are
+         unlogged and land in place immediately, so reuse before the
+         free commits would let a crash resurrect old committed
+         metadata pointing at overwritten bytes *)
+  mutable w_txn_pins : int list;  (* pins released when the txn commits *)
+  w_unstable : (int, int) Hashtbl.t;
+      (* metabuf frag -> open-op refs: blocks whose cached content
+         includes an unfinished op's mutations; the metabuf pre-write
+         hook refuses to write them in place (invariant W1) *)
+  w_active : (int, int) Hashtbl.t;
+      (* inum -> open-op refs: pageout and putpage skip these inodes'
+         pages so a dirty directory page cannot reach the disk before
+         its operation's records do *)
+  w_idle : Sim.Condition.t;  (* signalled when w_ops drains empty *)
+  mutable w_stalled : bool;  (* checkpoint quiesce: new ops wait *)
+  w_resume : Sim.Condition.t;
+  mutable w_kick : unit -> unit;
+      (* set by mount: schedule an asynchronous sync/checkpoint when
+         the log runs low (cannot run inline — the committer may hold
+         locks the checkpoint needs) *)
+  mutable w_push : inode -> int -> unit;
+      (* set by mount: asynchronous page push, for op_pushes *)
+  mutable w_txns : int;  (* transactions committed *)
+  mutable w_barrier_commits : int;  (* forced by in-place meta writes *)
+  mutable w_pin_commits : int;  (* forced to unpin frags under ENOSPC *)
+  mutable w_ckpt_waits : int;  (* ops delayed by a checkpoint quiesce *)
+  mutable w_stall_commits : int;  (* commits delayed by a quiesce *)
+}
+
 type fs = {
   engine : Sim.Engine.t;
   cpu : Sim.Cpu.t;
@@ -180,6 +245,7 @@ type fs = {
   resv : (int, int * int) Hashtbl.t;
   stats : stats;
   trace : event Sim.Trace.t;
+  mutable wal : wal option;  (** intent journal, when the volume has one *)
 }
 
 let reset_rstreams (ip : inode) =
@@ -244,4 +310,8 @@ let to_dinode (ip : inode) =
 
 let cluster_bytes fs = fs.sb.Superblock.maxcontig * Layout.bsize
 let charge fs ~label d = Sim.Cpu.charge fs.cpu ~label d
+
+let note_dirty fs =
+  if fs.stats.oldest_dirty < 0 then
+    fs.stats.oldest_dirty <- Sim.Engine.now fs.engine
 let rootino = 2

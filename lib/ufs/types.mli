@@ -87,6 +87,9 @@ type stats = {
   mutable cg_switches : int;
   mutable wlimit_sleeps : int;
   mutable idata_reads : int;  (** small-file reads served from inode *)
+  mutable oldest_dirty : Sim.Time.t;
+      (** stamp of the oldest unflushed dirtying; -1 when clean.
+          {!note_dirty} arms it, the syncer reads and re-arms it. *)
   read_call_us : Sim.Stats.Summary.t;  (** per-read(2) wall time *)
   write_call_us : Sim.Stats.Summary.t;  (** per-write(2) wall time *)
   pgin_wait_us : Sim.Stats.Summary.t;
@@ -161,6 +164,60 @@ type inode = {
   mutable refcnt : int;
 }
 
+(** One open journalled operation: a namespace update, a block
+    allocation or a truncate.  Records accumulate here and enter the
+    shared open transaction atomically at operation end (together with
+    the images of every touched inode), so a commit can never capture
+    half an operation. *)
+type wal_op = {
+  op_id : int;
+  mutable op_recs : bytes list;  (** this op's records, newest first *)
+  mutable op_inodes : (int * inode) list;  (** touched inodes, deduped *)
+  mutable op_pins : int list;  (** frags freed by this op *)
+  mutable op_meta : int list;  (** metabuf frags this op made unstable *)
+  mutable op_pushes : (inode * int) list;
+      (** directory pages dirtied by this op, pushed only after the
+          op's transaction commits *)
+}
+
+(** Write-ahead intent-journal state (see {!Wal} for the operations).
+    Lives here, data-only, so every operation module can consult it
+    without a dependency cycle. *)
+type wal = {
+  wj : Jrnl.t;  (** the on-disk circular log *)
+  w_lock : Sim.Mutex.t;  (** serialises log commits *)
+  w_ckpt_lock : Sim.Mutex.t;  (** one checkpoint at a time *)
+  w_ops : (int, wal_op) Hashtbl.t;  (** open operations by id *)
+  mutable w_next_op : int;
+  w_pinned : (int, int) Hashtbl.t;
+      (** fragments freed by a not-yet-committed free record, barred
+          from reallocation until the free commits: data writes are
+          unlogged, so reuse before commit could overwrite bytes that
+          committed metadata still references *)
+  mutable w_txn_pins : int list;
+      (** pins released when the open transaction commits *)
+  w_unstable : (int, int) Hashtbl.t;
+      (** metabuf frag -> open-op refs; the metabuf pre-write hook
+          refuses to write these in place (invariant W1) *)
+  w_active : (int, int) Hashtbl.t;
+      (** inum -> open-op refs; putpage/pageout skip these inodes *)
+  w_idle : Sim.Condition.t;  (** signalled when [w_ops] drains empty *)
+  mutable w_stalled : bool;  (** checkpoint quiesce: new ops wait *)
+  w_resume : Sim.Condition.t;
+  mutable w_kick : unit -> unit;
+      (** schedule an asynchronous checkpoint when the log runs low *)
+  mutable w_push : inode -> int -> unit;
+      (** asynchronous page push, for [op_pushes] *)
+  mutable w_txns : int;  (** transactions committed *)
+  mutable w_barrier_commits : int;
+      (** commits forced by an in-place metadata write (invariant W1) *)
+  mutable w_pin_commits : int;
+      (** commits forced to release pinned fragments under allocation
+          pressure *)
+  mutable w_ckpt_waits : int;  (** ops delayed by a checkpoint quiesce *)
+  mutable w_stall_commits : int;  (** commits delayed by a quiesce *)
+}
+
 type fs = {
   engine : Sim.Engine.t;
   cpu : Sim.Cpu.t;
@@ -183,6 +240,7 @@ type fs = {
           interleaved writers stop shredding each other's extents *)
   stats : stats;
   trace : event Sim.Trace.t;
+  mutable wal : wal option;  (** intent journal, when the volume has one *)
 }
 
 val reset_rstreams : inode -> unit
@@ -206,6 +264,10 @@ val cluster_bytes : fs -> int
 
 val charge : fs -> label:string -> Sim.Time.t -> unit
 (** Charge system CPU. *)
+
+val note_dirty : fs -> unit
+(** Arm [stats.oldest_dirty] with now if the file system was clean —
+    call wherever dirty state is first created. *)
 
 val rootino : int
 (** Inode number of the root directory (2, as in FFS). *)

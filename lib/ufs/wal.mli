@@ -1,0 +1,126 @@
+(** The UFS side of the write-ahead intent journal.
+
+    {!Jrnl} provides the on-disk circular log; this module gives it a
+    vocabulary (typed, idempotent metadata records) and enforces the two
+    write-ahead invariants:
+
+    - {b W1}: a cached metadata block never reaches its in-place
+      location before every log record describing its content is
+      durable.  The metabuf pre-write hook calls {!write_gate}, which
+      refuses blocks still referenced by an open operation and commits
+      the open transaction before any other metadata block goes down.
+    - {b W2}: the log head only advances past entries whose effects are
+      durably in place ({!checkpoint} quiesces open operations, flushes
+      every cache, then advances the head).
+
+    The unit of consistency is the {e operation} ({!with_op}): records
+    accumulate op-locally and enter the shared open transaction
+    atomically at op end, together with the final images of every inode
+    the op touched — a commit can never capture half an operation.
+    Fragments freed by an uncommitted record stay {!pinned} against
+    reallocation, because data writes are unlogged. *)
+
+open Types
+
+val journaled : fs -> bool
+(** True when the mount carries a journal. *)
+
+(** Decoded journal records; replay ({!Recover}) consumes these.  All
+    are idempotent: absolute values, full images, never deltas. *)
+type record =
+  | Frag_alloc of { frag : int; n : int }
+  | Frag_free of { frag : int; n : int }
+  | Inode_alloc of { inum : int; dir : bool }
+  | Inode_free of { inum : int }
+  | Inode_update of { inum : int; image : bytes }  (** full 128 B dinode *)
+  | Ind_set of { frag : int; index : int; value : int }
+  | Ind_zero of { frag : int }
+  | Dir_entry of { dinum : int; off : int; slot : bytes }
+  | Cg_ndirs of { cgx : int; value : int }  (** absolute value *)
+
+val decode_record : bytes -> record
+
+val dir_entry_size : int
+(** = [Dir.entry_size] (64); duplicated because [Dir] sits above this
+    module in the dependency order. *)
+
+val mk : Sim.Engine.t -> Jrnl.t -> wal
+(** Fresh journal state for a mount; the caller wires [w_kick] and
+    [w_push] afterwards. *)
+
+(** {1 Operations} *)
+
+val with_op : fs -> ?commit:bool -> (unit -> 'a) -> 'a
+(** Run [f] as one journalled operation.  Nested calls join the
+    enclosing operation (the outer one owns the commit).  With
+    [~commit:true] (default) the operation's transaction is committed at
+    op end — the synchronous durability point that replaces the old
+    synchronous metadata writes.  [~commit:false] leaves the records in
+    the open transaction for a later barrier to flush (block
+    allocations, truncates).  Without a journal, just runs [f]. *)
+
+val in_op : fs -> bool
+(** True when the calling process has an operation open on [fs]. *)
+
+val commit : fs -> unit
+(** Commit the open transaction (fsync/sync path).  Stalls while a
+    checkpoint quiesce is in progress. *)
+
+(** {1 Logging} — no-ops without a journal; inside an operation the
+    record lands in the op buffer, otherwise directly in the open
+    transaction. *)
+
+val log_frag_alloc : fs -> frag:int -> n:int -> unit
+val log_frag_free : fs -> frag:int -> n:int -> unit
+(** Also pins [frag..frag+n-1] until the record commits. *)
+
+val log_inode_alloc : fs -> inum:int -> dir:bool -> unit
+val log_inode_free : fs -> inum:int -> unit
+val log_ind_set : fs -> frag:int -> index:int -> value:int -> unit
+val log_ind_zero : fs -> frag:int -> unit
+val log_dir_entry : fs -> dinum:int -> off:int -> slot:bytes -> unit
+val log_cg_ndirs : fs -> cgx:int -> value:int -> unit
+
+val note : fs -> inode -> unit
+(** Record that the current operation mutated [ip]; its image is
+    encoded at op end.  Outside an operation, logs the image
+    immediately. *)
+
+val mark_meta : fs -> frag:int -> unit
+(** The current operation dirtied metabuf block [frag] with
+    not-yet-logged content; the block refuses in-place writes until the
+    op ends (invariant W1). *)
+
+val defer_push : fs -> inode -> off:int -> unit
+(** Push the directory page at [off] only after the current operation's
+    transaction commits. *)
+
+(** {1 Allocator and pageout queries} *)
+
+val pinned : fs -> int -> bool
+val span_pinned : fs -> frag:int -> n:int -> bool
+val unpin_commit : fs -> bool
+(** Commit to release pinned fragments under allocation pressure;
+    returns false when there was nothing to unpin. *)
+
+val inode_active : fs -> int -> bool
+(** True while an open operation is mutating this inode — putpage and
+    pageout must skip its pages. *)
+
+val write_gate : fs -> int -> (unit -> unit) -> bool
+(** [write_gate fs frag do_write]: the metabuf pre-write hook.  Refuses
+    (returns false, without running [do_write]) when [frag] carries an
+    open operation's content; otherwise commits the open transaction and
+    runs [do_write] under the commit lock, so a checkpoint cannot slip
+    between the commit and the in-place write.  Without a journal, just
+    runs [do_write]. *)
+
+val checkpoint : fs -> flush:(unit -> unit) -> write_meta:(unit -> unit) -> unit
+(** Quiesce open operations, run [flush] (inode + metabuf sync), then —
+    under the commit lock — commit the residual transaction, run
+    [write_meta] (cg headers + superblock) and durably advance the log
+    head.  New operations and public commits wait until the quiesce
+    ends. *)
+
+val register_metrics : fs -> Sim.Metrics.t -> instance:string -> unit
+(** Register the ["wal"] counters and the underlying ["jrnl"] source. *)

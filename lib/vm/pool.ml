@@ -153,6 +153,13 @@ let invalidate_vnode t vid =
   in
   drain ()
 
+let invalidate_all t =
+  (* server reboot: every cached page belongs to the pre-crash file
+     system instance and must not survive into the recovered one *)
+  let vids = Hashtbl.fold (fun vid _ acc -> vid :: acc) t.by_vnode [] in
+  List.iter (fun vid -> invalidate_vnode t vid) vids;
+  Hashtbl.reset t.flushers
+
 let register_flusher t vid f = Hashtbl.replace t.flushers vid f
 let unregister_flusher t vid = Hashtbl.remove t.flushers vid
 let flusher_for t vid = Hashtbl.find_opt t.flushers vid

@@ -74,6 +74,11 @@ val invalidate_vnode : t -> int -> unit
 (** Free every cached page of the vnode (waiting out busy ones).
     Used by unlink and truncate.  Must run in a process. *)
 
+val invalidate_all : t -> unit
+(** Free every cached page and drop every registered flusher — the
+    page cache of a machine whose file system just went away (server
+    reboot).  Must run in a process. *)
+
 val register_flusher : t -> int -> flusher -> unit
 val unregister_flusher : t -> int -> unit
 
