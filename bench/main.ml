@@ -615,7 +615,38 @@ let nfsscale_table () =
   print_endline
     "   until the server disk saturates; on fast links one streaming client";
   print_endline
-    "   already saturates the disk and more clients only add seek interference)"
+    "   already saturates the disk and more clients only add seek interference)";
+  (* fleet ladder: N clients hash-sharded over 4 servers behind the
+     switched fabric; each rung names the resource that binds there *)
+  let fleet_counts = if !quick then [ 16; 64; 256 ] else [ 64; 256; 512; 1024 ] in
+  Printf.printf
+    "\n  fleet ladder (switched fabric, 4 servers, adaptive, 1MB/client):\n";
+  Printf.printf "  %8s %12s %10s %8s %9s %6s %6s %6s %6s %-24s\n" "clients"
+    "agg KB/s" "KB/s each" "retrans" "queue ms" "cpu" "disk" "port" "drops"
+    "bottleneck";
+  List.iter
+    (fun c ->
+      let r = Clusterfs.Experiments.nfs_fleet ~servers:4 ~clients:c () in
+      Printf.printf
+        "  %8d %12.0f %10.1f %8d %9.1f %5.0f%% %5.0f%% %5.0f%% %6d %-24s\n"
+        r.Clusterfs.Experiments.fl_clients
+        r.Clusterfs.Experiments.fl_aggregate_kb_per_sec
+        r.Clusterfs.Experiments.fl_per_client_kb_per_sec
+        r.Clusterfs.Experiments.fl_retransmits
+        r.Clusterfs.Experiments.fl_server_queue_ms
+        (100. *. r.Clusterfs.Experiments.fl_server_cpu_util)
+        (100. *. r.Clusterfs.Experiments.fl_disk_util)
+        (100. *. r.Clusterfs.Experiments.fl_port_util)
+        r.Clusterfs.Experiments.fl_switch_drops
+        r.Clusterfs.Experiments.fl_bottleneck)
+    fleet_counts;
+  print_endline
+    "  (aggregate goodput climbs until the worst server's disk pins at ~100%;";
+  print_endline
+    "   past the knee extra clients only deepen the nfsd queue.  The";
+  print_endline
+    "   utilization columns are the ladder: whichever resource saturates";
+  print_endline "   first at a rung is what to buy next)"
 
 let nfsloss_table () =
   let rows =

@@ -47,36 +47,53 @@ let resolve_specs = function
                       Error (Printf.sprintf "spec %S: %s" arg e))))
         args (Ok [])
 
-let run_target config clients spec = function
+let run_target config clients servers topology ports_buffer spec = function
   | `Local -> [ Fio.Scenarios.run_local ~config spec ]
-  | `Remote -> [ Fio.Scenarios.run_remote ~config ~clients spec ]
+  | `Remote ->
+      [
+        Fio.Scenarios.run_remote ~config ~clients ~servers ?topology
+          ?ports_buffer spec;
+      ]
   | `Both ->
       [
         Fio.Scenarios.run_local ~config spec;
-        Fio.Scenarios.run_remote ~config ~clients spec;
+        Fio.Scenarios.run_remote ~config ~clients ~servers ?topology
+          ?ports_buffer spec;
       ]
 
-let run specs config_name clients target json trace =
+let topology_of_string = function
+  | "p2p" -> Ok (Some Clusterfs.Topology.Point_to_point)
+  | "shared" -> Ok (Some Clusterfs.Topology.Shared_medium)
+  | "switched" -> Ok (Some Clusterfs.Topology.Switched)
+  | other ->
+      Error (Printf.sprintf "unknown topology %S (want p2p|shared|switched)" other)
+
+let run specs config_name clients servers topology ports_buffer target json
+    trace =
   match
     ( resolve_specs specs,
       base_config config_name,
-      match String.lowercase_ascii target with
+      (match String.lowercase_ascii target with
       | "local" -> Ok `Local
       | "remote" -> Ok `Remote
       | "both" -> Ok `Both
       | other ->
-          Error (Printf.sprintf "unknown target %S (want local|remote|both)" other)
-    )
+          Error (Printf.sprintf "unknown target %S (want local|remote|both)" other)),
+      topology_of_string (String.lowercase_ascii topology) )
   with
-  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+  | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e
+    ->
       prerr_endline e;
       1
-  | Ok specs, Ok config, Ok target ->
+  | Ok specs, Ok config, Ok target, Ok topology ->
       let recorder =
         Option.map (fun _ -> Sim.Span.create_recorder ()) trace
       in
       let go () =
-        List.concat_map (fun s -> run_target config clients s target) specs
+        List.concat_map
+          (fun s ->
+            run_target config clients servers topology ports_buffer s target)
+          specs
       in
       let reports =
         match recorder with
@@ -127,6 +144,28 @@ let clients_t =
     value & opt int 2
     & info [ "clients" ] ~doc:"Client nodes for the remote target.")
 
+let servers_t =
+  Arg.(
+    value & opt int 1
+    & info [ "servers" ]
+        ~doc:
+          "Server machines for the remote target; private-file jobs \
+           round-robin over them, shared files land where the namespace \
+           hash says.")
+
+let topology_fio_t =
+  Arg.(
+    value & opt string "p2p"
+    & info [ "topology" ]
+        ~doc:"Remote wiring: p2p, shared or switched.")
+
+let ports_buffer_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "ports-buffer" ]
+        ~doc:"Switch output-port buffer in frames (switched topology).")
+
 let target_t =
   Arg.(
     value & opt string "both"
@@ -154,6 +193,7 @@ let cmd =
   Cmd.v
     (Cmd.info "fiobench" ~doc)
     Term.(
-      const run $ specs_t $ config_t $ clients_t $ target_t $ json_t $ trace_t)
+      const run $ specs_t $ config_t $ clients_t $ servers_t $ topology_fio_t
+      $ ports_buffer_t $ target_t $ json_t $ trace_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -29,11 +29,12 @@ let phase_of_string s =
 
 let client_path id = Printf.sprintf "/bench%d" id
 
-(* drop a file from the server's page cache so the next phase pays the
-   same disk reads a local cold-start phase does *)
+(* drop a file from the owning server's page cache so the next phase
+   pays the same disk reads a local cold-start phase does *)
 let cool_server t path =
   Clusterfs.Topology.run t (fun t ->
-      let fs = t.Clusterfs.Topology.server.Clusterfs.Machine.fs in
+      let server = Clusterfs.Topology.server_of_path t path in
+      let fs = t.Clusterfs.Topology.servers.(server).Clusterfs.Machine.fs in
       let ip = Ufs.Fs.namei fs path in
       Workload.Iobench.reset_file_state fs ip;
       Ufs.Iops.iput fs ip)
@@ -51,10 +52,12 @@ let transport_of_string = function
 let topology_of_string = function
   | "p2p" -> Ok Clusterfs.Topology.Point_to_point
   | "shared" -> Ok Clusterfs.Topology.Shared_medium
-  | other -> Error (Printf.sprintf "unknown topology %S (want p2p|shared)" other)
+  | "switched" -> Ok Clusterfs.Topology.Switched
+  | other ->
+      Error (Printf.sprintf "unknown topology %S (want p2p|shared|switched)" other)
 
-let run config_name clients nfsd biods ra_depth file_mb bandwidth_kb latency_us
-    loss seed transport topology phases verbose =
+let run config_name clients servers nfsd biods ra_depth file_mb bandwidth_kb
+    latency_us loss seed transport topology ports_buffer phases verbose =
   match
     let* config = base_config config_name in
     let* transport = transport_of_string transport in
@@ -91,22 +94,24 @@ let run config_name clients nfsd biods ra_depth file_mb bandwidth_kb latency_us
             }
           in
           Printf.printf
-            "server: config %s, %d nfsd; %d client%s, %d KB/s %s, %d us \
+            "server%s: config %s, %d nfsd; %d client%s, %d KB/s %s, %d us \
              latency, %.2f%% loss, %s transport\n"
+            (if servers = 1 then "" else Printf.sprintf "s x%d" servers)
             (String.uppercase_ascii config_name)
             nfsd clients
             (if clients = 1 then "" else "s")
             bandwidth_kb
             (match topology with
             | Clusterfs.Topology.Point_to_point -> "links"
-            | Clusterfs.Topology.Shared_medium -> "shared wire")
+            | Clusterfs.Topology.Shared_medium -> "shared wire"
+            | Clusterfs.Topology.Switched -> "switched fabric")
             latency_us (loss *. 100.)
             (match transport with
             | Nfs.Rpc.Fixed -> "fixed-timeout"
             | Nfs.Rpc.Adaptive -> "adaptive");
           let t =
             Clusterfs.Topology.create ~net ~seed ~topology ~transport ~nfsd
-              ?biods ?ra_depth ~clients config
+              ?biods ?ra_depth ~servers ?ports_buffer ~clients config
           in
           let engine = Clusterfs.Topology.engine t in
           let cfg id =
@@ -121,8 +126,10 @@ let run config_name clients nfsd biods ra_depth file_mb bandwidth_kb latency_us
           | Workload.Iobench.FSW :: _ -> ()
           | _ ->
               Clusterfs.Topology.run_clients t (fun c ->
-                  Workload.Remote_iobench.prepare c.Clusterfs.Topology.mount
-                    (cfg c.Clusterfs.Topology.id));
+                  let id = c.Clusterfs.Topology.id in
+                  Workload.Remote_iobench.prepare
+                    (Clusterfs.Topology.shard t c (client_path id))
+                    (cfg id));
               cool_all t clients);
           Printf.printf "\n%-6s %12s %12s %12s %12s\n" "phase" "agg KB/s"
             "KB/s min" "KB/s mean" "KB/s max";
@@ -139,11 +146,12 @@ let run config_name clients nfsd biods ra_depth file_mb bandwidth_kb latency_us
                   }
               in
               Clusterfs.Topology.run_clients t (fun c ->
-                  results.(c.Clusterfs.Topology.id) <-
+                  let id = c.Clusterfs.Topology.id in
+                  results.(id) <-
                     Workload.Remote_iobench.run_phase ~engine
-                      ~cpu:c.Clusterfs.Topology.cpu c.Clusterfs.Topology.mount
-                      (cfg c.Clusterfs.Topology.id)
-                      phase);
+                      ~cpu:c.Clusterfs.Topology.cpu
+                      (Clusterfs.Topology.shard t c (client_path id))
+                      (cfg id) phase);
               cool_all t clients;
               let bytes =
                 Array.fold_left
@@ -173,40 +181,68 @@ let run config_name clients nfsd biods ra_depth file_mb bandwidth_kb latency_us
             Array.iter
               (fun c ->
                 let id = c.Clusterfs.Topology.id in
-                let r = Nfs.Rpc.stats c.Clusterfs.Topology.rpc in
-                let s = Nfs.Client.stats c.Clusterfs.Topology.mount in
+                let calls, retrans, late =
+                  Array.fold_left
+                    (fun (cl, rt, lt) m ->
+                      let r = Nfs.Rpc.stats m.Clusterfs.Topology.m_rpc in
+                      ( cl + r.Nfs.Rpc.calls,
+                        rt + r.Nfs.Rpc.retransmits,
+                        lt + r.Nfs.Rpc.late_replies ))
+                    (0, 0, 0) c.Clusterfs.Topology.mounts
+                in
+                let hits, misses, rai, rau, gath, dsl =
+                  Array.fold_left
+                    (fun (h, m, ri, ru, g, d) mp ->
+                      let s = Nfs.Client.stats mp.Clusterfs.Topology.m_mount in
+                      ( h + s.Nfs.Client.cache_hits,
+                        m + s.Nfs.Client.cache_misses,
+                        ri + s.Nfs.Client.ra_issued,
+                        ru + s.Nfs.Client.ra_used,
+                        g + s.Nfs.Client.write_gathers,
+                        d + s.Nfs.Client.dirty_sleeps ))
+                    (0, 0, 0, 0, 0, 0) c.Clusterfs.Topology.mounts
+                in
                 (match Clusterfs.Topology.client_link c with
                 | Some link ->
                     let l = Net.stats link in
                     Printf.printf
                       "\nclient %d: %d calls (%d retrans, %d late), link %d \
                        msgs / %d KB, %d drops\n"
-                      id r.Nfs.Rpc.calls r.Nfs.Rpc.retransmits
-                      r.Nfs.Rpc.late_replies l.Net.msgs_sent
+                      id calls retrans late l.Net.msgs_sent
                       (l.Net.bytes_sent / 1024) l.Net.drops
                 | None ->
                     Printf.printf "\nclient %d: %d calls (%d retrans, %d late)\n"
-                      id r.Nfs.Rpc.calls r.Nfs.Rpc.retransmits
-                      r.Nfs.Rpc.late_replies);
+                      id calls retrans late);
                 Printf.printf
                   "  cache: %d hits / %d misses, ra %d issued (%d used), %d \
                    gathers, %d dirty sleeps\n"
-                  s.Nfs.Client.cache_hits s.Nfs.Client.cache_misses
-                  s.Nfs.Client.ra_issued s.Nfs.Client.ra_used
-                  s.Nfs.Client.write_gathers s.Nfs.Client.dirty_sleeps)
+                  hits misses rai rau gath dsl)
               t.Clusterfs.Topology.clients;
-            let sv = Nfs.Server.stats t.Clusterfs.Topology.service in
-            Printf.printf
-              "\nserver: %d calls received, %d dup hits, %d busy drops, queue \
-               wait %.2f ms mean\n"
-              sv.Nfs.Server.received sv.Nfs.Server.dup_hits
-              sv.Nfs.Server.dup_busy_drops
-              (Sim.Stats.Summary.mean sv.Nfs.Server.queue_wait_us /. 1000.);
-            List.iter
-              (fun op ->
-                let n = Nfs.Server.applied t.Clusterfs.Topology.service op in
-                if n > 0 then Printf.printf "  %-8s applied %6d\n" op n)
-              Nfs.Proto.op_names
+            Array.iteri
+              (fun j svc ->
+                let sv = Nfs.Server.stats svc in
+                Printf.printf
+                  "\nserver %d: %d calls received, %d dup hits, %d busy drops, \
+                   queue wait %.2f ms mean\n"
+                  j sv.Nfs.Server.received sv.Nfs.Server.dup_hits
+                  sv.Nfs.Server.dup_busy_drops
+                  (Sim.Stats.Summary.mean sv.Nfs.Server.queue_wait_us /. 1000.);
+                List.iter
+                  (fun op ->
+                    let n = Nfs.Server.applied svc op in
+                    if n > 0 then Printf.printf "  %-8s applied %6d\n" op n)
+                  Nfs.Proto.op_names)
+              t.Clusterfs.Topology.services;
+            match Clusterfs.Topology.switch t with
+            | Some sw ->
+                let st = Net.Switch.stats sw in
+                Printf.printf
+                  "\nswitch: %d frames, %d overflow drops, occupancy high-water \
+                   %d, max port util %.1f%%\n"
+                  st.Net.Switch.frames_sent st.Net.Switch.overflows
+                  st.Net.Switch.occ_hwm
+                  (Net.Switch.max_port_utilization sw *. 100.)
+            | None -> ()
           end;
           0)
 
@@ -216,6 +252,14 @@ let config_t =
 
 let clients_t =
   Arg.(value & opt int 1 & info [ "clients" ] ~doc:"Number of client nodes.")
+
+let servers_t =
+  Arg.(
+    value & opt int 1
+    & info [ "servers" ]
+        ~doc:
+          "Number of server machines; the namespace is spread across them \
+           by a hash of the path.")
 
 let nfsd_t =
   Arg.(value & opt int 4 & info [ "nfsd" ] ~doc:"Server worker pool size.")
@@ -268,8 +312,18 @@ let topology_t =
     & opt string "p2p"
     & info [ "topology" ]
         ~doc:
-          "Network wiring: p2p (a private link per client) or shared (one \
-           Ethernet-class medium all stations contend for).")
+          "Network wiring: p2p (a private link per client), shared (one \
+           Ethernet-class medium all stations contend for) or switched (a \
+           store-and-forward switch with a full-duplex port per machine).")
+
+let ports_buffer_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "ports-buffer" ]
+        ~doc:
+          "Switch output-port buffer in frames (default 64); overflowing \
+           frames are tail-dropped.")
 
 let phases_t =
   Arg.(
@@ -288,8 +342,8 @@ let cmd =
   Cmd.v
     (Cmd.info "nfsbench" ~doc)
     Term.(
-      const run $ config_t $ clients_t $ nfsd_t $ biods_t $ ra_depth_t
-      $ file_mb_t $ bandwidth_t $ latency_t $ loss_t $ seed_t $ transport_t
-      $ topology_t $ phases_t $ verbose_t)
+      const run $ config_t $ clients_t $ servers_t $ nfsd_t $ biods_t
+      $ ra_depth_t $ file_mb_t $ bandwidth_t $ latency_t $ loss_t $ seed_t
+      $ transport_t $ topology_t $ ports_buffer_t $ phases_t $ verbose_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -752,9 +752,9 @@ let nfs_local_pair (config : Config.t) ~file_mb =
    remote read streams from server memory while the local baseline
    reads cold from disk, and "remote vs local" measures cache warmth
    instead of wire cost. *)
-let cool_server_file t path =
+let cool_server_file ?(server = 0) t path =
   Topology.run t (fun t ->
-      let fs = t.Topology.server.Machine.fs in
+      let fs = t.Topology.servers.(server).Machine.fs in
       let ip = Ufs.Fs.namei fs path in
       Workload.Iobench.reset_file_state fs ip;
       Ufs.Iops.iput fs ip)
@@ -893,6 +893,204 @@ let nfs_scaling ?(file_mb = 2) ?(nfsd = 4) ?(net = nfs_scale_net)
       (Nfs.Server.stats t.Topology.service).Nfs.Server.dup_evictions;
   }
 
+
+(* ---------- fleet scale: M servers x N clients ---------- *)
+
+let transport_name = function
+  | Nfs.Rpc.Fixed -> "fixed"
+  | Nfs.Rpc.Adaptive -> "adaptive"
+
+let topology_name = function
+  | Topology.Point_to_point -> "p2p"
+  | Topology.Shared_medium -> "shared"
+  | Topology.Switched -> "switched"
+
+type fleet_row = {
+  fl_clients : int;
+  fl_servers : int;
+  fl_topology : string;
+  fl_aggregate_kb_per_sec : float;
+  fl_per_client_kb_per_sec : float;
+  fl_retransmits : int;
+  fl_server_queue_ms : float;  (* worst server: mean nfsd queue wait *)
+  fl_server_cpu_util : float;  (* worst server: CPU busy / window *)
+  fl_disk_util : float;  (* worst server: disk busy / window *)
+  fl_port_util : float;  (* worst server port or medium utilization *)
+  fl_switch_drops : int;  (* output-buffer tail drops *)
+  fl_occ_hwm : int;  (* worst output-buffer occupancy seen *)
+  fl_dup_evictions : int;
+  fl_bottleneck : string;  (* the binding resource at this scale *)
+}
+
+(* One rung of the bottleneck ladder: [clients] streaming readers over
+   [servers] servers, files spread by {!Topology.server_of_path}.  The
+   per-client file is deliberately small (1 MB): the point is where
+   {e aggregate} goodput stops scaling, not per-stream behaviour, and a
+   1024-client rung has to fit in CI.  Utilizations are measured over
+   the concurrent-read window only (prepare traffic excluded), each as
+   busy-time delta over window wall time; the bottleneck label names the
+   most-utilized resource, or the switch when it dropped frames. *)
+let nfs_fleet ?(file_mb = 1) ?(nfsd = 4) ?(net = Net.default_config)
+    ?(topology = Topology.Switched) ?(transport = Nfs.Rpc.Adaptive)
+    ?ports_buffer ?(config = Config.config_a) ~servers ~clients () =
+  let config =
+    Config.with_name config
+      (Printf.sprintf "%s.fleet.%s.n%d.m%d" config.Config.name
+         (topology_name topology) clients servers)
+  in
+  let t =
+    Topology.create ~net ~nfsd ~topology ~transport ?ports_buffer
+      ~rpc_timeout:(Sim.Time.ms 4000) ~servers ~register_clients:false
+      ~clients config
+  in
+  let engine = Topology.engine t in
+  let fleet_cfg id =
+    {
+      Workload.Iobench.default_config with
+      Workload.Iobench.file_mb;
+      path = Printf.sprintf "/fleet%d" id;
+    }
+  in
+  Topology.run_clients t (fun c ->
+      let cfg = fleet_cfg c.Topology.id in
+      Workload.Remote_iobench.prepare
+        (Topology.shard t c cfg.Workload.Iobench.path)
+        cfg);
+  for id = 0 to clients - 1 do
+    let path = (fleet_cfg id).Workload.Iobench.path in
+    cool_server_file ~server:(Topology.server_of_path t path) t path
+  done;
+  (* snapshot the busy counters, then hold [clients] concurrent readers
+     against cold servers and measure over the max-finish window *)
+  let t_start = Sim.Engine.now engine in
+  let cpu0 =
+    Array.map (fun m -> Sim.Cpu.sys_time m.Machine.cpu) t.Topology.servers
+  in
+  let disk_busy m =
+    Array.fold_left
+      (fun acc d -> acc + (Disk.Device.stats d).Disk.Device.busy)
+      0 m.Machine.disks
+  in
+  let disk0 = Array.map disk_busy t.Topology.servers in
+  let port_busy p =
+    let st = Net.Switch.port_stats p in
+    max st.Net.Switch.up_busy_us st.Net.Switch.down_busy_us
+  in
+  let port0 =
+    match t.Topology.srv_ports with
+    | Some ports -> Array.map port_busy ports
+    | None -> [||]
+  in
+  let finishes = Array.make clients Sim.Time.zero in
+  let bytes = Array.make clients 0 in
+  Topology.run_clients t (fun c ->
+      let id = c.Topology.id in
+      let cfg = fleet_cfg id in
+      let r =
+        Workload.Remote_iobench.run_phase ~engine ~cpu:c.Topology.cpu
+          (Topology.shard t c cfg.Workload.Iobench.path)
+          cfg Workload.Iobench.FSR
+      in
+      bytes.(id) <- r.Workload.Iobench.bytes_moved;
+      finishes.(id) <- Sim.Engine.now engine);
+  let total_bytes = Array.fold_left ( + ) 0 bytes in
+  let wall = Array.fold_left max Sim.Time.zero finishes - t_start in
+  let aggregate =
+    if wall = 0 then 0.
+    else float_of_int total_bytes /. 1024. /. Sim.Time.to_sec_float wall
+  in
+  let fwall = float_of_int (max 1 wall) in
+  let util_over f base =
+    Array.mapi (fun i m -> float_of_int (f m - base.(i)) /. fwall)
+      t.Topology.servers
+    |> Array.fold_left max 0.
+  in
+  let cpu_util =
+    util_over (fun m -> Sim.Cpu.sys_time m.Machine.cpu) cpu0
+  in
+  let disk_util = util_over disk_busy disk0 in
+  let port_util =
+    match t.Topology.srv_ports with
+    | Some ports ->
+        Array.mapi
+          (fun i p -> float_of_int (port_busy p - port0.(i)) /. fwall)
+          ports
+        |> Array.fold_left max 0.
+    | None -> (
+        match Topology.medium t with
+        | Some m -> Net.Medium.utilization m
+        | None -> 0.)
+  in
+  let retrans =
+    Array.fold_left
+      (fun acc c ->
+        Array.fold_left
+          (fun acc m ->
+            acc + (Nfs.Rpc.stats m.Topology.m_rpc).Nfs.Rpc.retransmits)
+          acc c.Topology.mounts)
+      0 t.Topology.clients
+  in
+  let worst_queue_ms =
+    Array.fold_left
+      (fun acc svc ->
+        max acc
+          (Sim.Stats.Summary.mean
+             (Nfs.Server.stats svc).Nfs.Server.queue_wait_us
+          /. 1000.))
+      0. t.Topology.services
+  in
+  let dup_evictions =
+    Array.fold_left
+      (fun acc svc -> acc + (Nfs.Server.stats svc).Nfs.Server.dup_evictions)
+      0 t.Topology.services
+  in
+  let switch_drops, occ_hwm =
+    match Topology.switch t with
+    | Some sw ->
+        let st = Net.Switch.stats sw in
+        (st.Net.Switch.overflows, st.Net.Switch.occ_hwm)
+    | None -> (0, 0)
+  in
+  let bottleneck =
+    (* drops trump utilization: a dropping switch is shedding the load
+       the utilizations never see *)
+    if switch_drops > 0 then "switch buffers"
+    else
+      let candidates =
+        [
+          (disk_util, "server disk");
+          (cpu_util, "server cpu");
+          ( port_util,
+            match topology with
+            | Topology.Switched -> "server port"
+            | Topology.Shared_medium -> "shared wire"
+            | Topology.Point_to_point -> "wire" );
+        ]
+      in
+      let u, name =
+        List.fold_left
+          (fun (bu, bn) (u, n) -> if u > bu then (u, n) else (bu, bn))
+          (0., "none") candidates
+      in
+      if u < 0.5 then "client links (offered load)" else name
+  in
+  {
+    fl_clients = clients;
+    fl_servers = servers;
+    fl_topology = topology_name topology;
+    fl_aggregate_kb_per_sec = aggregate;
+    fl_per_client_kb_per_sec = aggregate /. float_of_int clients;
+    fl_retransmits = retrans;
+    fl_server_queue_ms = worst_queue_ms;
+    fl_server_cpu_util = cpu_util;
+    fl_disk_util = disk_util;
+    fl_port_util = port_util;
+    fl_switch_drops = switch_drops;
+    fl_occ_hwm = occ_hwm;
+    fl_dup_evictions = dup_evictions;
+    fl_bottleneck = bottleneck;
+  }
+
 type nfs_cc_row = {
   cc_clients : int;
   cc_transport : string;
@@ -909,14 +1107,6 @@ type nfs_cc_row = {
   cc_server_queue_ms : float;
   cc_medium_util : float;
 }
-
-let transport_name = function
-  | Nfs.Rpc.Fixed -> "fixed"
-  | Nfs.Rpc.Adaptive -> "adaptive"
-
-let topology_name = function
-  | Topology.Point_to_point -> "p2p"
-  | Topology.Shared_medium -> "shared"
 
 (* One cell of the congestion sweep: [clients] concurrent streaming
    readers against a cold server on Ethernet-class links.  The fixed

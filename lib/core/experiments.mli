@@ -206,6 +206,51 @@ val nfs_scaling :
     a raised retransmission timeout so server queueing under
     saturation is not mistaken for loss. *)
 
+type fleet_row = {
+  fl_clients : int;
+  fl_servers : int;
+  fl_topology : string;  (** ["p2p" | "shared" | "switched"] *)
+  fl_aggregate_kb_per_sec : float;  (** all streams, concurrent window *)
+  fl_per_client_kb_per_sec : float;
+  fl_retransmits : int;  (** all clients, all mounts *)
+  fl_server_queue_ms : float;  (** worst server: mean nfsd queue wait *)
+  fl_server_cpu_util : float;  (** worst server: CPU busy over window *)
+  fl_disk_util : float;  (** worst server: disk busy over window *)
+  fl_port_util : float;
+      (** worst server switch port busy over window (or medium
+          utilization on a shared wire; 0 for p2p) *)
+  fl_switch_drops : int;  (** output-buffer tail drops *)
+  fl_occ_hwm : int;  (** worst output-buffer occupancy seen *)
+  fl_dup_evictions : int;
+  fl_bottleneck : string;
+      (** the binding resource at this rung: ["server disk"],
+          ["server cpu"], ["server port"], ["shared wire"],
+          ["switch buffers"] (drops observed) or
+          ["client links (offered load)"] when nothing server-side is
+          past 50% busy *)
+}
+
+val nfs_fleet :
+  ?file_mb:int ->
+  ?nfsd:int ->
+  ?net:Net.config ->
+  ?topology:Topology.kind ->
+  ?transport:Nfs.Rpc.transport ->
+  ?ports_buffer:int ->
+  ?config:Config.t ->
+  servers:int ->
+  clients:int ->
+  unit ->
+  fleet_row
+(** One rung of the fleet bottleneck ladder: [clients] concurrent
+    streaming readers of small (default 1 MB) files hash-sharded over
+    [servers] servers (default wiring {!Topology.Switched} on
+    {!Net.default_config}-class 12.5 MB/s ports, adaptive transport).  Utilizations are busy-time deltas over the concurrent
+    measurement window only, so the untimed prepare phase does not
+    pollute them.  Aggregate goodput stops scaling when the named
+    bottleneck binds — sweeping [clients] at fixed [servers] locates
+    the knee, and [fl_bottleneck] says what to buy next. *)
+
 type nfs_cc_row = {
   cc_clients : int;
   cc_transport : string;  (** ["fixed" | "adaptive"] *)

@@ -40,8 +40,8 @@ let register_metrics t reg =
   Ufs.Fs.register_metrics t.fs reg ~instance;
   Sim.Engine.register_metrics t.engine reg ~instance
 
-let build (config : Config.t) ~format ~image =
-  let engine = Sim.Engine.create () in
+let build ?engine (config : Config.t) ~format ~image =
+  let engine = match engine with Some e -> e | None -> Sim.Engine.create () in
   (* an installed span recorder stamps spans off this machine's virtual
      clock (experiments build one machine per engine; multi-machine
      topologies share one engine, so the last bind wins harmlessly) *)
@@ -82,10 +82,10 @@ let build (config : Config.t) ~format ~image =
   | None -> ());
   t
 
-let create config = build config ~format:true ~image:None
+let create ?engine config = build ?engine config ~format:true ~image:None
 
-let create_no_format config store =
-  build config ~format:false ~image:(Some store)
+let create_no_format ?engine config store =
+  build ?engine config ~format:false ~image:(Some store)
 
 let run t f =
   let result = ref None in

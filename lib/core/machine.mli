@@ -17,8 +17,10 @@ type t = {
           after crash recovery *)
 }
 
-val create : Config.t -> t
-(** Build the machine, mkfs the disk and mount it. *)
+val create : ?engine:Sim.Engine.t -> Config.t -> t
+(** Build the machine, mkfs the disk and mount it.  [engine] runs the
+    machine on an existing engine instead of a fresh one — multi-machine
+    topologies (M servers, N clients) share one virtual clock. *)
 
 val register_metrics : t -> Sim.Metrics.t -> unit
 (** Register every layer of the machine (disks, volume, page pool,
@@ -38,7 +40,7 @@ val current_metrics_sink : unit -> Sim.Metrics.t option
     (the EFS comparison) and wants to register them into the same
     sink. *)
 
-val create_no_format : Config.t -> Disk.Store.t -> t
+val create_no_format : ?engine:Sim.Engine.t -> Config.t -> Disk.Store.t -> t
 (** Build a machine around an existing disk image (the aged-file-system
     experiments reuse a store across machines).  The store is copied
     onto the new machine's disk. *)

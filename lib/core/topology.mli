@@ -1,63 +1,110 @@
-(** A multi-machine setup: one server machine exporting its UFS over
-    NFS to [n] client nodes.
+(** A multi-machine setup: [servers] machines (default 1) exporting
+    their UFS file systems over NFS to [n] client nodes.
 
-    Everything shares one {!Sim.Engine} (the server machine's), so a
-    topology is still a single deterministic simulation.  The server is
-    a full {!Machine} — its disk, page pool and pageout daemon behave
+    Everything shares one {!Sim.Engine} (the first server machine's), so
+    a topology is still a single deterministic simulation.  Each server
+    is a full {!Machine} — its disk, page pool and pageout daemon behave
     exactly as in local experiments, with an {!Nfs.Server} worker pool
-    on top.  Clients are light nodes: a CPU, an RPC channel and an
-    {!Nfs.Client} mount, but no local disk or UFS (their cache lives in
-    the mount).
+    on top.  Clients are light nodes: a CPU, one RPC channel {e per
+    server} and an {!Nfs.Client} mount per server, but no local disk or
+    UFS (their cache lives in the mounts).
 
-    Two wirings ({!kind}):
+    Three wirings ({!kind}):
 
     - {!Point_to_point} (default): each client gets a private duplex
-      {!Net} link to the server — contention only at the server's CPU
-      and disk;
-    - {!Shared_medium}: every machine is a station on one
-      {!Net.Medium} Ethernet segment (server = station 0, client [i] =
-      station [i+1]), so clients also contend for the wire itself.
+      {!Net} link to every server — contention only at server CPUs and
+      disks;
+    - {!Shared_medium}: every machine is a station on one {!Net.Medium}
+      Ethernet segment (server [s] = station [s], client [i] = station
+      [servers + i]), so clients also contend for the wire itself;
+    - {!Switched}: every machine hangs off its own full-duplex port of
+      one {!Net.Switch} (same numbering as the shared medium) — the
+      modern fabric, where the congestion signal is finite output-port
+      buffers, not collisions.
+
+    {b Sharding.}  With several servers the namespace is spread by a
+    hash of the path ({!server_of_path}); {!shard} picks the mount a
+    client should use for a file.  Which server owns a path is a pure
+    function of the name, so every client agrees without coordination.
+
+    {b Per-server congestion state.}  A client's RPC channel to each
+    server owns one {!Nfs.Rpc.cstate} (RTT estimator, RTO, AIMD
+    window).  {!add_mount} attaches an {e additional} mount — its own
+    link/station/port, xid space and server dispatcher — that shares
+    the existing channel's cstate, so two mounts to one server share one
+    cwnd/RTO estimator while mounts to different servers stay
+    independent.
 
     When a metrics sink is installed ({!Machine.with_metrics_sink}),
-    the server machine, the NFS service, the network and every client
-    mount register themselves; instances are named [<config>.server],
-    [<config>.c<i>.link] (per-client links) or [<config>.net] (the
-    shared medium), and [<config>.c<i>]. *)
+    the server machines, NFS services, the network and (by default)
+    every client mount register themselves; instances are named
+    [<config>.server] / [<config>.s<j>.server], [<config>.c<i>.link]
+    (per-client links; [.link.s<j>] with several servers),
+    [<config>.net] (shared medium) or [<config>.switch] plus
+    [<config>(.s<j>).port] (server switch ports), and [<config>.c<i>]
+    ([.c<i>.s<j>] with several servers).  Pass
+    [~register_clients:false] to skip the per-client sources — at 1024
+    clients they would dwarf the snapshot. *)
 
-type kind = Point_to_point | Shared_medium
+type kind = Point_to_point | Shared_medium | Switched
 
 type attach =
-  | Link of Nfs.Proto.msg Net.t  (** private duplex link to the server *)
+  | Links of Nfs.Proto.msg Net.t array
+      (** private duplex links, one per server *)
   | Station of Nfs.Proto.msg Net.Medium.station
       (** this client's station on the shared segment *)
+  | Port of Nfs.Proto.msg Net.Switch.port
+      (** this client's switch port *)
+
+type mountpoint = {
+  m_server : int;  (** which server this mount points at *)
+  m_rpc : Nfs.Rpc.t;
+  m_mount : Nfs.Client.t;
+}
 
 type client = {
   id : int;  (** 0-based; also the RPC client id *)
   cpu : Sim.Cpu.t;
   attach : attach;
-  rpc : Nfs.Rpc.t;
-  mount : Nfs.Client.t;
+  rpc : Nfs.Rpc.t;  (** = [mounts.(0).m_rpc] *)
+  mount : Nfs.Client.t;  (** = [mounts.(0).m_mount] *)
+  mounts : mountpoint array;  (** one per server *)
 }
 
 type t = {
-  server : Machine.t;
-  service : Nfs.Server.t;
+  server : Machine.t;  (** = [servers.(0)] — the 1-server API *)
+  service : Nfs.Server.t;  (** = [services.(0)] *)
+  servers : Machine.t array;
+  services : Nfs.Server.t array;
   clients : client array;
   medium : Nfs.Proto.msg Net.Medium.t option;
       (** the shared segment, when [kind] was {!Shared_medium} *)
-  mutable crashed : Disk.Store.t option;
-      (** platter image latched by {!crash_server}, consumed by
-          {!reboot_server} *)
+  switch : Nfs.Proto.msg Net.Switch.t option;
+      (** the fabric, when [kind] was {!Switched} *)
+  srv_stations : Nfs.Proto.msg Net.Medium.station array option;
+  srv_ports : Nfs.Proto.msg Net.Switch.port array option;
+  crashed : Disk.Store.t option array;
+      (** platter images latched by {!crash_server}, consumed by
+          {!reboot_server}; indexed by server *)
+  topo_kind : kind;
+  net_cfg : Net.config;
+  seed : int;
+  transport : Nfs.Rpc.transport option;
+  rpc_timeout : Sim.Time.t option;
+  mutable next_rpc_id : int;
 }
 
 val client_link : client -> Nfs.Proto.msg Net.t option
-(** The client's private link ([None] on a shared medium). *)
+(** The client's private link to server 0 ([None] on a shared medium or
+    switch). *)
 
 val client_drops : client -> int
-(** Drops on the client's private link, both directions; 0 on a shared
-    medium (drops there are per-segment — see {!medium}). *)
+(** Drops on the client's private links (all servers, both directions)
+    or its switch uplink; 0 on a shared medium (drops there are
+    per-segment — see {!medium}). *)
 
 val medium : t -> Nfs.Proto.msg Net.Medium.t option
+val switch : t -> Nfs.Proto.msg Net.Switch.t option
 
 val create :
   ?net:Net.config ->
@@ -69,20 +116,58 @@ val create :
   ?ra_depth:int ->
   ?dirty_limit:int ->
   ?rpc_timeout:Sim.Time.t ->
+  ?servers:int ->
+  ?ports_buffer:int ->
+  ?register_clients:bool ->
   clients:int ->
   Config.t ->
   t
-(** Build the server from [Config.t] (mkfs + mount as {!Machine.create})
-    and attach [clients] nodes.  [seed] (default 0) derives the
-    fault-injection streams ([seed + client id] per link, [seed] for a
-    shared medium).  [topology] picks the wiring (default
+(** Build [servers] (default 1) server machines from [Config.t] (mkfs +
+    mount as {!Machine.create}; extra servers are named
+    [<name>.s<j>] and share the first machine's engine) and attach
+    [clients] nodes, each with one RPC channel and mount per server.
+    [seed] (default 0) derives the fault-injection streams
+    ([seed + client*servers + server] per p2p link, [seed] for a shared
+    medium or switch).  [topology] picks the wiring (default
     {!Point_to_point}); [transport] the RPC retransmission strategy
-    (default {!Nfs.Rpc.Fixed}).  [nfsd] sizes the server worker pool
+    (default {!Nfs.Rpc.Fixed}).  [nfsd] sizes each server's worker pool
     (default 4); [biods], [ra_depth] and [dirty_limit] configure each
     client mount (see {!Nfs.Client.mount}); [rpc_timeout] is the
-    initial retransmission timeout. *)
+    initial retransmission timeout.  [ports_buffer] sizes the switch's
+    per-output-port buffer in frames (default 64; {!Switched} only).
+    [register_clients] (default true) controls per-client metrics
+    registration. *)
 
 val engine : t -> Sim.Engine.t
+
+val nservers : t -> int
+
+val server_of_path : t -> string -> int
+(** Which server owns a path: FNV-1a hash mod server count (always 0
+    with one server). *)
+
+val shard : t -> client -> string -> Nfs.Client.t
+(** The mount this client should use for this path. *)
+
+val mount_of : client -> server:int -> Nfs.Client.t
+
+val add_mount :
+  t ->
+  client ->
+  server:int ->
+  ?biods:int ->
+  ?ra_depth:int ->
+  ?dirty_limit:int ->
+  unit ->
+  mountpoint
+(** Attach an additional mount from [client] to [server]: a genuinely
+    new transport attachment (own p2p link, station or switch port, own
+    xid space, and a new dispatcher on the server) whose RPC channel
+    {e shares} the per-server {!Nfs.Rpc.cstate} with the client's
+    existing mount to that server — per-server, not per-mount,
+    congestion state.  Must be called before driving load (it spawns
+    server-side processes).  The returned mountpoint is not added to
+    [client.mounts]. *)
 
 val run_clients : t -> (client -> unit) -> unit
 (** Run [f] concurrently on every client node (one simulated process
@@ -94,19 +179,20 @@ val run : t -> (t -> 'a) -> 'a
 (** Run a single driver process against the topology (the analogue of
     {!Machine.run} — use {!run_clients} for symmetric load). *)
 
-val crash_server : t -> Disk.Store.t
-(** Power-fail the server machine mid-simulation: the NFS service goes
-    {e down} (incoming calls dropped, in-progress replies suppressed,
-    handle table lost), the drives power-cut ({!Disk.Blkdev.crash_cut} —
-    queued and in-flight writes are lost and tallied), and the platter
-    image as of this instant is latched for {!reboot_server}.  Clients
-    keep running: hard-mount RPCs back off and retransmit until the
-    reboot.  Returns the latched image (callers may fsck a copy). *)
+val crash_server : ?server:int -> t -> Disk.Store.t
+(** Power-fail one server machine (default 0) mid-simulation: the NFS
+    service goes {e down} (incoming calls dropped, in-progress replies
+    suppressed, handle table lost), the drives power-cut
+    ({!Disk.Blkdev.crash_cut} — queued and in-flight writes are lost and
+    tallied), and the platter image as of this instant is latched for
+    {!reboot_server}.  Clients keep running: hard-mount RPCs back off
+    and retransmit until the reboot.  Returns the latched image (callers
+    may fsck a copy). *)
 
-val reboot_server : t -> Ufs.Recover.report
-(** Bring the crashed server back: restore the latched image, replay
-    the intent journal (timed — recovery time lands on the simulation
-    clock like any other I/O), mount, and restart the NFS service over
-    the new file system with an empty dup cache.  Requires a journaled
-    config ({!Config.with_journal}).  Must run inside a simulation
-    process (e.g. under {!run}). *)
+val reboot_server : ?server:int -> t -> Ufs.Recover.report
+(** Bring a crashed server back: restore the latched image, replay the
+    intent journal (timed — recovery time lands on the simulation clock
+    like any other I/O), mount, and restart the NFS service over the new
+    file system with an empty dup cache.  Requires a journaled config
+    ({!Config.with_journal}).  Must run inside a simulation process
+    (e.g. under {!run}). *)

@@ -49,8 +49,11 @@ let run_local ?(config = Clusterfs.Config.config_a) spec =
   register report;
   report
 
-let run_remote ?(config = Clusterfs.Config.config_a) ?(clients = 2) spec =
-  let topo = Clusterfs.Topology.create ~clients config in
+let run_remote ?(config = Clusterfs.Config.config_a) ?(clients = 2)
+    ?(servers = 1) ?topology ?ports_buffer spec =
+  let topo =
+    Clusterfs.Topology.create ?topology ?ports_buffer ~servers ~clients config
+  in
   let jobs =
     Clusterfs.Topology.run topo (fun topo ->
         Run.execute (Target.remote topo) spec)

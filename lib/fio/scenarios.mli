@@ -41,10 +41,19 @@ val run_local : ?config:Clusterfs.Config.t -> Spec.t -> Report.t
     installed, the machine and the run register into it. *)
 
 val run_remote :
-  ?config:Clusterfs.Config.t -> ?clients:int -> Spec.t -> Report.t
+  ?config:Clusterfs.Config.t ->
+  ?clients:int ->
+  ?servers:int ->
+  ?topology:Clusterfs.Topology.kind ->
+  ?ports_buffer:int ->
+  Spec.t ->
+  Report.t
 (** Run the spec over NFS: a topology of [clients] (default 2) client
-    nodes mounting the server (default config A), jobs round-robin
-    across mounts. *)
+    nodes mounting [servers] (default 1) server machines (default
+    config A), jobs round-robin across client mounts and servers (see
+    {!Target.remote}).  [topology] picks the wiring (default
+    point-to-point links) and [ports_buffer] sizes the switch's
+    output-port buffers when it is {!Clusterfs.Topology.Switched}. *)
 
 type gather_point = {
   clients : int;

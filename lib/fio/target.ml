@@ -60,12 +60,17 @@ let local (m : Clusterfs.Machine.t) =
 let remote (topo : Clusterfs.Topology.t) =
   let clients = topo.Clusterfs.Topology.clients in
   let n = Array.length clients in
+  let nsrv = Clusterfs.Topology.nservers topo in
   let prepare ~job (s : Spec.t) =
     (* a shared file lives behind one mount: all its jobs go through
-       the same client cache, like processes sharing a kernel *)
+       the same client cache, like processes sharing a kernel — and on
+       one server, the one the namespace hash assigns the path.
+       Private files round-robin over servers as well as clients, so a
+       numjobs=8 spec on a 2-server fleet loads both machines *)
+    let c = clients.((if s.Spec.share then 0 else job) mod n) in
     let mount =
-      clients.((if s.Spec.share then 0 else job) mod n)
-        .Clusterfs.Topology.mount
+      if s.Spec.share then Clusterfs.Topology.shard topo c (job_name s ~job)
+      else Clusterfs.Topology.mount_of c ~server:(job mod nsrv)
     in
     let f =
       if s.Spec.share && job > 0 then

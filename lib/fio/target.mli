@@ -4,7 +4,11 @@
 
     Job [j] of a spec works on file [<spec.file>.<j>].  On a remote
     target, jobs are assigned to the topology's client mounts round
-    robin ([j mod clients]), so one spec can load many client machines.
+    robin ([j mod clients]) {e and}, on a multi-server fleet, to
+    servers round robin ([j mod servers]), so one spec can load many
+    client machines and every server.  A [share=1] spec instead puts
+    its one file behind client 0's mount to whichever server the
+    namespace hash ({!Clusterfs.Topology.shard}) assigns the path.
 
     All functions must run inside a simulation process. *)
 

@@ -443,3 +443,305 @@ module Medium = struct
           ("transit_us", Sim.Metrics.Summary s.m_transit_us);
         ])
 end
+
+(* ---------- store-and-forward switch ---------- *)
+
+module Switch = struct
+  type sw_stats = {
+    mutable frames_sent : int;
+    mutable sw_bytes_sent : int;
+    mutable frames_delivered : int;
+    mutable sw_drops : int;  (** seeded uplink loss *)
+    mutable overflows : int;  (** tail drops at full output buffers *)
+    mutable sw_spikes : int;
+    mutable occ_hwm : int;  (** worst output-buffer occupancy, any port *)
+    sw_queue_wait_us : Sim.Stats.Summary.t;
+        (** switch arrival -> downlink grant, all output ports *)
+    sw_transit_us : Sim.Stats.Summary.t;  (** send -> delivery *)
+  }
+
+  type p_stats = {
+    mutable up_frames : int;
+    mutable up_bytes : int;
+    mutable up_busy_us : int;  (** host->switch link occupancy *)
+    mutable down_frames : int;
+    mutable down_bytes : int;
+    mutable down_busy_us : int;  (** switch->host link occupancy *)
+    mutable p_drops : int;  (** uplink loss on this port *)
+    mutable p_overflows : int;  (** frames tail-dropped at this output *)
+    mutable p_occ_hwm : int;
+    p_queue_wait_us : Sim.Stats.Summary.t;
+  }
+
+  type 'a frame = {
+    src : int;
+    f_dst : int;
+    fsize : int;
+    payload : 'a;
+    enq_at : Sim.Time.t;  (** handed to the uplink *)
+    mutable sw_at : Sim.Time.t;  (** accepted into the output buffer *)
+  }
+
+  type 'a inbox = { q : 'a Queue.t; ib_cond : Sim.Condition.t }
+
+  type 'a t = {
+    sw_engine : Sim.Engine.t;
+    sw_cfg : config;
+    buffer : int;  (** frames per output port *)
+    sw_name : string;
+    sw_rng : Sim.Rng.t;
+    ports : (int, 'a port) Hashtbl.t;
+    mutable nports : int;
+    sw_st : sw_stats;
+  }
+
+  and 'a port = {
+    sw : 'a t;
+    pid : int;
+    p_cpu : Sim.Cpu.t;
+    (* uplink (host -> switch): a private serial wire, like one
+       direction of a p2p link *)
+    mutable up_free_at : Sim.Time.t;
+    mutable up_last_arrival : Sim.Time.t;
+    (* output buffer + downlink (switch -> host) *)
+    eq : 'a frame Queue.t;
+    mutable occupancy : int;
+    mutable down_busy : bool;
+    pst : p_stats;
+    inboxes : (int, 'a inbox) Hashtbl.t;  (** keyed by source port *)
+  }
+
+  let create ?(seed = 0) ?(name = "switch") ?(buffer = 64) engine cfg =
+    validate ~who:"Net.Switch.create" cfg;
+    if buffer <= 0 then invalid_arg "Net.Switch.create: buffer must be > 0";
+    {
+      sw_engine = engine;
+      sw_cfg = cfg;
+      buffer;
+      sw_name = name;
+      sw_rng = Sim.Rng.create ~seed;
+      ports = Hashtbl.create 16;
+      nports = 0;
+      sw_st =
+        {
+          frames_sent = 0;
+          sw_bytes_sent = 0;
+          frames_delivered = 0;
+          sw_drops = 0;
+          overflows = 0;
+          sw_spikes = 0;
+          occ_hwm = 0;
+          sw_queue_wait_us = Sim.Stats.Summary.create ();
+          sw_transit_us = Sim.Stats.Summary.create ();
+        };
+    }
+
+  let attach t ~cpu =
+    let p =
+      {
+        sw = t;
+        pid = t.nports;
+        p_cpu = cpu;
+        up_free_at = Sim.Time.zero;
+        up_last_arrival = Sim.Time.zero;
+        eq = Queue.create ();
+        occupancy = 0;
+        down_busy = false;
+        pst =
+          {
+            up_frames = 0;
+            up_bytes = 0;
+            up_busy_us = 0;
+            down_frames = 0;
+            down_bytes = 0;
+            down_busy_us = 0;
+            p_drops = 0;
+            p_overflows = 0;
+            p_occ_hwm = 0;
+            p_queue_wait_us = Sim.Stats.Summary.create ();
+          };
+        inboxes = Hashtbl.create 4;
+      }
+    in
+    Hashtbl.replace t.ports p.pid p;
+    t.nports <- t.nports + 1;
+    p
+
+  let port_id p = p.pid
+
+  let inbox_of p ~src =
+    match Hashtbl.find_opt p.inboxes src with
+    | Some ib -> ib
+    | None ->
+        let ib =
+          {
+            q = Queue.create ();
+            ib_cond =
+              Sim.Condition.create p.sw.sw_engine
+                (Printf.sprintf "%s.p%d<-%d" p.sw.sw_name p.pid src);
+          }
+        in
+        Hashtbl.replace p.inboxes src ib;
+        ib
+
+  (* The output-port pump: transmit the head frame over the private
+     downlink, release the buffer slot when the wire falls silent, and
+     deliver [latency] after that.  One serial downlink per port keeps
+     delivery FIFO per output port regardless of which inputs the frames
+     came from. *)
+  let rec pump p () =
+    let m = p.sw in
+    match Queue.take_opt p.eq with
+    | None -> p.down_busy <- false
+    | Some fr ->
+        let now = Sim.Engine.now m.sw_engine in
+        let wait = now - fr.sw_at in
+        Sim.Stats.Summary.add m.sw_st.sw_queue_wait_us (float_of_int wait);
+        Sim.Stats.Summary.add p.pst.p_queue_wait_us (float_of_int wait);
+        let xmit = xmit_time m.sw_cfg ~size:fr.fsize in
+        p.pst.down_frames <- p.pst.down_frames + 1;
+        p.pst.down_bytes <- p.pst.down_bytes + fr.fsize;
+        p.pst.down_busy_us <- p.pst.down_busy_us + xmit;
+        Sim.Engine.schedule m.sw_engine ~delay:xmit (fun () ->
+            p.occupancy <- p.occupancy - 1;
+            Sim.Engine.schedule m.sw_engine ~delay:m.sw_cfg.latency (fun () ->
+                let ib = inbox_of p ~src:fr.src in
+                Queue.push fr.payload ib.q;
+                m.sw_st.frames_delivered <- m.sw_st.frames_delivered + 1;
+                Sim.Stats.Summary.add m.sw_st.sw_transit_us
+                  (float_of_int (Sim.Engine.now m.sw_engine - fr.enq_at));
+                Sim.Condition.signal ib.ib_cond);
+            pump p ())
+
+  (* A frame has fully arrived over its uplink: store (or tail-drop) and
+     forward.  Store-and-forward, no cut-through: the downlink can't
+     start until the whole frame is in the buffer, which this callback's
+     timing already guarantees. *)
+  let accept t fr =
+    match Hashtbl.find_opt t.ports fr.f_dst with
+    | None -> ()  (* no such port: the bits fall on the floor *)
+    | Some dst ->
+        if dst.occupancy >= t.buffer then begin
+          t.sw_st.overflows <- t.sw_st.overflows + 1;
+          dst.pst.p_overflows <- dst.pst.p_overflows + 1
+        end
+        else begin
+          dst.occupancy <- dst.occupancy + 1;
+          if dst.occupancy > dst.pst.p_occ_hwm then
+            dst.pst.p_occ_hwm <- dst.occupancy;
+          if dst.occupancy > t.sw_st.occ_hwm then
+            t.sw_st.occ_hwm <- dst.occupancy;
+          fr.sw_at <- Sim.Engine.now t.sw_engine;
+          Queue.push fr dst.eq;
+          if not dst.down_busy then begin
+            dst.down_busy <- true;
+            pump dst ()
+          end
+        end
+
+  let send_to p ~dst ~size payload =
+    let m = p.sw in
+    let cfg = m.sw_cfg in
+    Sim.Cpu.charge p.p_cpu ~label:"net" (serialization_cpu cfg ~size);
+    let now = Sim.Engine.now m.sw_engine in
+    (* the port's private uplink: a serialization point, never contended
+       by other hosts (full duplex: independent of the downlink) *)
+    let start = max now p.up_free_at in
+    let xmit = xmit_time cfg ~size in
+    p.up_free_at <- start + xmit;
+    p.pst.up_frames <- p.pst.up_frames + 1;
+    p.pst.up_bytes <- p.pst.up_bytes + size;
+    p.pst.up_busy_us <- p.pst.up_busy_us + xmit;
+    m.sw_st.frames_sent <- m.sw_st.frames_sent + 1;
+    m.sw_st.sw_bytes_sent <- m.sw_st.sw_bytes_sent + size;
+    (* fault injection draws happen at send time, in send order: a run
+       is a pure function of the switch seed and the traffic *)
+    let dropped = cfg.loss > 0. && Sim.Rng.float m.sw_rng 1.0 < cfg.loss in
+    let spiked =
+      cfg.spike_prob > 0. && Sim.Rng.float m.sw_rng 1.0 < cfg.spike_prob
+    in
+    if spiked then m.sw_st.sw_spikes <- m.sw_st.sw_spikes + 1;
+    if dropped then begin
+      m.sw_st.sw_drops <- m.sw_st.sw_drops + 1;
+      p.pst.p_drops <- p.pst.p_drops + 1
+    end
+    else begin
+      let arrival =
+        p.up_free_at + cfg.latency
+        + (if spiked then cfg.spike else Sim.Time.zero)
+      in
+      (* FIFO per uplink: a spike holds later frames behind it *)
+      let arrival = max arrival p.up_last_arrival in
+      p.up_last_arrival <- arrival;
+      let fr =
+        { src = p.pid; f_dst = dst; fsize = size; payload; enq_at = now;
+          sw_at = Sim.Time.zero }
+      in
+      Sim.Engine.schedule m.sw_engine ~delay:(arrival - now) (fun () ->
+          accept m fr)
+    end
+
+  let rec recv_from p ~src =
+    let ib = inbox_of p ~src in
+    if Queue.is_empty ib.q then begin
+      Sim.Condition.wait ib.ib_cond;
+      recv_from p ~src
+    end
+    else Queue.pop ib.q
+
+  let endpoint p ~peer =
+    let ib = inbox_of p ~src:peer in
+    {
+      ep_send = (fun ~size msg -> send_to p ~dst:peer ~size msg);
+      ep_recv = (fun () -> recv_from p ~src:peer);
+      ep_pending = (fun () -> Queue.length ib.q);
+    }
+
+  let stats t = t.sw_st
+  let port_stats p = p.pst
+
+  let port_utilization p =
+    let now = Sim.Engine.now p.sw.sw_engine in
+    if now = 0 then 0.
+    else
+      float_of_int (max p.pst.up_busy_us p.pst.down_busy_us)
+      /. float_of_int now
+
+  let max_port_utilization t =
+    Hashtbl.fold (fun _ p acc -> max acc (port_utilization p)) t.ports 0.
+
+  let register_metrics t reg ~instance =
+    let s = t.sw_st in
+    Sim.Metrics.register reg ~layer:"net" ~instance (fun () ->
+        [
+          ("ports", Sim.Metrics.Int t.nports);
+          ("buffer_frames", Sim.Metrics.Int t.buffer);
+          ("frames_sent", Sim.Metrics.Int s.frames_sent);
+          ("bytes_sent", Sim.Metrics.Int s.sw_bytes_sent);
+          ("frames_delivered", Sim.Metrics.Int s.frames_delivered);
+          ("drops", Sim.Metrics.Int s.sw_drops);
+          ("overflow_drops", Sim.Metrics.Int s.overflows);
+          ("delay_spikes", Sim.Metrics.Int s.sw_spikes);
+          ("occupancy_hwm", Sim.Metrics.Int s.occ_hwm);
+          ("max_port_utilization", Sim.Metrics.Float (max_port_utilization t));
+          ("queue_wait_us", Sim.Metrics.Summary s.sw_queue_wait_us);
+          ("transit_us", Sim.Metrics.Summary s.sw_transit_us);
+        ])
+
+  let register_port_metrics p reg ~instance =
+    let s = p.pst in
+    Sim.Metrics.register reg ~layer:"net" ~instance (fun () ->
+        [
+          ("up_frames", Sim.Metrics.Int s.up_frames);
+          ("up_bytes", Sim.Metrics.Int s.up_bytes);
+          ("up_busy_us", Sim.Metrics.Int s.up_busy_us);
+          ("down_frames", Sim.Metrics.Int s.down_frames);
+          ("down_bytes", Sim.Metrics.Int s.down_bytes);
+          ("down_busy_us", Sim.Metrics.Int s.down_busy_us);
+          ("drops", Sim.Metrics.Int s.p_drops);
+          ("overflow_drops", Sim.Metrics.Int s.p_overflows);
+          ("occupancy_hwm", Sim.Metrics.Int s.p_occ_hwm);
+          ("utilization", Sim.Metrics.Float (port_utilization p));
+          ("queue_wait_us", Sim.Metrics.Summary s.p_queue_wait_us);
+        ])
+end

@@ -176,3 +176,93 @@ module Medium : sig
   (** Register the medium's counters, utilization and queue-wait
       summaries as a ["net"] source. *)
 end
+
+(** A store-and-forward switch: every host hangs off its own full-duplex
+    port (a private uplink and a private downlink, each a serial wire at
+    [bandwidth]), and the switch forwards frames between ports through
+    finite per-output-port buffers.
+
+    The path of a frame: the sender's CPU pays serialization, the frame
+    occupies the sender's uplink for [size / bandwidth] and arrives at
+    the switch [latency] later (store-and-forward: forwarding starts
+    only once the whole frame is in).  If the destination port's output
+    buffer is full the frame is tail-dropped — the congestion signal of
+    a switched fabric, replacing the shared medium's collisions.
+    Otherwise it waits FIFO in the output buffer, occupies the
+    destination's downlink for [size / bandwidth], frees its buffer slot
+    when the wire falls silent, and is delivered [latency] after that.
+    Delivery is FIFO per output port (one serial downlink), whatever
+    input ports the frames came from; there is no cut-through and no
+    output-port fan-out contention beyond the buffer itself.
+
+    Seeded fault injection ([loss], [spike]) applies on the uplink, with
+    draws at send time in send order, so a run is a pure function of the
+    switch seed and the traffic.  Unlike {!Medium} there is no carrier
+    sense and no backoff: ports never contend for each other's wires,
+    only for output buffers. *)
+module Switch : sig
+  type 'a t
+  (** One switch. *)
+
+  type 'a port
+  (** One host's attachment (its full-duplex link to the switch). *)
+
+  val create :
+    ?seed:int -> ?name:string -> ?buffer:int ->
+    Sim.Engine.t -> config -> 'a t
+  (** [buffer] (default 64) is the output-buffer capacity per port, in
+      frames; arrivals beyond it are tail-dropped. *)
+
+  val attach : 'a t -> cpu:Sim.Cpu.t -> 'a port
+  (** Add a port; ids are assigned in attach order. *)
+
+  val port_id : 'a port -> int
+
+  val endpoint : 'a port -> peer:int -> 'a endpoint
+  (** This port's channel to port [peer]: sends address [peer], receives
+      are demultiplexed by source port, so one port can serve many peers
+      through independent endpoints (a server's view of its clients). *)
+
+  type sw_stats = {
+    mutable frames_sent : int;
+    mutable sw_bytes_sent : int;
+    mutable frames_delivered : int;
+    mutable sw_drops : int;  (** seeded uplink loss *)
+    mutable overflows : int;  (** tail drops at full output buffers *)
+    mutable sw_spikes : int;
+    mutable occ_hwm : int;  (** worst output-buffer occupancy, any port *)
+    sw_queue_wait_us : Sim.Stats.Summary.t;
+        (** switch arrival -> downlink grant, all output ports *)
+    sw_transit_us : Sim.Stats.Summary.t;  (** send -> delivery *)
+  }
+
+  type p_stats = {
+    mutable up_frames : int;
+    mutable up_bytes : int;
+    mutable up_busy_us : int;  (** host->switch link occupancy *)
+    mutable down_frames : int;
+    mutable down_bytes : int;
+    mutable down_busy_us : int;  (** switch->host link occupancy *)
+    mutable p_drops : int;  (** uplink loss on this port *)
+    mutable p_overflows : int;  (** frames tail-dropped at this output *)
+    mutable p_occ_hwm : int;
+    p_queue_wait_us : Sim.Stats.Summary.t;
+  }
+
+  val stats : 'a t -> sw_stats
+  val port_stats : 'a port -> p_stats
+
+  val port_utilization : 'a port -> float
+  (** Busier direction's occupancy over elapsed time, [0, 1]. *)
+
+  val max_port_utilization : 'a t -> float
+
+  val register_metrics : 'a t -> Sim.Metrics.t -> instance:string -> unit
+  (** Register switch-wide counters, the occupancy high-water mark and
+      queue-wait summaries as a ["net"] source. *)
+
+  val register_port_metrics :
+    'a port -> Sim.Metrics.t -> instance:string -> unit
+  (** Register one port's counters (typically only server ports: at
+      1024 clients, per-client port sources would dwarf the snapshot). *)
+end

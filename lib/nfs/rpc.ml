@@ -14,22 +14,18 @@ type pending = {
   mutable retransmitted : bool;
 }
 
-type t = {
-  engine : Sim.Engine.t;
-  cpu : Sim.Cpu.t;
-  ep : Proto.msg Net.endpoint;
-  id : int;
-  transport : transport;
-  timeout : Sim.Time.t;
-  max_timeout : Sim.Time.t;
-  min_rto : Sim.Time.t;
-  cwnd_limit : float;
-  mutable next_xid : int;
-  pending : (int, pending) Hashtbl.t;
-  st : stats;
-  op_calls : (string, int ref) Hashtbl.t;
-  op_rtt : (string, Sim.Stats.Summary.t) Hashtbl.t;
-  (* adaptive per-server transport state (one t per server channel) *)
+(* The congestion/timer state of one {e server channel}: RTT estimator,
+   RTO, AIMD window, in-flight count and the window wait queue.  It is a
+   separate heap object so several [t]s — one per mount — can share it
+   when they target the same server: the window then bounds the union of
+   their outstanding calls and every mount feeds (and benefits from) one
+   estimator, the way a real client shares one transport handle per
+   server rather than per mount. *)
+type cstate = {
+  cs_timeout : Sim.Time.t;
+  cs_max_timeout : Sim.Time.t;
+  cs_min_rto : Sim.Time.t;
+  cs_cwnd_limit : float;
   mutable srtt : float;  (** us; negative until the first valid sample *)
   mutable rttvar : float;
   mutable rto : Sim.Time.t;  (** current RTO, Karn backoff included *)
@@ -39,12 +35,53 @@ type t = {
   mutable backoffs : int;
   window_wait_us : Sim.Stats.Summary.t;
   win_cond : Sim.Condition.t;
+}
+
+let make_cstate engine ?(timeout = Sim.Time.of_ms_float 1100.)
+    ?(max_timeout = Sim.Time.sec 20) ?(min_rto = Sim.Time.ms 200)
+    ?(cwnd_limit = 8.) ?(name = "rpc.win") () =
+  {
+    cs_timeout = timeout;
+    cs_max_timeout = max_timeout;
+    cs_min_rto = min_rto;
+    cs_cwnd_limit = cwnd_limit;
+    srtt = -1.;
+    rttvar = 0.;
+    rto = timeout;
+    cwnd = 2.;
+    in_flight = 0;
+    next_decrease_at = Sim.Time.zero;
+    backoffs = 0;
+    window_wait_us = Sim.Stats.Summary.create ();
+    win_cond = Sim.Condition.create engine name;
+  }
+
+type t = {
+  engine : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  ep : Proto.msg Net.endpoint;
+  id : int;
+  transport : transport;
+  cs : cstate;  (** shared with other mounts to the same server, or private *)
+  mutable next_xid : int;
+  pending : (int, pending) Hashtbl.t;
+  st : stats;
+  op_calls : (string, int ref) Hashtbl.t;
+  op_rtt : (string, Sim.Stats.Summary.t) Hashtbl.t;
   mutable retrans_log : Sim.Time.t list;  (** newest first *)
 }
 
 let create engine ~cpu ~ep ~client_id ?(transport = Fixed)
     ?(timeout = Sim.Time.of_ms_float 1100.) ?(max_timeout = Sim.Time.sec 20)
-    ?(min_rto = Sim.Time.ms 200) ?(cwnd_limit = 8.) () =
+    ?(min_rto = Sim.Time.ms 200) ?(cwnd_limit = 8.) ?cstate () =
+  let cs =
+    match cstate with
+    | Some cs -> cs
+    | None ->
+        make_cstate engine ~timeout ~max_timeout ~min_rto ~cwnd_limit
+          ~name:(Printf.sprintf "rpc.win.%d" client_id)
+          ()
+  in
   let t =
     {
       engine;
@@ -52,24 +89,12 @@ let create engine ~cpu ~ep ~client_id ?(transport = Fixed)
       ep;
       id = client_id;
       transport;
-      timeout;
-      max_timeout;
-      min_rto;
-      cwnd_limit;
+      cs;
       next_xid = 1;
       pending = Hashtbl.create 32;
       st = { calls = 0; retransmits = 0; late_replies = 0 };
       op_calls = Hashtbl.create 8;
       op_rtt = Hashtbl.create 8;
-      srtt = -1.;
-      rttvar = 0.;
-      rto = timeout;
-      cwnd = 2.;
-      in_flight = 0;
-      next_decrease_at = Sim.Time.zero;
-      backoffs = 0;
-      window_wait_us = Sim.Stats.Summary.create ();
-      win_cond = Sim.Condition.create engine (Printf.sprintf "rpc.win.%d" client_id);
       retrans_log = [];
     }
   in
@@ -205,7 +230,7 @@ let call_fixed_body t (call : Proto.call) =
   let size = Proto.call_size call in
   let p = mk_pending t xid in
   let t0 = Sim.Engine.now t.engine in
-  let timeout = ref t.timeout in
+  let timeout = ref t.cs.cs_timeout in
   let attempts = ref 0 in
   let rec attempt ~retry =
     if retry then note_retransmit t p;
@@ -223,7 +248,7 @@ let call_fixed_body t (call : Proto.call) =
           ~start_us:send_at
           ~stop_us:(Sim.Engine.now t.engine)
           ();
-        timeout := min (!timeout * 2) t.max_timeout;
+        timeout := min (!timeout * 2) t.cs.cs_max_timeout;
         attempt ~retry:true
   in
   let r = attempt ~retry:false in
@@ -238,41 +263,43 @@ let call_fixed t (call : Proto.call) =
 
 (* ---------- adaptive transport (Jacobson/Karn + AIMD window) ---------- *)
 
-let window t = max 1 (int_of_float t.cwnd)
+let window cs = max 1 (int_of_float cs.cwnd)
 
-let clamp_rto t v = max t.min_rto (min v t.max_timeout)
+let clamp_rto cs v = max cs.cs_min_rto (min v cs.cs_max_timeout)
 
 (* Valid (un-retransmitted, Karn) samples drive the standard
    srtt/rttvar estimator: srtt += err/8, rttvar += (|err|-rttvar)/4,
    rto = srtt + 4*rttvar — and recomputing rto here is also what
    retires a Karn backoff once a clean exchange proves the network. *)
-let sample_rtt t rtt =
+let sample_rtt cs rtt =
   let sample = float_of_int rtt in
-  if t.srtt < 0. then begin
-    t.srtt <- sample;
-    t.rttvar <- sample /. 2.
+  if cs.srtt < 0. then begin
+    cs.srtt <- sample;
+    cs.rttvar <- sample /. 2.
   end
   else begin
-    let err = sample -. t.srtt in
-    t.srtt <- t.srtt +. (err /. 8.);
-    t.rttvar <- t.rttvar +. ((Float.abs err -. t.rttvar) /. 4.)
+    let err = sample -. cs.srtt in
+    cs.srtt <- cs.srtt +. (err /. 8.);
+    cs.rttvar <- cs.rttvar +. ((Float.abs err -. cs.rttvar) /. 4.)
   end;
-  t.rto <- clamp_rto t (int_of_float (t.srtt +. (4. *. t.rttvar)))
+  cs.rto <- clamp_rto cs (int_of_float (cs.srtt +. (4. *. cs.rttvar)))
 
 let call_adaptive_body t (call : Proto.call) =
-  (* congestion window: bound this client's outstanding RPCs *)
+  let cs = t.cs in
+  (* congestion window: bound the channel's outstanding RPCs across
+     every mount sharing this cstate *)
   let entry = Sim.Engine.now t.engine in
-  while t.in_flight >= window t do
-    Sim.Condition.wait t.win_cond
+  while cs.in_flight >= window cs do
+    Sim.Condition.wait cs.win_cond
   done;
   let waited = Sim.Engine.now t.engine - entry in
   if waited > 0 then begin
-    Sim.Stats.Summary.add t.window_wait_us (float_of_int waited);
+    Sim.Stats.Summary.add cs.window_wait_us (float_of_int waited);
     Sim.Span.interval ~name:"rpc.window" ~start_us:entry
       ~stop_us:(Sim.Engine.now t.engine)
       ()
   end;
-  t.in_flight <- t.in_flight + 1;
+  cs.in_flight <- cs.in_flight + 1;
   let xid = t.next_xid in
   t.next_xid <- t.next_xid + 1;
   t.st.calls <- t.st.calls + 1;
@@ -280,7 +307,7 @@ let call_adaptive_body t (call : Proto.call) =
   let size = Proto.call_size call in
   let p = mk_pending t xid in
   let t0 = Sim.Engine.now t.engine in
-  let cur = ref t.rto in
+  let cur = ref cs.rto in
   let attempts = ref 0 in
   let rec attempt ~retry =
     if retry then note_retransmit t p;
@@ -302,24 +329,24 @@ let call_adaptive_body t (call : Proto.call) =
           ~start_us:send_at
           ~stop_us:(Sim.Engine.now t.engine)
           ();
-        t.backoffs <- t.backoffs + 1;
-        cur := min (!cur * 2) t.max_timeout;
-        t.rto <- max t.rto !cur;
+        cs.backoffs <- cs.backoffs + 1;
+        cur := min (!cur * 2) cs.cs_max_timeout;
+        cs.rto <- max cs.rto !cur;
         let now = Sim.Engine.now t.engine in
-        if now >= t.next_decrease_at then begin
-          t.cwnd <- Float.max 1. (t.cwnd /. 2.);
-          t.next_decrease_at <- now + !cur
+        if now >= cs.next_decrease_at then begin
+          cs.cwnd <- Float.max 1. (cs.cwnd /. 2.);
+          cs.next_decrease_at <- now + !cur
         end;
         attempt ~retry:true
   in
   let r = attempt ~retry:false in
   if not p.retransmitted then begin
-    sample_rtt t (Sim.Engine.now t.engine - t0);
+    sample_rtt cs (Sim.Engine.now t.engine - t0);
     (* additive increase on clean replies only *)
-    t.cwnd <- Float.min t.cwnd_limit (t.cwnd +. (1. /. t.cwnd))
+    cs.cwnd <- Float.min cs.cs_cwnd_limit (cs.cwnd +. (1. /. cs.cwnd))
   end;
-  t.in_flight <- t.in_flight - 1;
-  Sim.Condition.signal t.win_cond;
+  cs.in_flight <- cs.in_flight - 1;
+  Sim.Condition.signal cs.win_cond;
   trace_reply t p ~attempts:!attempts;
   charge_cost t ~entry ~window_wait:waited p;
   finish_call t call ~t0 r
@@ -344,12 +371,14 @@ let rtt_of t op =
   | Some s -> s
   | None -> Sim.Stats.Summary.create ()
 
-let srtt_us t = if t.srtt < 0. then 0. else t.srtt
-let rto_us t = float_of_int t.rto
-let cwnd t = match t.transport with Fixed -> 0. | Adaptive -> t.cwnd
-let in_flight t = t.in_flight
-let backoffs t = t.backoffs
-let window_wait_us t = t.window_wait_us
+let srtt_us t = if t.cs.srtt < 0. then 0. else t.cs.srtt
+let rto_us t = float_of_int t.cs.rto
+let cwnd t = match t.transport with Fixed -> 0. | Adaptive -> t.cs.cwnd
+let in_flight t = t.cs.in_flight
+let backoffs t = t.cs.backoffs
+let window_wait_us t = t.cs.window_wait_us
+let cstate_of t = t.cs
+let shares_cstate a b = a.cs == b.cs
 
 let retransmits_since t since =
   List.length (List.filter (fun at -> at >= since) t.retrans_log)

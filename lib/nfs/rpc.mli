@@ -32,6 +32,27 @@ type transport = Fixed | Adaptive
 
 type t
 
+type cstate
+(** The congestion/timer state of one {e server channel}: RTT estimator,
+    RTO, AIMD window, in-flight count and the window wait queue.
+    Several {!t}s (one per mount) share one [cstate] when they target
+    the same server — the window then bounds the union of their
+    outstanding calls and every mount feeds one estimator, per-server
+    rather than per-mount, the way a real client keeps one transport
+    handle per server. *)
+
+val make_cstate :
+  Sim.Engine.t ->
+  ?timeout:Sim.Time.t ->
+  ?max_timeout:Sim.Time.t ->
+  ?min_rto:Sim.Time.t ->
+  ?cwnd_limit:float ->
+  ?name:string ->
+  unit ->
+  cstate
+(** Same defaults as {!create}; [name] labels the window condition in
+    deadlock diagnostics. *)
+
 val create :
   Sim.Engine.t ->
   cpu:Sim.Cpu.t ->
@@ -42,6 +63,7 @@ val create :
   ?max_timeout:Sim.Time.t ->
   ?min_rto:Sim.Time.t ->
   ?cwnd_limit:float ->
+  ?cstate:cstate ->
   unit ->
   t
 (** [transport] defaults to {!Fixed}.  [timeout] (default 1.1 s) is the
@@ -49,7 +71,15 @@ val create :
     until the first valid sample; it doubles on every retry up to
     [max_timeout] (default 20 s).  [min_rto] (default 200 ms) floors
     the adaptive RTO; [cwnd_limit] (default 8) caps the congestion
-    window. *)
+    window.  [cstate] shares an existing server channel's congestion
+    state instead of building a private one; the four timer parameters
+    are then ignored (they live in the [cstate]). *)
+
+val cstate_of : t -> cstate
+
+val shares_cstate : t -> t -> bool
+(** Physical identity: do the two channels share one congestion
+    state? *)
 
 val client_id : t -> int
 val transport : t -> transport

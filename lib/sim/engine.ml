@@ -1,10 +1,102 @@
 open Effect
 open Effect.Deep
 
+(* Specialized event heap.  The generic [Heap] keyed every event with a
+   boxed [(time, seq)] tuple and compared through a closure — at fleet
+   scale (millions of events for a 1024-client sweep) the tuple
+   allocations and indirect compares dominate the dispatch loop.  Here
+   the keys live in two parallel unboxed [int array]s (no per-event
+   allocation) and the comparison is inlined int arithmetic.  Ordering
+   is identical to the old [cmp_key]: strictly by time, ties broken by
+   the monotone sequence number, so same-instant events stay FIFO and
+   goldens stay byte-identical. *)
+type events = {
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable cbs : (unit -> unit) array;
+  mutable len : int;
+}
+
+let nop () = ()
+
+let ev_create () =
+  { times = Array.make 256 0; seqs = Array.make 256 0; cbs = Array.make 256 nop; len = 0 }
+
+let ev_grow e =
+  let cap = Array.length e.times in
+  let cap' = cap * 2 in
+  let times = Array.make cap' 0 and seqs = Array.make cap' 0 and cbs = Array.make cap' nop in
+  Array.blit e.times 0 times 0 cap;
+  Array.blit e.seqs 0 seqs 0 cap;
+  Array.blit e.cbs 0 cbs 0 cap;
+  e.times <- times;
+  e.seqs <- seqs;
+  e.cbs <- cbs
+
+(* [before] is the heap order: (t1,s1) < (t2,s2) lexicographically. *)
+let[@inline] before e i j =
+  let ti = Array.unsafe_get e.times i and tj = Array.unsafe_get e.times j in
+  ti < tj || (ti = tj && Array.unsafe_get e.seqs i < Array.unsafe_get e.seqs j)
+
+let[@inline] ev_swap e i j =
+  let t = Array.unsafe_get e.times i in
+  Array.unsafe_set e.times i (Array.unsafe_get e.times j);
+  Array.unsafe_set e.times j t;
+  let s = Array.unsafe_get e.seqs i in
+  Array.unsafe_set e.seqs i (Array.unsafe_get e.seqs j);
+  Array.unsafe_set e.seqs j s;
+  let c = Array.unsafe_get e.cbs i in
+  Array.unsafe_set e.cbs i (Array.unsafe_get e.cbs j);
+  Array.unsafe_set e.cbs j c
+
+let ev_push e ~time ~seq cb =
+  if e.len = Array.length e.times then ev_grow e;
+  let i = ref e.len in
+  e.times.(!i) <- time;
+  e.seqs.(!i) <- seq;
+  e.cbs.(!i) <- cb;
+  e.len <- e.len + 1;
+  (* sift up *)
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before e !i parent then begin
+      ev_swap e !i parent;
+      i := parent
+    end
+    else continue_ := false
+  done
+
+(* Remove the root (callers read [times.(0)]/[cbs.(0)] first).  Clears
+   the vacated closure slot so it isn't pinned until the next grow. *)
+let ev_drop_root e =
+  let last = e.len - 1 in
+  e.len <- last;
+  e.times.(0) <- e.times.(last);
+  e.seqs.(0) <- e.seqs.(last);
+  e.cbs.(0) <- e.cbs.(last);
+  e.cbs.(last) <- nop;
+  (* sift down *)
+  let i = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let l = (2 * !i) + 1 in
+    if l >= last then continue_ := false
+    else begin
+      let r = l + 1 in
+      let m = if r < last && before e r l then r else l in
+      if before e m !i then begin
+        ev_swap e !i m;
+        i := m
+      end
+      else continue_ := false
+    end
+  done
+
 type t = {
   mutable now : Time.t;
   mutable seq : int;
-  events : (int * int, unit -> unit) Heap.t;
+  events : events;
   mutable blocked : int; (* processes currently suspended *)
   (* self-observability: fleet-scale runs stress the engine itself, so
      the hot paths keep cheap counters a metrics source can read *)
@@ -12,26 +104,32 @@ type t = {
   mutable heap_max : int;
   mutable cancellations : int;
   mutable spawned : int;
+  (* per-effect dispatch counters: how often each effect class crosses
+     the handler — the effect-handler half of the hot path *)
+  mutable eff_suspends : int;
+  mutable eff_attrib : int;
+  mutable eff_span : int;
+  mutable eff_fls : int;
 }
 
 exception Deadlock of string
 
 type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
-let cmp_key (t1, s1) (t2, s2) =
-  let c = compare (t1 : int) t2 in
-  if c <> 0 then c else compare (s1 : int) s2
-
 let create () =
   {
     now = 0;
     seq = 0;
-    events = Heap.create ~cmp:cmp_key;
+    events = ev_create ();
     blocked = 0;
     dispatched = 0;
     heap_max = 0;
     cancellations = 0;
     spawned = 0;
+    eff_suspends = 0;
+    eff_attrib = 0;
+    eff_span = 0;
+    eff_fls = 0;
   }
 
 let now t = t.now
@@ -39,9 +137,8 @@ let now t = t.now
 let schedule t ?(delay = 0) f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   t.seq <- t.seq + 1;
-  Heap.push t.events (t.now + delay, t.seq) f;
-  let depth = Heap.length t.events in
-  if depth > t.heap_max then t.heap_max <- depth
+  ev_push t.events ~time:(t.now + delay) ~seq:t.seq f;
+  if t.events.len > t.heap_max then t.heap_max <- t.events.len
 
 (* A cancellable event is a heap entry indirected through a mutable
    cell.  Cancelling empties the cell: the heap slot itself stays (the
@@ -96,6 +193,7 @@ let spawn t ?name f =
             | Suspend register ->
                 Some
                   (fun (k : (a, _) continuation) ->
+                    t.eff_suspends <- t.eff_suspends + 1;
                     t.blocked <- t.blocked + 1;
                     let resumed = ref false in
                     let resume () =
@@ -107,24 +205,36 @@ let spawn t ?name f =
                     in
                     register resume)
             | Attrib.Get_clock ->
-                Some (fun (k : (a, _) continuation) -> continue k !clock)
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    t.eff_attrib <- t.eff_attrib + 1;
+                    continue k !clock)
             | Attrib.Set_clock c ->
                 Some
                   (fun (k : (a, _) continuation) ->
+                    t.eff_attrib <- t.eff_attrib + 1;
                     clock := c;
                     continue k ())
             | Span.Get_span ->
-                Some (fun (k : (a, _) continuation) -> continue k !span)
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    t.eff_span <- t.eff_span + 1;
+                    continue k !span)
             | Span.Set_span s ->
                 Some
                   (fun (k : (a, _) continuation) ->
+                    t.eff_span <- t.eff_span + 1;
                     span := s;
                     continue k ())
             | Fls.Get_slot ->
-                Some (fun (k : (a, _) continuation) -> continue k !fls)
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    t.eff_fls <- t.eff_fls + 1;
+                    continue k !fls)
             | Fls.Set_slot v ->
                 Some
                   (fun (k : (a, _) continuation) ->
+                    t.eff_fls <- t.eff_fls + 1;
                     fls := v;
                     continue k ())
             | _ -> None);
@@ -139,34 +249,38 @@ let sleep t d =
   if d = 0 then ()
   else suspend t ~register:(fun resume -> schedule t ~delay:d resume)
 
+(* The dispatch loop reads the root in place and drops it — no option,
+   no tuple, no pair allocation per event. *)
 let run t =
-  let rec loop () =
-    match Heap.pop t.events with
-    | None -> ()
-    | Some ((at, _), f) ->
-        assert (at >= t.now);
-        t.now <- at;
-        t.dispatched <- t.dispatched + 1;
-        f ();
-        loop ()
-  in
-  loop ()
+  let e = t.events in
+  while e.len > 0 do
+    let at = Array.unsafe_get e.times 0 in
+    let f = Array.unsafe_get e.cbs 0 in
+    ev_drop_root e;
+    assert (at >= t.now);
+    t.now <- at;
+    t.dispatched <- t.dispatched + 1;
+    f ()
+  done
 
 let run_for t d =
   let stop = t.now + d in
-  let rec loop () =
-    match Heap.peek t.events with
-    | Some ((at, _), _) when at <= stop ->
-        (match Heap.pop t.events with
-        | Some ((at, _), f) ->
-            t.now <- at;
-            t.dispatched <- t.dispatched + 1;
-            f ();
-            loop ()
-        | None -> assert false)
-    | Some _ | None -> t.now <- stop
-  in
-  loop ()
+  let e = t.events in
+  let continue_ = ref true in
+  while !continue_ do
+    if e.len > 0 && Array.unsafe_get e.times 0 <= stop then begin
+      let at = Array.unsafe_get e.times 0 in
+      let f = Array.unsafe_get e.cbs 0 in
+      ev_drop_root e;
+      t.now <- at;
+      t.dispatched <- t.dispatched + 1;
+      f ()
+    end
+    else begin
+      t.now <- stop;
+      continue_ := false
+    end
+  done
 
 let live_processes t = t.blocked
 
@@ -181,14 +295,22 @@ let events_dispatched t = t.dispatched
 let heap_max_depth t = t.heap_max
 let cancellations t = t.cancellations
 let processes_spawned t = t.spawned
+let effect_suspends t = t.eff_suspends
+let effect_attrib_ops t = t.eff_attrib
+let effect_span_ops t = t.eff_span
+let effect_fls_ops t = t.eff_fls
 
 let register_metrics t reg ~instance =
   Metrics.register reg ~layer:"sim.engine" ~instance (fun () ->
       [
         ("events_dispatched", Metrics.Int t.dispatched);
         ("heap_max_depth", Metrics.Int t.heap_max);
-        ("heap_len", Metrics.Int (Heap.length t.events));
+        ("heap_len", Metrics.Int t.events.len);
         ("cancellations", Metrics.Int t.cancellations);
         ("processes_spawned", Metrics.Int t.spawned);
+        ("eff_suspends", Metrics.Int t.eff_suspends);
+        ("eff_attrib_ops", Metrics.Int t.eff_attrib);
+        ("eff_span_ops", Metrics.Int t.eff_span);
+        ("eff_fls_ops", Metrics.Int t.eff_fls);
         ("now_us", Metrics.Int t.now);
       ])

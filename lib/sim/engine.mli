@@ -91,5 +91,18 @@ val cancellations : t -> int
 
 val processes_spawned : t -> int
 
+val effect_suspends : t -> int
+(** [Suspend] effects handled — one per process park (sleep, I/O wait,
+    condition wait). *)
+
+val effect_attrib_ops : t -> int
+(** Attribution-clock slot gets/sets handled. *)
+
+val effect_span_ops : t -> int
+(** Current-span slot gets/sets handled. *)
+
+val effect_fls_ops : t -> int
+(** Fiber-local slot gets/sets handled. *)
+
 val register_metrics : t -> Metrics.t -> instance:string -> unit
 (** Register a ["sim.engine"] metrics source over the counters above. *)

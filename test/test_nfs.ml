@@ -9,10 +9,10 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let bsize = Ufs.Layout.bsize
 
-let topo ?(clients = 1) ?net ?seed ?topology ?transport ?nfsd ?biods ?ra_depth
-    ?dirty_limit ?rpc_timeout ?name () =
+let topo ?(clients = 1) ?servers ?net ?seed ?topology ?transport ?nfsd ?biods
+    ?ra_depth ?dirty_limit ?rpc_timeout ?ports_buffer ?name () =
   T.create ?net ?seed ?topology ?transport ?nfsd ?biods ?ra_depth ?dirty_limit
-    ?rpc_timeout ~clients
+    ?rpc_timeout ?servers ?ports_buffer ~clients
     (Helpers.config ?name ())
 
 let client_link_stats c =
@@ -110,6 +110,145 @@ let test_medium_is_seeded () =
     Sim.Engine.run engine;
     ((Net.Medium.stats m).Net.Medium.contentions, Sim.Engine.now engine)
   in
+  check_bool "seed 3 reproducible" true (run 3 = run 3);
+  check_bool "seeds diverge" true (run 3 <> run 4)
+
+(* ---------- switched fabric ---------- *)
+
+let test_switch_fifo_and_forwarding () =
+  let engine = Sim.Engine.create () in
+  let mk () = Sim.Cpu.create engine in
+  let sw =
+    Net.Switch.create engine
+      { Net.default_config with Net.bandwidth = 100_000 }
+  in
+  let p0 = Net.Switch.attach sw ~cpu:(mk ()) in
+  let p1 = Net.Switch.attach sw ~cpu:(mk ()) in
+  let p2 = Net.Switch.attach sw ~cpu:(mk ()) in
+  check_int "ids follow attach order" 2 (Net.Switch.port_id p2);
+  (* ports 1 and 2 blast at port 0 concurrently: their uplinks are
+     private (no CSMA), but port 0's downlink is one serial resource
+     the switch queues for *)
+  let blast p lo =
+    Sim.Engine.spawn engine (fun () ->
+        let ep = Net.Switch.endpoint p ~peer:0 in
+        for i = lo to lo + 4 do
+          Net.send ep ~size:10_000 i
+        done)
+  in
+  blast p1 100;
+  blast p2 200;
+  let got1 = ref [] and got2 = ref [] in
+  let drain ~peer acc =
+    Sim.Engine.spawn engine (fun () ->
+        let ep = Net.Switch.endpoint p0 ~peer in
+        for _ = 1 to 5 do
+          acc := Net.recv ep :: !acc
+        done)
+  in
+  drain ~peer:1 got1;
+  drain ~peer:2 got2;
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "per-source FIFO (port 1)"
+    [ 100; 101; 102; 103; 104 ] (List.rev !got1);
+  Alcotest.(check (list int)) "per-source FIFO (port 2)"
+    [ 200; 201; 202; 203; 204 ] (List.rev !got2);
+  let st = Net.Switch.stats sw in
+  check_int "all frames delivered" 10 st.Net.Switch.frames_delivered;
+  check_int "nothing dropped within the buffer" 0 st.Net.Switch.sw_drops;
+  check_bool "store-and-forward queueing observed" true
+    (st.Net.Switch.occ_hwm >= 1);
+  check_bool "port utilization accounted" true
+    (Net.Switch.max_port_utilization sw > 0.)
+
+let test_switch_overflow_is_tail_drop () =
+  (* an output buffer of 1 frame with two blasting sources: the port
+     must tail-drop, and what does get through stays per-source FIFO *)
+  let engine = Sim.Engine.create () in
+  let mk () = Sim.Cpu.create engine in
+  let sw =
+    Net.Switch.create ~buffer:1 engine
+      { Net.default_config with Net.bandwidth = 20_000 }
+  in
+  let p0 = Net.Switch.attach sw ~cpu:(mk ()) in
+  let senders = [| Net.Switch.attach sw ~cpu:(mk ()); Net.Switch.attach sw ~cpu:(mk ()) |] in
+  Array.iteri
+    (fun k p ->
+      Sim.Engine.spawn engine (fun () ->
+          let ep = Net.Switch.endpoint p ~peer:0 in
+          (* different sizes desynchronize the two uplinks, so the
+             tail-drop alternates instead of starving one source *)
+          for i = 1 to 8 do
+            Net.send ep ~size:(10_000 - (k * 3_000)) ((k * 100) + i)
+          done))
+    senders;
+  let got = Array.map (fun _ -> ref []) senders in
+  Array.iteri
+    (fun k _ ->
+      Sim.Engine.spawn engine (fun () ->
+          let ep = Net.Switch.endpoint p0 ~peer:(k + 1) in
+          (* drain forever; the engine stops when senders are done and
+             no more frames are in flight — drop the blocked reader *)
+          while true do
+            let v = Net.recv ep in
+            got.(k) := v :: !(got.(k))
+          done))
+    senders;
+  (try Sim.Engine.run engine with Sim.Engine.Deadlock _ -> ());
+  let st = Net.Switch.stats sw in
+  check_bool "overflow drops happened" true (st.Net.Switch.overflows > 0);
+  check_int "no seeded loss on a clean config" 0 st.Net.Switch.sw_drops;
+  check_int "delivered + dropped = sent" st.Net.Switch.frames_sent
+    (st.Net.Switch.frames_delivered + st.Net.Switch.overflows);
+  check_int "high-water pinned at the buffer" 1 st.Net.Switch.occ_hwm;
+  check_int "every delivered frame reached a reader"
+    st.Net.Switch.frames_delivered
+    (List.length !(got.(0)) + List.length !(got.(1)));
+  (* per-source order of the survivors *)
+  List.iter
+    (fun k ->
+      let s = List.rev !(got.(k)) in
+      check_bool
+        (Printf.sprintf "survivors of source %d stay in order" k)
+        true
+        (List.sort compare s = s && s <> []))
+    [ 0; 1 ]
+
+let test_switch_is_seeded () =
+  (* same seed, same traffic -> identical loss pattern and timing;
+     different seed -> (almost surely) different *)
+  let run seed =
+    let engine = Sim.Engine.create () in
+    let sw =
+      Net.Switch.create ~seed engine
+        (Net.lossy { Net.default_config with Net.bandwidth = 50_000 } 0.2)
+    in
+    let p0 = Net.Switch.attach sw ~cpu:(Sim.Cpu.create engine) in
+    let senders =
+      Array.init 3 (fun _ -> Net.Switch.attach sw ~cpu:(Sim.Cpu.create engine))
+    in
+    Array.iteri
+      (fun k p ->
+        Sim.Engine.spawn engine (fun () ->
+            let ep = Net.Switch.endpoint p ~peer:0 in
+            for i = 1 to 8 do
+              Net.send ep ~size:5_000 ((k * 100) + i)
+            done))
+      senders;
+    Array.iteri
+      (fun k _ ->
+        Sim.Engine.spawn engine (fun () ->
+            let ep = Net.Switch.endpoint p0 ~peer:(k + 1) in
+            while true do
+              ignore (Net.recv ep)
+            done))
+      senders;
+    (try Sim.Engine.run engine with Sim.Engine.Deadlock _ -> ());
+    let st = Net.Switch.stats sw in
+    (st.Net.Switch.sw_drops, st.Net.Switch.frames_delivered, Sim.Engine.now engine)
+  in
+  let d, _, _ = run 3 in
+  check_bool "losses actually drawn" true (d > 0);
   check_bool "seed 3 reproducible" true (run 3 = run 3);
   check_bool "seeds diverge" true (run 3 <> run 4)
 
@@ -479,6 +618,18 @@ let prop_shared_medium_equals_p2p =
       let ok_zero, zero = run_mix ~loss:0. ~seed () in
       ok_shared && ok_zero && shared = zero)
 
+let prop_switched_equals_p2p =
+  Helpers.qtest ~count:8
+    "switched fabric, adaptive transport: any op mix matches p2p zero-loss"
+    QCheck.(pair (int_bound 10_000) (int_bound 49))
+    (fun (seed, loss_pct) ->
+      let loss = float_of_int loss_pct /. 100. in
+      let ok_sw, sw =
+        run_mix ~topology:T.Switched ~transport:Nfs.Rpc.Adaptive ~loss ~seed ()
+      in
+      let ok_zero, zero = run_mix ~loss:0. ~seed () in
+      ok_sw && ok_zero && sw = zero)
+
 (* ---------- multi-client ---------- *)
 
 let test_clients_are_isolated () =
@@ -501,6 +652,144 @@ let test_clients_are_isolated () =
         done;
         check_bool (Printf.sprintf "client %d's bytes" id) true !ok
   done
+
+(* ---------- fleet: sharding, per-server congestion state ---------- *)
+
+let test_sharding_spreads_and_agrees () =
+  let t = topo ~clients:2 ~servers:3 () in
+  let paths = List.init 32 (Printf.sprintf "/shard%d") in
+  let owners = List.map (T.server_of_path t) paths in
+  List.iter
+    (fun o -> check_bool "owner in range" true (o >= 0 && o < 3))
+    owners;
+  (* the hash must actually spread the namespace *)
+  List.iter
+    (fun srv ->
+      check_bool
+        (Printf.sprintf "server %d owns something" srv)
+        true
+        (List.mem srv owners))
+    [ 0; 1; 2 ];
+  (* every client agrees, and shard picks the owner's mount *)
+  List.iter
+    (fun path ->
+      let o = T.server_of_path t path in
+      Array.iter
+        (fun c ->
+          check_bool "shard routes to the owner" true
+            (T.shard t c path == (T.mount_of c ~server:o)))
+        t.T.clients)
+    paths;
+  (* one server: everything is server 0 *)
+  let t1 = topo () in
+  List.iter
+    (fun p -> check_int "single server owns all" 0 (T.server_of_path t1 p))
+    paths
+
+let test_fleet_write_read_across_servers () =
+  let t = topo ~clients:2 ~servers:2 ~topology:T.Switched
+      ~transport:Nfs.Rpc.Adaptive () in
+  let len = 48 * 1024 in
+  T.run_clients t (fun c ->
+      (* each client writes files that hash to both servers *)
+      for k = 0 to 3 do
+        let path = Printf.sprintf "/f%d.%d" c.T.id k in
+        let mount = T.shard t c path in
+        let f = Nfs.Client.create mount (Filename.basename path) in
+        let buf =
+          Bytes.init len (fun i -> Helpers.pattern_byte ~seed:(c.T.id + k) i)
+        in
+        Nfs.Client.write f ~off:0 ~buf ~len;
+        Nfs.Client.fsync f;
+        Nfs.Client.invalidate f;
+        let rbuf = Bytes.create len in
+        check_int "read back" len (Nfs.Client.read f ~off:0 ~buf:rbuf ~len);
+        check_bool "bytes survive the fabric" true (Bytes.equal buf rbuf)
+      done);
+  (* both servers actually served something *)
+  Array.iteri
+    (fun j svc ->
+      check_bool
+        (Printf.sprintf "server %d saw traffic" j)
+        true
+        ((Nfs.Server.stats svc).Nfs.Server.received > 0))
+    t.T.services
+
+let test_per_server_congestion_state () =
+  let t = topo ~clients:1 ~servers:2 ~transport:Nfs.Rpc.Adaptive () in
+  let c = t.T.clients.(0) in
+  (* mounts to different servers: independent estimators *)
+  check_bool "different servers, different cstate" false
+    (Nfs.Rpc.shares_cstate c.T.mounts.(0).T.m_rpc c.T.mounts.(1).T.m_rpc);
+  (* a second mount to server 0 shares the first's *)
+  let extra = T.add_mount t c ~server:0 () in
+  check_bool "same server, shared cstate" true
+    (Nfs.Rpc.shares_cstate extra.T.m_rpc c.T.mounts.(0).T.m_rpc);
+  check_bool "the extra mount is its own channel" true
+    (extra.T.m_rpc != c.T.mounts.(0).T.m_rpc);
+  (* traffic through both mounts feeds one window *)
+  let len = 32 * 1024 in
+  T.run t (fun _ ->
+      let f1 = Nfs.Client.create c.T.mount "viaA" in
+      let f2 = Nfs.Client.create extra.T.m_mount "viaB" in
+      let buf = Bytes.init len (fun i -> Helpers.pattern_byte ~seed:9 i) in
+      Nfs.Client.write f1 ~off:0 ~buf ~len;
+      Nfs.Client.write f2 ~off:0 ~buf ~len;
+      Nfs.Client.fsync f1;
+      Nfs.Client.fsync f2);
+  check_bool "both channels made calls" true
+    ((Nfs.Rpc.stats extra.T.m_rpc).Nfs.Rpc.calls > 0
+    && (Nfs.Rpc.stats c.T.rpc).Nfs.Rpc.calls > 0);
+  check_bool "shared window evolved off 2.0" true
+    (Nfs.Rpc.cwnd c.T.rpc > 2.);
+  let eps = 1e-9 in
+  check_bool "both mounts read the same cwnd" true
+    (Float.abs (Nfs.Rpc.cwnd extra.T.m_rpc -. Nfs.Rpc.cwnd c.T.rpc) < eps);
+  check_bool "both mounts read the same srtt" true
+    (Float.abs (Nfs.Rpc.srtt_us extra.T.m_rpc -. Nfs.Rpc.srtt_us c.T.rpc) < eps);
+  (* both files landed on server 0's UFS *)
+  check_bool "file via mount A on server" true (server_contents t "viaA" <> None);
+  check_bool "file via mount B on server" true (server_contents t "viaB" <> None)
+
+let test_switch_overflow_recovery_under_adaptive () =
+  (* a 1-frame output buffer in front of the server: concurrent client
+     bursts overflow it, drops look like loss, and the adaptive
+     transport must retransmit its way through without corruption *)
+  let t = topo ~clients:4 ~topology:T.Switched ~transport:Nfs.Rpc.Adaptive
+      ~ports_buffer:1 ~rpc_timeout:(Sim.Time.ms 400) () in
+  let len = 64 * 1024 in
+  T.run_clients t (fun c ->
+      let name = Printf.sprintf "ov%d" c.T.id in
+      let f = Nfs.Client.create c.T.mount name in
+      let buf = Bytes.init len (fun i -> Helpers.pattern_byte ~seed:c.T.id i) in
+      Nfs.Client.write f ~off:0 ~buf ~len;
+      Nfs.Client.fsync f;
+      Nfs.Client.invalidate f;
+      let rbuf = Bytes.create len in
+      check_int "read completes despite drops" len
+        (Nfs.Client.read f ~off:0 ~buf:rbuf ~len);
+      check_bool "contents survive buffer overflow" true
+        (Bytes.equal buf rbuf));
+  let sw = match T.switch t with Some sw -> sw | None -> Alcotest.fail "no switch" in
+  let st = Net.Switch.stats sw in
+  check_bool "the buffer actually overflowed" true
+    (st.Net.Switch.overflows > 0);
+  let retrans =
+    Array.fold_left
+      (fun acc c -> acc + (Nfs.Rpc.stats c.T.rpc).Nfs.Rpc.retransmits)
+      0 t.T.clients
+  in
+  check_bool "drops forced retransmits" true (retrans > 0);
+  (* exactly-once still holds across the drops *)
+  let issued op =
+    Array.fold_left
+      (fun acc c -> acc + Nfs.Rpc.op_calls c.T.rpc op)
+      0 t.T.clients
+  in
+  check_int "every WRITE applied exactly once" (issued "write")
+    (Nfs.Server.applied t.T.service "write");
+  check_int "every CREATE applied exactly once" (issued "create")
+    (Nfs.Server.applied t.T.service "create")
 
 (* ---------- determinism ---------- *)
 
@@ -544,6 +833,25 @@ let test_golden_adaptive_determinism () =
   check_bool "seeded loss actually forced retransmits" true
     (row1.Clusterfs.Experiments.cc_retransmits > 0)
 
+let golden_fleet_run () =
+  let reg = Sim.Metrics.create () in
+  let row =
+    Clusterfs.Machine.with_metrics_sink reg (fun () ->
+        Clusterfs.Experiments.nfs_fleet ~file_mb:1 ~servers:2 ~clients:16 ())
+  in
+  (row, Sim.Metrics.to_json reg, Sim.Metrics.to_csv reg)
+
+let test_golden_fleet_determinism () =
+  let row1, json1, csv1 = golden_fleet_run () in
+  let row2, json2, csv2 = golden_fleet_run () in
+  check_bool "fleet row identical" true (row1 = row2);
+  Alcotest.(check string) "metrics JSON byte-identical" json1 json2;
+  Alcotest.(check string) "metrics CSV byte-identical" csv1 csv2;
+  check_bool "all sixteen streams moved data" true
+    (row1.Clusterfs.Experiments.fl_aggregate_kb_per_sec > 0.);
+  check_bool "a bottleneck was named" true
+    (row1.Clusterfs.Experiments.fl_bottleneck <> "")
+
 (* ---------- congestion regression ---------- *)
 
 let cc_point transport =
@@ -578,6 +886,12 @@ let suites =
           `Quick test_medium_contention_and_delivery;
         Alcotest.test_case "shared medium backoff is seeded" `Quick
           test_medium_is_seeded;
+        Alcotest.test_case "switch: forwarding and per-port FIFO" `Quick
+          test_switch_fifo_and_forwarding;
+        Alcotest.test_case "switch: finite buffers tail-drop" `Quick
+          test_switch_overflow_is_tail_drop;
+        Alcotest.test_case "switch: drops are seeded" `Quick
+          test_switch_is_seeded;
       ] );
     ( "nfs",
       [
@@ -601,12 +915,23 @@ let suites =
           test_lossy_link_completes_and_applies_once;
         prop_lossy_equals_lossless;
         prop_shared_medium_equals_p2p;
+        prop_switched_equals_p2p;
+        Alcotest.test_case "sharding spreads and all clients agree" `Quick
+          test_sharding_spreads_and_agrees;
+        Alcotest.test_case "2 servers: write/read through the fabric" `Quick
+          test_fleet_write_read_across_servers;
+        Alcotest.test_case "congestion state is per-server, not per-mount"
+          `Quick test_per_server_congestion_state;
+        Alcotest.test_case "switch overflow: adaptive recovers, applies once"
+          `Quick test_switch_overflow_recovery_under_adaptive;
         Alcotest.test_case "three clients, isolated files" `Quick
           test_clients_are_isolated;
         Alcotest.test_case "4-client nfsscale golden determinism" `Slow
           test_golden_nfsscale_determinism;
         Alcotest.test_case "adaptive-RTO golden determinism under loss" `Slow
           test_golden_adaptive_determinism;
+        Alcotest.test_case "16x2 fleet golden determinism" `Slow
+          test_golden_fleet_determinism;
         Alcotest.test_case "16 clients: adaptive beats fixed transport" `Slow
           test_adaptive_beats_fixed_at_16;
       ] );

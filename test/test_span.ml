@@ -229,11 +229,33 @@ let test_engine_counters () =
   check_bool "heap depth seen" true (Sim.Engine.heap_max_depth e >= 1);
   check_int "one cancellation" 1 (Sim.Engine.cancellations e);
   check_int "one process" 1 (Sim.Engine.processes_spawned e);
+  (* the two sleeps crossed the Suspend handler twice *)
+  check_int "suspend effects counted" 2 (Sim.Engine.effect_suspends e);
+  (* span effects cross the handler only when a recorder is live *)
+  check_int "no span effects without a recorder" 0
+    (Sim.Engine.effect_span_ops e);
+  let r = Span.create_recorder () in
+  Span.with_recorder r (fun () ->
+      Sim.Engine.spawn e (fun () ->
+          Span.root ~name:"x" ~track:"t/x" (fun () -> Sim.Engine.sleep e 3));
+      Sim.Engine.run e);
+  check_bool "span effects counted under a recorder" true
+    (Sim.Engine.effect_span_ops e > 0);
+  check_int "suspends keep counting" 3 (Sim.Engine.effect_suspends e);
   let reg = Sim.Metrics.create () in
   Sim.Engine.register_metrics e reg ~instance:"t";
-  match Sim.Metrics.get reg ~layer:"sim.engine" ~instance:"t" "cancellations" with
-  | Some (Sim.Metrics.Int 1) -> ()
-  | _ -> Alcotest.fail "sim.engine metrics not exported"
+  let geti name =
+    match Sim.Metrics.get reg ~layer:"sim.engine" ~instance:"t" name with
+    | Some (Sim.Metrics.Int n) -> n
+    | _ -> Alcotest.failf "sim.engine metric %s missing" name
+  in
+  check_int "cancellations exported" 1 (geti "cancellations");
+  check_int "eff_suspends exported" 3 (geti "eff_suspends");
+  check_bool "eff_span_ops exported" true (geti "eff_span_ops" > 0);
+  check_int "eff_fls_ops exported" (Sim.Engine.effect_fls_ops e)
+    (geti "eff_fls_ops");
+  check_int "eff_attrib_ops exported" (Sim.Engine.effect_attrib_ops e)
+    (geti "eff_attrib_ops")
 
 (* ---------- span metrics ---------- *)
 
